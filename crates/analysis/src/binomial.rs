@@ -1,0 +1,263 @@
+//! Binomial undercount tails (Equations 1, 2 and 8 of the paper).
+//!
+//! MoPAC selects each activation independently with probability `p`, so
+//! the number of counter updates `N` within `A` activations follows a
+//! binomial distribution. Security requires that the probability of
+//! severe undercounting, `P(N < C)`, stays below the escape budget
+//! `epsilon` derived in [`crate::mttf`].
+//!
+//! Probabilities of interest are as small as 1e-10, so all terms are
+//! computed in log space with an iterative recurrence (no gamma-function
+//! approximation error): `P(0) = (1-p)^A`, and
+//! `P(k+1)/P(k) = (A-k)/(k+1) * p/(1-p)`.
+
+/// Probability mass `P(N = k)` for `N ~ Binomial(a, p)`.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use mopac_analysis::binomial::pmf;
+///
+/// // Bin(4, 0.5): P(N = 2) = 6/16
+/// assert!((pmf(4, 0.5, 2) - 0.375).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn pmf(a: u64, p: f64, k: u64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+    if k > a {
+        return 0.0;
+    }
+    if p == 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    if p == 1.0 {
+        return if k == a { 1.0 } else { 0.0 };
+    }
+    ln_pmf(a, p, k).exp()
+}
+
+/// Natural log of the binomial pmf, computed via the multiplicative
+/// recurrence from `P(0)`.
+fn ln_pmf(a: u64, p: f64, k: u64) -> f64 {
+    debug_assert!(k <= a && p > 0.0 && p < 1.0);
+    let log_ratio_base = (p / (1.0 - p)).ln();
+    let mut ln = a as f64 * (1.0 - p).ln();
+    for i in 0..k {
+        // P(i+1)/P(i) = (a - i) / (i + 1) * p/(1-p)
+        ln += ((a - i) as f64 / (i + 1) as f64).ln() + log_ratio_base;
+    }
+    ln
+}
+
+/// Lower tail `P(N < c)` for `N ~ Binomial(a, p)` — Equation 2 of the
+/// paper (and Equation 8 when `a` is the tardiness-reduced `A'`).
+///
+/// Returns 0 when `c == 0` and 1 when `c > a`.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use mopac_analysis::binomial::prob_fewer_than;
+///
+/// // P(Bin(2, 0.5) < 1) = P(0) = 0.25
+/// assert!((prob_fewer_than(2, 0.5, 1) - 0.25).abs() < 1e-12);
+/// // P(N < 0) is impossible.
+/// assert_eq!(prob_fewer_than(100, 0.1, 0), 0.0);
+/// ```
+#[must_use]
+pub fn prob_fewer_than(a: u64, p: f64, c: u64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+    if c == 0 {
+        return 0.0;
+    }
+    if c > a {
+        return 1.0;
+    }
+    if p == 0.0 {
+        return 1.0;
+    }
+    if p == 1.0 {
+        return 0.0; // N = a >= c was handled above
+    }
+    // Sum P(0..c) in log space: accumulate terms relative to the largest
+    // (the last, since c is far below the mean in all our use cases, the
+    // pmf is increasing on [0, c)). To be safe for arbitrary inputs, use
+    // the max term as the scaling anchor.
+    let log_ratio_base = (p / (1.0 - p)).ln();
+    let mut ln_terms = Vec::with_capacity(c as usize);
+    let mut ln = a as f64 * (1.0 - p).ln();
+    ln_terms.push(ln);
+    for i in 0..c - 1 {
+        ln += ((a - i) as f64 / (i + 1) as f64).ln() + log_ratio_base;
+        ln_terms.push(ln);
+    }
+    let max_ln = ln_terms.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let sum: f64 = ln_terms.iter().map(|&t| (t - max_ln).exp()).sum();
+    (max_ln + sum.ln()).exp().min(1.0)
+}
+
+/// Upper tail `P(N >= c)`.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]`.
+#[must_use]
+pub fn prob_at_least(a: u64, p: f64, c: u64) -> f64 {
+    1.0 - prob_fewer_than(a, p, c)
+}
+
+/// The largest `C` whose undercount probability `P(N <= C)` stays below
+/// `epsilon` for `N ~ Binomial(a, p)` — the brute-force search of
+/// Section 5.3.
+///
+/// This follows the paper's Table 6 arithmetic exactly: the failure
+/// probability listed for a given `C` is the cumulative mass at or below
+/// `C` (one term more conservative than Equation 2's literal `P(N < C)`).
+///
+/// Returns 0 if even `C = 0` (i.e. `P(N = 0) = (1-p)^a`) exceeds the
+/// budget, meaning no secure configuration exists for this `(a, p)`.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]` or `epsilon` is not in `(0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use mopac_analysis::binomial::critical_updates;
+///
+/// // Paper Table 7: T_RH = 500 -> A = 472, p = 1/8, C = 22.
+/// assert_eq!(critical_updates(472, 1.0 / 8.0, 8.48e-9), 22);
+/// ```
+#[must_use]
+pub fn critical_updates(a: u64, p: f64, epsilon: f64) -> u64 {
+    assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+    assert!(
+        epsilon > 0.0 && epsilon < 1.0,
+        "epsilon {epsilon} out of range"
+    );
+    let mut c = 0;
+    // P(N <= c) == prob_fewer_than(a, p, c + 1).
+    while prob_fewer_than(a, p, c + 2) < epsilon {
+        c += 1;
+        if c > a {
+            return a;
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for (a, p) in [(10u64, 0.3), (100, 0.125), (472, 1.0 / 8.0)] {
+            let total: f64 = (0..=a).map(|k| pmf(a, p, k)).sum();
+            assert!((total - 1.0).abs() < 1e-9, "a={a} p={p} total={total}");
+        }
+    }
+
+    #[test]
+    fn tail_matches_direct_sum() {
+        let a = 50;
+        let p = 0.2;
+        for c in [0u64, 1, 5, 10, 51] {
+            let direct: f64 = (0..c.min(a + 1)).map(|k| pmf(a, p, k)).sum();
+            let tail = prob_fewer_than(a, p, c);
+            assert!(
+                (tail - direct.min(1.0)).abs() < 1e-12,
+                "c={c}: {tail} vs {direct}"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_probabilities() {
+        assert_eq!(prob_fewer_than(10, 0.0, 1), 1.0);
+        assert_eq!(prob_fewer_than(10, 1.0, 5), 0.0);
+        assert_eq!(pmf(10, 0.0, 0), 1.0);
+        assert_eq!(pmf(10, 1.0, 10), 1.0);
+    }
+
+    #[test]
+    fn monotone_in_c() {
+        let a = 472;
+        let p = 0.125;
+        let mut prev = 0.0;
+        for c in 0..60 {
+            let v = prob_fewer_than(a, p, c);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    /// Probability the paper's Table 6 lists for a given `C`: the
+    /// cumulative mass at or below `C`.
+    fn p_le(a: u64, p: f64, c: u64) -> f64 {
+        prob_fewer_than(a, p, c + 1)
+    }
+
+    /// Paper Table 6 column T_RH = 500 (A = 472, p = 1/8,
+    /// epsilon = 8.48e-9): P_e1 for C = 20..=25.
+    #[test]
+    fn table6_trh500_column() {
+        let a = 472;
+        let p = 1.0 / 8.0;
+        let expected = [
+            (20u64, 6.3e-10),
+            (21, 2.0e-9),
+            (22, 5.9e-9),
+            (23, 1.7e-8),
+            (24, 4.6e-8),
+            (25, 1.2e-7),
+        ];
+        for (c, want) in expected {
+            let got = p_le(a, p, c);
+            let rel = (got - want).abs() / want;
+            assert!(rel < 0.10, "C={c}: got {got:.3e}, paper {want:.1e}");
+        }
+    }
+
+    /// Paper Table 6 columns for T_RH = 250 (A = 219, p = 1/4) and
+    /// T_RH = 1000 (A = 975, p = 1/16), spot-checked at the bold rows.
+    #[test]
+    fn table6_other_columns() {
+        // T_RH = 250: C = 21 -> 6.1e-9, C = 22 -> 1.9e-8.
+        let g21 = p_le(219, 0.25, 21);
+        assert!((g21 - 6.1e-9).abs() / 6.1e-9 < 0.10, "got {g21:.3e}");
+        let g22 = p_le(219, 0.25, 22);
+        assert!((g22 - 1.9e-8).abs() / 1.9e-8 < 0.10, "got {g22:.3e}");
+        // T_RH = 1000: C = 23 -> 1.08e-8 (bold), C = 24 -> 2.9e-8.
+        let g23 = p_le(975, 1.0 / 16.0, 23);
+        assert!((g23 - 1.08e-8).abs() / 1.08e-8 < 0.10, "got {g23:.3e}");
+        let g24 = p_le(975, 1.0 / 16.0, 24);
+        assert!((g24 - 2.9e-8).abs() / 2.9e-8 < 0.10, "got {g24:.3e}");
+    }
+
+    #[test]
+    fn critical_updates_matches_paper_bold_rows() {
+        // Table 6 bold rows: largest C with P_e1 < epsilon.
+        assert_eq!(critical_updates(219, 0.25, 5.99e-9), 20);
+        assert_eq!(critical_updates(472, 0.125, 8.48e-9), 22);
+        // Note: sqrt(1.44e-16) = 1.2e-8; the paper's Table 5 prints
+        // 1.12e-8, a typo. Both budgets yield C = 23.
+        assert_eq!(critical_updates(975, 1.0 / 16.0, 1.2e-8), 23);
+        assert_eq!(critical_updates(975, 1.0 / 16.0, 1.12e-8), 23);
+    }
+
+    #[test]
+    fn critical_updates_zero_when_budget_tiny() {
+        // Even P(N=0) exceeds an absurdly small budget.
+        assert_eq!(critical_updates(10, 0.5, 1e-300), 0);
+    }
+}

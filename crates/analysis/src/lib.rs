@@ -1,0 +1,39 @@
+//! Security analysis for MoPAC (Sections 5.3, 6.4, 7, 8.2 and Appendix A
+//! of the paper).
+//!
+//! Everything in this crate is pure mathematics — no simulation state.
+//! It derives, from a Rowhammer threshold `T_RH`:
+//!
+//! * the MTTF-based failure budget `F` and per-side escape probability
+//!   `epsilon` (Equations 3–6, Table 5) — [`mttf`];
+//! * binomial undercount tails (Equations 1, 2, 8, Table 6) — [`binomial`];
+//! * the MOAT ALERT threshold `ATH` (Table 2) — [`moat`];
+//! * MoPAC-C / MoPAC-D parameters `p`, `C`, `ATH*` (Tables 7, 8, 14) —
+//!   [`params`];
+//! * the Markov-chain model for non-uniform probability (Equation 9,
+//!   Table 11) — [`markov`];
+//! * performance-attack models including the Monte-Carlo `alpha`
+//!   (Section 7, Tables 9, 10) — [`perf_attack`];
+//! * the MINT / PrIDE tolerated-threshold comparison (Table 13) —
+//!   [`related`].
+//!
+//! # Examples
+//!
+//! ```
+//! use mopac_analysis::params::mopac_c_params;
+//!
+//! let p = mopac_c_params(500);
+//! assert_eq!(p.update_prob_denominator, 8); // p = 1/8
+//! assert_eq!(p.critical_updates, 22);
+//! assert_eq!(p.ath_star, 176);
+//! ```
+
+pub mod binomial;
+pub mod markov;
+pub mod moat;
+pub mod mttf;
+pub mod params;
+pub mod perf_attack;
+pub mod related;
+
+pub use params::{mopac_c_params, mopac_d_params, MopacParams};

@@ -1,0 +1,206 @@
+//! Markov-chain model for Non-Uniform Probability (NUP) sampling
+//! (Section 8.2, Equation 9, Table 11).
+//!
+//! With NUP, a row whose PRAC counter is still zero is sampled with
+//! probability `p/2`; once the counter is non-zero the probability rises
+//! to `p`. The number of updates `N` after `A` activations is then no
+//! longer binomial; we model the update count as a Markov chain whose
+//! state is the number of updates performed so far, step the chain `A`
+//! times, and read the cumulative distribution off the final state
+//! vector.
+//!
+//! With uniform edge probabilities the chain reduces exactly to the
+//! binomial model (the paper's sanity check, footnote 8) — our tests
+//! verify this equivalence.
+
+use crate::moat::moat_ath;
+use crate::mttf::FailureBudget;
+use crate::params::{mopac_d_params, MopacParams};
+
+/// Distribution of the number of counter updates after `a` activations
+/// when the first update happens with probability `p_first` and all
+/// subsequent updates with probability `p_rest`.
+///
+/// The returned vector `y` has `y[i] = P(N = i)` for `i < y.len() - 1`
+/// and the last element holds `P(N >= y.len() - 1)` (the lumped tail).
+///
+/// # Panics
+///
+/// Panics if either probability is outside `[0, 1]` or `max_states` is 0.
+#[must_use]
+pub fn update_count_distribution(
+    a: u64,
+    p_first: f64,
+    p_rest: f64,
+    max_states: usize,
+) -> Vec<f64> {
+    assert!((0.0..=1.0).contains(&p_first), "p_first {p_first} out of range");
+    assert!((0.0..=1.0).contains(&p_rest), "p_rest {p_rest} out of range");
+    assert!(max_states > 0, "need at least one state");
+    let n = max_states + 1; // last bucket lumps N >= max_states
+    let mut y = vec![0.0f64; n];
+    y[0] = 1.0;
+    let mut next = vec![0.0f64; n];
+    for _ in 0..a {
+        next[0] = y[0] * (1.0 - p_first);
+        for i in 1..n - 1 {
+            let p_in = if i == 1 { p_first } else { p_rest };
+            next[i] = y[i] * (1.0 - p_rest) + y[i - 1] * p_in;
+        }
+        // Lumped tail: absorbs transitions out of the last real state.
+        let p_in_tail = if n >= 2 {
+            if n - 2 == 0 { p_first } else { p_rest }
+        } else {
+            p_first
+        };
+        next[n - 1] = y[n - 1] + y[n - 2] * p_in_tail;
+        std::mem::swap(&mut y, &mut next);
+    }
+    y
+}
+
+/// The largest `C` such that `P(N <= C) < epsilon` under the NUP chain —
+/// the Markov-chain analogue of
+/// [`binomial::critical_updates`](crate::binomial::critical_updates)
+/// (Equation 9).
+///
+/// Returns 0 when even `P(N <= 0)` exceeds the budget (no secure
+/// configuration).
+///
+/// # Panics
+///
+/// Panics if probabilities are out of range or `epsilon` is not in
+/// `(0, 1)`.
+#[must_use]
+pub fn critical_updates_markov(a: u64, p_first: f64, p_rest: f64, epsilon: f64) -> u64 {
+    assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon {epsilon} out of range");
+    // The update count can reach `a`, so track every reachable state
+    // (bounded for sanity; MoPAC operates at C <= ~60 anyway).
+    let max_states = usize::try_from(a + 1).unwrap_or(usize::MAX).min(8192);
+    let y = update_count_distribution(a, p_first, p_rest, max_states);
+    let mut best = 0u64;
+    let mut cum = 0.0;
+    for c in 0..(y.len() - 1) as u64 {
+        cum += y[c as usize]; // cum = P(N <= c)
+        if cum < epsilon {
+            best = c;
+        } else {
+            break;
+        }
+    }
+    best
+}
+
+/// Derives the MoPAC-D + NUP parameter set (Table 11): same `p`, TTH and
+/// drain as uniform MoPAC-D, but `C` and `ATH*` from the NUP Markov chain
+/// with initial probability `p/2`.
+///
+/// Following Section 8.2 ("as we do ATH activations"), the chain is
+/// stepped `ATH` times — the NUP analysis does not apply the tardiness
+/// reduction `A' = ATH - TTH` (this reproduces Table 11 exactly; the
+/// halved first step already dominates the undercount budget through the
+/// `P(N = 0)` term).
+///
+/// # Panics
+///
+/// Panics if `t_rh <= 64`.
+///
+/// # Examples
+///
+/// ```
+/// use mopac_analysis::markov::nup_params;
+///
+/// assert_eq!(nup_params(500).ath_star, 136);
+/// assert_eq!(nup_params(1000).ath_star, 288);
+/// ```
+#[must_use]
+pub fn nup_params(t_rh: u64) -> MopacParams {
+    let base = mopac_d_params(t_rh);
+    let ath = moat_ath(t_rh);
+    let eps = FailureBudget::paper_default(t_rh).per_side_epsilon();
+    let p = base.p();
+    let c = critical_updates_markov(ath, p / 2.0, p, eps);
+    MopacParams {
+        critical_updates: c,
+        ath_star: c * u64::from(base.update_prob_denominator),
+        ..base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binomial;
+
+    /// Uniform edges: the Markov chain must reproduce the binomial tail
+    /// (the paper's footnote-8 sanity check).
+    #[test]
+    fn uniform_chain_equals_binomial() {
+        for (a, p) in [(440u64, 0.125), (187, 0.25), (942, 1.0 / 16.0)] {
+            let y = update_count_distribution(a, p, p, 256);
+            let mut cum = 0.0;
+            for c in 0..30u64 {
+                let tail = binomial::prob_fewer_than(a, p, c);
+                assert!(
+                    (cum - tail).abs() <= 1e-12 + tail * 1e-9,
+                    "a={a} p={p} c={c}: markov {cum:.3e} vs binom {tail:.3e}"
+                );
+                cum += y[c as usize];
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_critical_matches_binomial_search() {
+        for (a, p, eps) in [
+            (440u64, 0.125, 8.48e-9),
+            (187, 0.25, 5.99e-9),
+            (942, 1.0 / 16.0, 1.12e-8),
+        ] {
+            assert_eq!(
+                critical_updates_markov(a, p, p, eps),
+                binomial::critical_updates(a, p, eps),
+                "a={a} p={p}"
+            );
+        }
+    }
+
+    /// Paper Table 11: ATH* for MoPAC-D uniform vs NUP.
+    #[test]
+    fn table11() {
+        let rows = [(1000u64, 336u64, 288u64), (500, 152, 136), (250, 60, 56)];
+        for (t, uniform_want, nup_want) in rows {
+            assert_eq!(mopac_d_params(t).ath_star, uniform_want, "T={t} uniform");
+            assert_eq!(nup_params(t).ath_star, nup_want, "T={t} NUP");
+        }
+    }
+
+    #[test]
+    fn nup_ath_star_below_uniform() {
+        for t in [250u64, 500, 1000, 2000] {
+            assert!(
+                nup_params(t).ath_star <= mopac_d_params(t).ath_star,
+                "T={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn distribution_sums_to_one() {
+        let y = update_count_distribution(500, 0.0625, 0.125, 64);
+        let total: f64 = y.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "total {total}");
+    }
+
+    #[test]
+    fn halved_first_step_shifts_mass_down() {
+        let uniform = update_count_distribution(400, 0.125, 0.125, 128);
+        let nup = update_count_distribution(400, 0.0625, 0.125, 128);
+        // P(N = 0) is larger under NUP.
+        assert!(nup[0] > uniform[0]);
+        // Cumulative P(N < 20) larger under NUP (more undercounting).
+        let cu: f64 = uniform[..20].iter().sum();
+        let cn: f64 = nup[..20].iter().sum();
+        assert!(cn > cu);
+    }
+}

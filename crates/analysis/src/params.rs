@@ -1,0 +1,352 @@
+//! Derivation of MoPAC's key parameters: the update probability `p`, the
+//! critical number of counter updates `C`, and the revised ALERT threshold
+//! `ATH*` (Sections 5.3–5.4 and 6.4–6.5; Tables 7, 8 and 14).
+//!
+//! The pipeline for a threshold `T_RH` is:
+//!
+//! 1. `ATH` from the MOAT model ([`crate::moat::moat_ath`]);
+//! 2. `epsilon` from the MTTF budget ([`crate::mttf::FailureBudget`]);
+//! 3. `p = 1/2^k`, the smallest power-of-two probability that still keeps
+//!    the expected number of updates within `ATH` activations at or above
+//!    [`MIN_EXPECTED_UPDATES`] (this calibration reproduces the paper's
+//!    published `p` at every threshold from 125 to 4000: 1/2, 1/4, 1/8,
+//!    1/16, 1/32, 1/64);
+//! 4. `C`, the largest update count with undercount probability below
+//!    `epsilon` ([`crate::binomial::critical_updates`], Equation 2 — with
+//!    `A' = ATH - TTH` for MoPAC-D, Equation 8);
+//! 5. `ATH* = C / p` (Equation 7).
+
+use crate::binomial::critical_updates;
+use crate::moat::moat_ath;
+use crate::mttf::FailureBudget;
+
+/// Minimum expected number of counter updates within `ATH` activations
+/// when choosing `p`. Calibrated so the derived `p` matches the paper for
+/// every published threshold (see module docs).
+pub const MIN_EXPECTED_UPDATES: f64 = 45.0;
+
+/// MoPAC-D's default tardiness threshold `TTH` (Section 6.3).
+pub const DEFAULT_TTH: u32 = 32;
+
+/// MoPAC-D's default SRQ capacity in entries (Section 6.1).
+pub const DEFAULT_SRQ_ENTRIES: usize = 16;
+
+/// Row-Press damage factor: one 180 ns-open activation does ~1.5x the
+/// damage of a fast activation (Appendix A, from Luo et al.).
+pub const ROW_PRESS_DAMAGE: f64 = 1.5;
+
+/// Which MoPAC design a parameter set belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MopacDesign {
+    /// Memory-controller side (Section 5): coin flip at the MC, PREcu.
+    ControllerSide,
+    /// DRAM side (Section 6): MINT sampling into a per-bank SRQ, drained
+    /// by ABO / REF.
+    DramSide,
+}
+
+/// A fully derived MoPAC parameter set for one Rowhammer threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MopacParams {
+    /// Which design these parameters configure.
+    pub design: MopacDesign,
+    /// The Rowhammer threshold `T_RH` (double-sided).
+    pub t_rh: u64,
+    /// MOAT's ALERT threshold `ATH` for this `T_RH`.
+    pub ath: u64,
+    /// The activation budget used in the binomial: `ATH` for MoPAC-C,
+    /// `A' = ATH - TTH` for MoPAC-D.
+    pub a_effective: u64,
+    /// Denominator of the update probability: `p = 1 /` this value.
+    pub update_prob_denominator: u32,
+    /// Critical number of counter updates `C`.
+    pub critical_updates: u64,
+    /// Revised ALERT threshold `ATH* = C / p`.
+    pub ath_star: u64,
+    /// Tardiness threshold (MoPAC-D only; 0 for MoPAC-C).
+    pub tth: u32,
+    /// SRQ entries drained per REF (MoPAC-D only; 0 for MoPAC-C).
+    pub drain_on_ref: u32,
+}
+
+impl MopacParams {
+    /// The update probability as a float.
+    #[must_use]
+    pub fn p(&self) -> f64 {
+        1.0 / f64::from(self.update_prob_denominator)
+    }
+
+    /// The `ATH*` an attacker experiences between ABOs: the counter
+    /// triggers when it *exceeds* `ATH*`, i.e. after `C + 1` updates
+    /// (the convention of the paper's Tables 9 and 10).
+    #[must_use]
+    pub fn attack_ath_star(&self) -> u64 {
+        (self.critical_updates + 1) * u64::from(self.update_prob_denominator)
+    }
+}
+
+/// Chooses the update probability for an ALERT threshold `ath`: the
+/// smallest power-of-two `p` with `ath * p >= MIN_EXPECTED_UPDATES`.
+///
+/// Returns the *denominator* (so `4` means `p = 1/4`). Saturates at 1
+/// (i.e. plain PRAC, every activation updates) when even `p = 1/2` would
+/// leave too few expected updates.
+///
+/// # Examples
+///
+/// ```
+/// use mopac_analysis::params::choose_update_prob_denominator;
+///
+/// assert_eq!(choose_update_prob_denominator(472), 8); // T_RH = 500
+/// assert_eq!(choose_update_prob_denominator(219), 4); // T_RH = 250
+/// assert_eq!(choose_update_prob_denominator(975), 16); // T_RH = 1000
+/// ```
+#[must_use]
+pub fn choose_update_prob_denominator(ath: u64) -> u32 {
+    let max_ratio = ath as f64 / MIN_EXPECTED_UPDATES;
+    if max_ratio < 2.0 {
+        return 1;
+    }
+    1 << (max_ratio.log2().floor() as u32)
+}
+
+/// Derives MoPAC-C parameters (Table 7) for a Rowhammer threshold.
+///
+/// # Panics
+///
+/// Panics if `t_rh <= 64` (below the MOAT model's domain).
+///
+/// # Examples
+///
+/// ```
+/// use mopac_analysis::params::mopac_c_params;
+///
+/// let p = mopac_c_params(250);
+/// assert_eq!((p.update_prob_denominator, p.critical_updates, p.ath_star), (4, 20, 80));
+/// ```
+#[must_use]
+pub fn mopac_c_params(t_rh: u64) -> MopacParams {
+    let ath = moat_ath(t_rh);
+    derive(MopacDesign::ControllerSide, t_rh, ath, ath, 0, 0)
+}
+
+/// Derives MoPAC-D parameters (Table 8) for a Rowhammer threshold, using
+/// the default TTH of 32 and the default drain-on-REF sizing.
+///
+/// # Panics
+///
+/// Panics if `t_rh <= 64`.
+///
+/// # Examples
+///
+/// ```
+/// use mopac_analysis::params::mopac_d_params;
+///
+/// let p = mopac_d_params(500);
+/// assert_eq!(p.a_effective, 440); // A' = 472 - 32
+/// assert_eq!((p.critical_updates, p.ath_star, p.drain_on_ref), (19, 152, 2));
+/// ```
+#[must_use]
+pub fn mopac_d_params(t_rh: u64) -> MopacParams {
+    mopac_d_params_with_tth(t_rh, DEFAULT_TTH)
+}
+
+/// Derives MoPAC-D parameters with an explicit tardiness threshold.
+///
+/// # Panics
+///
+/// Panics if `t_rh <= 64` or if `TTH >= ATH`.
+#[must_use]
+pub fn mopac_d_params_with_tth(t_rh: u64, tth: u32) -> MopacParams {
+    let ath = moat_ath(t_rh);
+    assert!(
+        u64::from(tth) < ath,
+        "TTH {tth} must be below ATH {ath} for T_RH {t_rh}"
+    );
+    let a_eff = ath - u64::from(tth);
+    let denom = choose_update_prob_denominator(ath);
+    // Drain-on-REF sized to absorb the SRQ insertion rate of a 16-APRI
+    // workload (Table 8: 4 / 2 / 1 entries for p = 1/4, 1/8, 1/16).
+    let drain = (16 / denom).max(1);
+    let mut params = derive(MopacDesign::DramSide, t_rh, ath, a_eff, tth, drain);
+    params.update_prob_denominator = denom;
+    params
+}
+
+/// Derives Row-Press-hardened parameters (Appendix A, Table 14): the
+/// threshold budget is divided by [`ROW_PRESS_DAMAGE`] before the
+/// standard derivation.
+///
+/// # Panics
+///
+/// Panics if `t_rh <= 64`.
+///
+/// # Examples
+///
+/// ```
+/// use mopac_analysis::params::{row_press_params, MopacDesign};
+///
+/// let c = row_press_params(MopacDesign::ControllerSide, 500);
+/// assert_eq!(c.ath_star, 80);
+/// let d = row_press_params(MopacDesign::DramSide, 500);
+/// assert_eq!(d.ath_star, 64);
+/// ```
+#[must_use]
+pub fn row_press_params(design: MopacDesign, t_rh: u64) -> MopacParams {
+    // Ceiling, not floor: reproduces Table 14 (e.g. ATH 472 -> 315, so
+    // A' = 283 and C = 8 for MoPAC-D at T_RH = 500).
+    let ath = (moat_ath(t_rh) as f64 / ROW_PRESS_DAMAGE).ceil() as u64;
+    let base = match design {
+        MopacDesign::ControllerSide => mopac_c_params(t_rh),
+        MopacDesign::DramSide => mopac_d_params(t_rh),
+    };
+    let (a_eff, tth, drain) = match design {
+        MopacDesign::ControllerSide => (ath, 0, 0),
+        MopacDesign::DramSide => (
+            ath.saturating_sub(u64::from(base.tth)),
+            base.tth,
+            base.drain_on_ref,
+        ),
+    };
+    let eps = FailureBudget::paper_default(t_rh).per_side_epsilon();
+    let denom = base.update_prob_denominator;
+    let c = critical_updates(a_eff, 1.0 / f64::from(denom), eps);
+    MopacParams {
+        design,
+        t_rh,
+        ath,
+        a_effective: a_eff,
+        update_prob_denominator: denom,
+        critical_updates: c,
+        ath_star: c * u64::from(denom),
+        tth,
+        drain_on_ref: drain,
+    }
+}
+
+fn derive(
+    design: MopacDesign,
+    t_rh: u64,
+    ath: u64,
+    a_effective: u64,
+    tth: u32,
+    drain_on_ref: u32,
+) -> MopacParams {
+    let eps = FailureBudget::paper_default(t_rh).per_side_epsilon();
+    let denom = choose_update_prob_denominator(ath);
+    let c = critical_updates(a_effective, 1.0 / f64::from(denom), eps);
+    MopacParams {
+        design,
+        t_rh,
+        ath,
+        a_effective,
+        update_prob_denominator: denom,
+        critical_updates: c,
+        ath_star: c * u64::from(denom),
+        tth,
+        drain_on_ref,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Paper Table 7 (MoPAC-C), all three rows exactly.
+    #[test]
+    fn table7() {
+        let rows = [
+            (250u64, 219u64, 4u32, 20u64, 80u64),
+            (500, 472, 8, 22, 176),
+            (1000, 975, 16, 23, 368),
+        ];
+        for (t, ath, denom, c, ath_star) in rows {
+            let p = mopac_c_params(t);
+            assert_eq!(p.ath, ath, "T={t} ATH");
+            assert_eq!(p.update_prob_denominator, denom, "T={t} p");
+            assert_eq!(p.critical_updates, c, "T={t} C");
+            assert_eq!(p.ath_star, ath_star, "T={t} ATH*");
+        }
+    }
+
+    /// Paper Table 8 (MoPAC-D), all three rows exactly.
+    ///
+    /// The paper prints A' = 942 at T_RH = 1000, but ATH - TTH is
+    /// 975 - 32 = 943 (an arithmetic slip in the paper; C = 21 either
+    /// way).
+    #[test]
+    fn table8() {
+        let rows = [
+            (250u64, 219u64, 187u64, 4u32, 15u64, 60u64, 4u32),
+            (500, 472, 440, 8, 19, 152, 2),
+            (1000, 975, 943, 16, 21, 336, 1),
+        ];
+        for (t, ath, a_eff, denom, c, ath_star, drain) in rows {
+            let p = mopac_d_params(t);
+            assert_eq!(p.ath, ath, "T={t} ATH");
+            assert_eq!(p.a_effective, a_eff, "T={t} A'");
+            assert_eq!(p.update_prob_denominator, denom, "T={t} p");
+            assert_eq!(p.critical_updates, c, "T={t} C");
+            assert_eq!(p.ath_star, ath_star, "T={t} ATH*");
+            assert_eq!(p.drain_on_ref, drain, "T={t} drain");
+        }
+    }
+
+    /// Introduction: p = 1/64, 1/32, 1/16, 1/8, 1/4 for T_RH = 4K, 2K,
+    /// 1K, 500, 250 (and 1/2 at the long-term 125).
+    #[test]
+    fn published_p_across_thresholds() {
+        let expect = [
+            (4000u64, 64u32),
+            (2000, 32),
+            (1000, 16),
+            (500, 8),
+            (250, 4),
+            (125, 2),
+        ];
+        for (t, denom) in expect {
+            assert_eq!(
+                mopac_c_params(t).update_prob_denominator,
+                denom,
+                "T_RH = {t}"
+            );
+        }
+    }
+
+    /// Paper Table 14 (Row-Press), both designs at 500 and 1000.
+    #[test]
+    fn table14_row_press() {
+        assert_eq!(row_press_params(MopacDesign::ControllerSide, 500).ath_star, 80);
+        assert_eq!(row_press_params(MopacDesign::ControllerSide, 1000).ath_star, 160);
+        assert_eq!(row_press_params(MopacDesign::DramSide, 500).ath_star, 64);
+        assert_eq!(row_press_params(MopacDesign::DramSide, 1000).ath_star, 144);
+    }
+
+    /// Section 7 convention: attack ATH* = (C+1)/p (Tables 9 and 10).
+    #[test]
+    fn attack_ath_star_convention() {
+        assert_eq!(mopac_c_params(250).attack_ath_star(), 84);
+        assert_eq!(mopac_c_params(500).attack_ath_star(), 184);
+        assert_eq!(mopac_c_params(1000).attack_ath_star(), 384);
+        assert_eq!(mopac_d_params(250).attack_ath_star(), 64);
+        assert_eq!(mopac_d_params(500).attack_ath_star(), 160);
+        assert_eq!(mopac_d_params(1000).attack_ath_star(), 352);
+    }
+
+    #[test]
+    fn ath_star_never_exceeds_ath() {
+        for t in [125u64, 250, 500, 1000, 2000, 4000] {
+            let c = mopac_c_params(t);
+            assert!(c.ath_star <= c.ath, "T={t}: {} > {}", c.ath_star, c.ath);
+            let d = mopac_d_params(t);
+            assert!(d.ath_star <= d.ath, "T={t}");
+        }
+    }
+
+    #[test]
+    fn update_prob_saturates_at_one() {
+        assert_eq!(choose_update_prob_denominator(50), 1);
+        assert_eq!(choose_update_prob_denominator(89), 1);
+        assert_eq!(choose_update_prob_denominator(90), 2);
+    }
+}

@@ -1,0 +1,163 @@
+//! Comparison with low-cost in-DRAM trackers: MINT and PrIDE
+//! (Section 9.2, Table 13).
+//!
+//! MINT and PrIDE mitigate one *aggressor* row per mitigation
+//! opportunity, which costs a blast-radius worth of victim refreshes
+//! (~240 ns for 4 victims), whereas MoPAC-D spends its borrowed time on
+//! *counter updates* (~60 ns each). For a fixed time budget reserved per
+//! REF, the paper compares the Rowhammer threshold each scheme tolerates.
+//!
+//! For MINT we use the escape-probability model: with one aggressor
+//! mitigated per window of `W` activations and per-activation selection
+//! probability `1/W`, an attacker that spreads its `T` activations
+//! thinly escapes selection with probability at most
+//! `exp(-T / W)`; the tolerated threshold solves
+//! `exp(-T / W) = epsilon(T)` (a fixed point, since the budget epsilon
+//! itself grows with `T`). This lands within ~4% of MINT's published
+//! values. PrIDE's published threshold is a constant factor above MINT's
+//! (1975 / 1491 at one mitigation per REF); we apply that documented
+//! factor.
+
+use crate::mttf::FailureBudget;
+use crate::params::mopac_d_params;
+use mopac_types::jedec::TimingNs;
+
+/// Time to refresh one victim row (ns); a blast-radius-2 aggressor
+/// mitigation refreshes four victims (~240 ns), a counter update costs
+/// one row activation (~60 ns).
+pub const VICTIM_REFRESH_NS: f64 = 60.0;
+
+/// PrIDE's tolerated threshold relative to MINT's, from the two papers'
+/// published values at one mitigation per REF (1975 / 1491).
+pub const PRIDE_OVER_MINT: f64 = 1975.0 / 1491.0;
+
+/// Tolerated Rowhammer threshold for a MINT-style sampler given
+/// `mitigation_ns_per_ref` nanoseconds reserved for mitigation at every
+/// REF (Table 13's left column: 240 / 120 / 60 ns).
+///
+/// # Panics
+///
+/// Panics if `mitigation_ns_per_ref` is not positive.
+#[must_use]
+pub fn mint_tolerated_trh(mitigation_ns_per_ref: f64) -> u64 {
+    assert!(mitigation_ns_per_ref > 0.0, "need positive mitigation time");
+    let t = TimingNs::ddr5_base();
+    // One aggressor mitigation costs 4 victim refreshes (240 ns); with
+    // less time per REF, mitigations happen every k REFs.
+    let refs_per_mitigation = (4.0 * VICTIM_REFRESH_NS / mitigation_ns_per_ref).max(1.0);
+    // Window between mitigations, in activations.
+    let w = refs_per_mitigation * t.t_refi / t.t_rc;
+    // Fixed point: T = W * ln(1 / epsilon(T)).
+    let mut t_tol = w * 18.0; // initial guess, ln(1/eps) ~ 18 in this regime
+    for _ in 0..20 {
+        let eps = FailureBudget::paper_default(t_tol.max(1.0) as u64).per_side_epsilon();
+        t_tol = w * (1.0 / eps).ln();
+    }
+    t_tol.round() as u64
+}
+
+/// Tolerated Rowhammer threshold for PrIDE under the same budget.
+///
+/// # Panics
+///
+/// Panics if `mitigation_ns_per_ref` is not positive.
+#[must_use]
+pub fn pride_tolerated_trh(mitigation_ns_per_ref: f64) -> u64 {
+    (mint_tolerated_trh(mitigation_ns_per_ref) as f64 * PRIDE_OVER_MINT).round() as u64
+}
+
+/// Tolerated Rowhammer threshold for MoPAC-D: the time budget per REF
+/// determines how many SRQ entries can drain at each REF (one counter
+/// update per [`VICTIM_REFRESH_NS`]), and Table 8's drain requirement
+/// maps that to a threshold (240 ns -> drain 4 -> T_RH 250;
+/// 120 -> 2 -> 500; 60 -> 1 -> 1000).
+///
+/// # Panics
+///
+/// Panics if `mitigation_ns_per_ref` is below one counter update (60 ns).
+#[must_use]
+pub fn mopac_d_tolerated_trh(mitigation_ns_per_ref: f64) -> u64 {
+    let drains = (mitigation_ns_per_ref / VICTIM_REFRESH_NS).floor() as u32;
+    assert!(drains >= 1, "budget below one counter update per REF");
+    // Find the lowest threshold whose default drain-on-REF fits the
+    // budget. Thresholds are searched on the paper's grid.
+    for t in [125u64, 250, 500, 1000, 2000, 4000] {
+        if mopac_d_params(t).drain_on_ref <= drains {
+            return t;
+        }
+    }
+    4000
+}
+
+/// One row of Table 13.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Table13Row {
+    /// Mitigation time reserved per REF, in nanoseconds.
+    pub mitigation_ns_per_ref: u64,
+    /// Threshold tolerated by MoPAC-D.
+    pub mopac_d: u64,
+    /// Threshold tolerated by MINT.
+    pub mint: u64,
+    /// Threshold tolerated by PrIDE.
+    pub pride: u64,
+}
+
+/// Computes all three rows of Table 13 (240 / 120 / 60 ns per REF).
+#[must_use]
+pub fn table13_rows() -> Vec<Table13Row> {
+    [240.0, 120.0, 60.0]
+        .into_iter()
+        .map(|ns| Table13Row {
+            mitigation_ns_per_ref: ns as u64,
+            mopac_d: mopac_d_tolerated_trh(ns),
+            mint: mint_tolerated_trh(ns),
+            pride: pride_tolerated_trh(ns),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Paper Table 13: MINT within 5%, PrIDE within 5%, MoPAC-D exact.
+    #[test]
+    fn table13() {
+        let rows = table13_rows();
+        let paper = [
+            (240u64, 250u64, 1491u64, 1975u64),
+            (120, 500, 2920, 3808),
+            (60, 1000, 5725, 7474),
+        ];
+        for (row, (ns, mopac, mint, pride)) in rows.iter().zip(paper) {
+            assert_eq!(row.mitigation_ns_per_ref, ns);
+            assert_eq!(row.mopac_d, mopac, "{ns}ns MoPAC-D");
+            let mint_rel = (row.mint as f64 - mint as f64).abs() / mint as f64;
+            assert!(mint_rel < 0.05, "{ns}ns MINT: got {}, paper {mint}", row.mint);
+            let pride_rel = (row.pride as f64 - pride as f64).abs() / pride as f64;
+            assert!(
+                pride_rel < 0.05,
+                "{ns}ns PrIDE: got {}, paper {pride}",
+                row.pride
+            );
+        }
+    }
+
+    /// The headline claim: MoPAC-D tolerates ~6x lower thresholds than
+    /// MINT and ~8x lower than PrIDE at equal time budget.
+    #[test]
+    fn headline_ratios() {
+        for ns in [240.0, 120.0, 60.0] {
+            let ratio_mint = mint_tolerated_trh(ns) as f64 / mopac_d_tolerated_trh(ns) as f64;
+            let ratio_pride = pride_tolerated_trh(ns) as f64 / mopac_d_tolerated_trh(ns) as f64;
+            assert!((5.0..7.0).contains(&ratio_mint), "{ns}: MINT ratio {ratio_mint}");
+            assert!((7.0..9.0).contains(&ratio_pride), "{ns}: PrIDE ratio {ratio_pride}");
+        }
+    }
+
+    #[test]
+    fn more_time_tolerates_lower_threshold() {
+        assert!(mint_tolerated_trh(240.0) < mint_tolerated_trh(120.0));
+        assert!(mopac_d_tolerated_trh(240.0) < mopac_d_tolerated_trh(60.0));
+    }
+}

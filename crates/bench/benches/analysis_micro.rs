@@ -1,0 +1,33 @@
+//! Criterion micro-benchmarks for the security-analysis math.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mopac_analysis::binomial::{critical_updates, prob_fewer_than};
+use mopac_analysis::markov::update_count_distribution;
+use mopac_analysis::params::{mopac_c_params, mopac_d_params};
+
+fn bench_binomial(c: &mut Criterion) {
+    c.bench_function("binomial_tail_a472_c23", |b| {
+        b.iter(|| prob_fewer_than(std::hint::black_box(472), 0.125, 23))
+    });
+    c.bench_function("critical_updates_search_t500", |b| {
+        b.iter(|| critical_updates(std::hint::black_box(472), 0.125, 8.48e-9))
+    });
+}
+
+fn bench_markov(c: &mut Criterion) {
+    c.bench_function("markov_nup_chain_a975", |b| {
+        b.iter(|| update_count_distribution(std::hint::black_box(975), 1.0 / 32.0, 1.0 / 16.0, 256))
+    });
+}
+
+fn bench_param_derivation(c: &mut Criterion) {
+    c.bench_function("mopac_c_params_t500", |b| {
+        b.iter(|| mopac_c_params(std::hint::black_box(500)))
+    });
+    c.bench_function("mopac_d_params_t500", |b| {
+        b.iter(|| mopac_d_params(std::hint::black_box(500)))
+    });
+}
+
+criterion_group!(benches, bench_binomial, bench_markov, bench_param_derivation);
+criterion_main!(benches);

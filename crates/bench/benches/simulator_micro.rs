@@ -1,0 +1,72 @@
+//! Criterion micro-benchmarks for the simulator substrates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mopac::bank::BankMitigation;
+use mopac::config::MitigationConfig;
+use mopac::mint::MintSampler;
+use mopac_cpu::llc::Llc;
+use mopac_types::addr::PhysAddr;
+use mopac_types::rng::DetRng;
+
+fn bench_mint(c: &mut Criterion) {
+    c.bench_function("mint_sampler_1k_acts", |b| {
+        let mut s = MintSampler::new(8, DetRng::from_seed(1));
+        b.iter(|| {
+            let mut hits = 0;
+            for i in 0..1000u32 {
+                if s.on_activate(i).is_some() {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+}
+
+fn bench_bank_mitigation(c: &mut Criterion) {
+    c.bench_function("mopac_d_bank_1k_acts", |b| {
+        let cfg = MitigationConfig::mopac_d(500);
+        let mut bank = BankMitigation::new(&cfg, 64 * 1024, DetRng::from_seed(2));
+        let mut row = 0u32;
+        b.iter(|| {
+            for _ in 0..1000 {
+                bank.on_activate(row, 0.0);
+                row = (row + 1) % 65536;
+                if bank.alert_cause().is_some() {
+                    bank.service_abo();
+                }
+            }
+        })
+    });
+    c.bench_function("prac_bank_1k_act_pre", |b| {
+        let cfg = MitigationConfig::prac(500);
+        let mut bank = BankMitigation::new(&cfg, 64 * 1024, DetRng::from_seed(3));
+        let mut row = 0u32;
+        b.iter(|| {
+            for _ in 0..1000 {
+                bank.on_activate(row, 0.0);
+                bank.on_precharge(row, true, 40.0);
+                row = (row + 1) % 65536;
+                if bank.alert_cause().is_some() {
+                    bank.service_abo();
+                }
+            }
+        })
+    });
+}
+
+fn bench_llc(c: &mut Criterion) {
+    c.bench_function("llc_streaming_1k", |b| {
+        let mut llc = Llc::paper_default();
+        let mut a = 0u64;
+        b.iter(|| {
+            for _ in 0..1000 {
+                llc.access(PhysAddr::new(a), false);
+                a = a.wrapping_add(64);
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_mint, bench_bank_mitigation, bench_llc);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Runs the full experiment suite — every table and figure — by
+//! invoking the sibling experiment binaries in order. CSVs land in
+//! `EXPERIMENTS-data/`.
+//!
+//! Budget knobs: `MOPAC_INSTRS` (per-core instructions, default 250k),
+//! `MOPAC_ATTACK_CYCLES`, `MOPAC_WORKLOADS` (comma list to restrict the
+//! sweeps).
+
+use std::process::Command;
+use std::time::Instant;
+
+/// Experiment binaries in presentation order: analytical first
+/// (seconds), then simulations (minutes).
+const EXPERIMENTS: &[&str] = &[
+    "table1_timings",
+    "table2_moat_ath",
+    "fig4_conflict_latency",
+    "table5_epsilon",
+    "table6_pe1",
+    "table7_mopac_c_params",
+    "table8_mopac_d_params",
+    "table11_nup_params",
+    "table13_related",
+    "table14_rowpress_params",
+    "alpha_monte_carlo",
+    "table9_attack_mopac_c",
+    "table10_attack_mopac_d",
+    "table4_workloads",
+    "fig2_prac_slowdown",
+    "fig9_mopac_c",
+    "fig11_mopac_d",
+    "fig12_drain_sensitivity",
+    "fig13_srq_sensitivity",
+    "fig17_nup",
+    "table12_srq_insertions",
+    "fig18_rowpress",
+    "fig19_chips",
+    "table15_closure",
+    "fig1d_headline",
+];
+
+fn main() {
+    let me = std::env::current_exe().expect("own path");
+    let dir = me.parent().expect("bin dir").to_path_buf();
+    let started = Instant::now();
+    let mut failures = Vec::new();
+    for name in EXPERIMENTS {
+        let exe = dir.join(name);
+        if !exe.exists() {
+            eprintln!("!! {name}: binary not found at {}", exe.display());
+            failures.push(*name);
+            continue;
+        }
+        println!("\n########## {name} ##########");
+        let t0 = Instant::now();
+        match Command::new(&exe).status() {
+            Ok(st) if st.success() => {
+                println!("({name} finished in {:.1}s)", t0.elapsed().as_secs_f32());
+            }
+            Ok(st) => {
+                eprintln!("!! {name} exited with {st}");
+                failures.push(*name);
+            }
+            Err(e) => {
+                eprintln!("!! {name} failed to launch: {e}");
+                failures.push(*name);
+            }
+        }
+    }
+    println!(
+        "\n== run_all complete in {:.1} min; {} experiments, {} failures ==",
+        started.elapsed().as_secs_f32() / 60.0,
+        EXPERIMENTS.len(),
+        failures.len()
+    );
+    if !failures.is_empty() {
+        eprintln!("failed: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,278 @@
+//! Shared infrastructure for the experiment harness.
+//!
+//! Every table and figure of the paper has a binary in `src/bin/` that
+//! prints a paper-vs-measured comparison and appends a CSV file under
+//! `EXPERIMENTS-data/`. This library provides the report formatting,
+//! CSV output, and budget knobs they share.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+/// Per-core instruction budget for simulation experiments, overridable
+/// with `MOPAC_INSTRS` (the paper uses 100 M; defaults here are sized
+/// for a laptop-minutes run as in the artifact's "most evaluations can
+/// be done on a laptop").
+#[must_use]
+pub fn instr_budget() -> u64 {
+    std::env::var("MOPAC_INSTRS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(250_000)
+}
+
+/// Attack-run cycle budget, overridable with `MOPAC_ATTACK_CYCLES`.
+#[must_use]
+pub fn attack_cycle_budget() -> u64 {
+    std::env::var("MOPAC_ATTACK_CYCLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_500_000)
+}
+
+/// Workload subset for quick runs: `MOPAC_WORKLOADS=xz,parest` restricts
+/// sweeps; default is all 23.
+#[must_use]
+pub fn workload_filter() -> Option<Vec<String>> {
+    std::env::var("MOPAC_WORKLOADS")
+        .ok()
+        .map(|v| v.split(',').map(|s| s.trim().to_string()).collect())
+}
+
+/// A table being accumulated for printing and CSV export.
+#[derive(Debug, Clone)]
+pub struct Report {
+    experiment: String,
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    /// Starts a report for experiment id `experiment` (e.g. `"table7"`)
+    /// with a human title.
+    #[must_use]
+    pub fn new(experiment: &str, title: &str, headers: &[&str]) -> Self {
+        Self {
+            experiment: experiment.to_string(),
+            title: title.to_string(),
+            headers: headers.iter().map(|s| (*s).to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column count does not match the headers.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Appends a row of displayable values.
+    pub fn row_display(&mut self, cells: &[&dyn std::fmt::Display]) {
+        let cells: Vec<String> = cells.iter().map(ToString::to_string).collect();
+        self.row(&cells);
+    }
+
+    /// Renders the report as an aligned text table.
+    #[must_use]
+    pub fn to_table(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.experiment, self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths));
+        let _ = writeln!(
+            out,
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Prints the table to stdout and writes
+    /// `EXPERIMENTS-data/<experiment>.csv`.
+    pub fn emit(&self) {
+        println!("{}", self.to_table());
+        if let Err(e) = self.write_csv() {
+            eprintln!("warning: could not write CSV: {e}");
+        }
+    }
+
+    /// Writes the CSV file; returns the path written.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the directory or file cannot be written.
+    pub fn write_csv(&self) -> std::io::Result<PathBuf> {
+        let dir = data_dir();
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.csv", self.experiment));
+        let mut csv = String::new();
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let _ = writeln!(
+            csv,
+            "{}",
+            self.headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                csv,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        fs::write(&path, csv)?;
+        Ok(path)
+    }
+}
+
+/// Directory for CSV outputs (workspace-root `EXPERIMENTS-data/`, or
+/// `MOPAC_DATA_DIR`).
+#[must_use]
+pub fn data_dir() -> PathBuf {
+    std::env::var("MOPAC_DATA_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| {
+            // Walk up from the cwd to find the workspace root.
+            let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            for _ in 0..4 {
+                if dir.join("Cargo.toml").exists() {
+                    break;
+                }
+                if let Some(parent) = dir.parent() {
+                    dir = parent.to_path_buf();
+                } else {
+                    break;
+                }
+            }
+            dir.join("EXPERIMENTS-data")
+        })
+}
+
+/// Runs every paper workload (or the `MOPAC_WORKLOADS` subset) under the
+/// baseline and each named mitigation config, and builds a slowdown
+/// matrix report with a final mean row.
+#[must_use]
+pub fn slowdown_matrix(
+    experiment: &str,
+    title: &str,
+    configs: &[(String, mopac::config::MitigationConfig)],
+) -> Report {
+    use mopac_sim::experiment::run_workload;
+    let instrs = instr_budget();
+    let names: Vec<String> = workload_filter().unwrap_or_else(|| {
+        mopac_workloads::spec::all_names()
+            .iter()
+            .map(|s| (*s).to_string())
+            .collect()
+    });
+    let mut headers: Vec<&str> = vec!["workload"];
+    for (label, _) in configs {
+        headers.push(label.as_str());
+    }
+    let mut r = Report::new(experiment, title, &headers);
+    let mut sums = vec![0.0f64; configs.len()];
+    for name in &names {
+        let base = run_workload(name, mopac::config::MitigationConfig::baseline(), instrs);
+        let mut cells = vec![name.clone()];
+        for (i, (_, cfg)) in configs.iter().enumerate() {
+            let run = run_workload(name, *cfg, instrs);
+            let s = run.slowdown_vs(&base);
+            sums[i] += s;
+            cells.push(pct(s));
+        }
+        r.row(&cells);
+        eprintln!("  done {name}");
+    }
+    let mut mean = vec!["mean".to_string()];
+    for s in &sums {
+        mean.push(pct(s / names.len() as f64));
+    }
+    r.row(&mean);
+    r
+}
+
+/// Formats a fraction as a percentage with one decimal.
+#[must_use]
+pub fn pct(frac: f64) -> String {
+    format!("{:.1}%", frac * 100.0)
+}
+
+/// Formats a float in scientific notation with two decimals.
+#[must_use]
+pub fn sci(v: f64) -> String {
+    format!("{v:.2e}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut r = Report::new("t", "demo", &["a", "bbbb"]);
+        r.row(&["1".into(), "2".into()]);
+        let s = r.to_table();
+        assert!(s.contains("a  bbbb"));
+        assert!(s.contains("1     2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "column count")]
+    fn row_width_checked() {
+        let mut r = Report::new("t", "demo", &["a"]);
+        r.row(&["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut r = Report::new("unit_csv_test", "demo", &["a,b"]);
+        r.row(&["x\"y".into()]);
+        let dir = std::env::temp_dir().join("mopac-csv-test");
+        std::env::set_var("MOPAC_DATA_DIR", &dir);
+        let path = r.write_csv().unwrap();
+        let content = std::fs::read_to_string(path).unwrap();
+        assert!(content.contains("\"a,b\""));
+        assert!(content.contains("\"x\"\"y\""));
+        std::env::remove_var("MOPAC_DATA_DIR");
+    }
+
+    #[test]
+    fn pct_and_sci_format() {
+        assert_eq!(pct(0.018), "1.8%");
+        assert_eq!(sci(8.48e-9), "8.48e-9");
+    }
+}

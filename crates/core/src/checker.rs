@@ -1,0 +1,258 @@
+//! The Rowhammer security oracle.
+//!
+//! Per the paper's threat model (Section 2.1): *"We declare an attack to
+//! be successful when any row receives more than the threshold number of
+//! activations without any intervening mitigation or refresh."*
+//!
+//! We make the oracle rigorous by tracking, for every row `R`, the
+//! damage it has inflicted on each adjacent victim separately:
+//!
+//! * `up[R]` — activations of `R` since the row above (`R+1`) was last
+//!   refreshed;
+//! * `dn[R]` — activations of `R` since the row below (`R-1`) was last
+//!   refreshed.
+//!
+//! A violation is recorded when either counter exceeds `T_RH`. Refreshing
+//! a row `V` (periodic REF or a victim refresh during mitigation) resets
+//! `up[V-1]` and `dn[V+1]`, because `V`'s accumulated disturbance is
+//! restored. This oracle is independent of the mitigation engines — it
+//! observes the same event stream and cross-checks them.
+
+use std::ops::Range;
+
+/// A recorded security violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Violation {
+    /// The aggressor row.
+    pub row: u32,
+    /// The victim row whose budget was exceeded.
+    pub victim: u32,
+    /// The activation count reached.
+    pub count: u32,
+}
+
+/// Security oracle for one bank.
+///
+/// # Examples
+///
+/// ```
+/// use mopac::checker::RowhammerChecker;
+///
+/// let mut ck = RowhammerChecker::new(64, 10);
+/// for _ in 0..10 {
+///     ck.on_activate(5);
+/// }
+/// assert_eq!(ck.violations(), 0);
+/// ck.on_activate(5); // 11th activation without any refresh
+/// assert_eq!(ck.violations(), 2); // both neighbours of row 5 overexposed
+/// ```
+#[derive(Debug, Clone)]
+pub struct RowhammerChecker {
+    t_rh: u32,
+    up: Box<[u32]>,
+    dn: Box<[u32]>,
+    violations: u64,
+    first_violations: Vec<Violation>,
+}
+
+/// How many distinct violation records to keep for diagnostics.
+const MAX_RECORDED: usize = 16;
+
+impl RowhammerChecker {
+    /// Creates a checker for a bank with `rows` rows and threshold
+    /// `t_rh`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `t_rh` is zero.
+    #[must_use]
+    pub fn new(rows: u32, t_rh: u32) -> Self {
+        assert!(rows > 0 && t_rh > 0, "rows and threshold must be positive");
+        Self {
+            t_rh,
+            up: vec![0; rows as usize].into_boxed_slice(),
+            dn: vec![0; rows as usize].into_boxed_slice(),
+            violations: 0,
+            first_violations: Vec::new(),
+        }
+    }
+
+    /// The threshold being enforced.
+    #[must_use]
+    pub fn t_rh(&self) -> u32 {
+        self.t_rh
+    }
+
+    /// Records an activation of `row` (including victim-refresh
+    /// activations, which disturb *their* neighbours too).
+    pub fn on_activate(&mut self, row: u32) {
+        let i = row as usize;
+        self.up[i] += 1;
+        self.dn[i] += 1;
+        if self.up[i] > self.t_rh {
+            self.record(row, row + 1, self.up[i]);
+        }
+        if self.dn[i] > self.t_rh && row > 0 {
+            self.record(row, row - 1, self.dn[i]);
+        }
+    }
+
+    /// Records that `row` itself was refreshed (periodic REF or victim
+    /// refresh): its accumulated disturbance is restored, so its
+    /// neighbours' budgets toward it reset.
+    pub fn on_refresh_row(&mut self, row: u32) {
+        if row > 0 {
+            self.up[row as usize - 1] = 0;
+        }
+        if (row as usize) + 1 < self.dn.len() {
+            self.dn[row as usize + 1] = 0;
+        }
+    }
+
+    /// Records a periodic REF covering `rows`.
+    pub fn on_refresh_range(&mut self, rows: Range<u32>) {
+        for r in rows {
+            self.on_refresh_row(r);
+        }
+    }
+
+    /// Records a mitigation of aggressor `row` with the given blast
+    /// radius: victims on both sides are refreshed. The victim-refresh
+    /// activations themselves are counted as activations of the victims.
+    pub fn on_mitigate(&mut self, row: u32, blast_radius: u32) {
+        for d in 1..=blast_radius {
+            if row >= d {
+                let v = row - d;
+                self.on_refresh_row(v);
+                self.on_activate(v);
+            }
+            let v = row + d;
+            if (v as usize) < self.up.len() {
+                self.on_refresh_row(v);
+                self.on_activate(v);
+            }
+        }
+    }
+
+    /// Number of violation events recorded so far.
+    #[must_use]
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    /// The first few distinct violations, for diagnostics.
+    #[must_use]
+    pub fn violation_records(&self) -> &[Violation] {
+        &self.first_violations
+    }
+
+    /// The maximum per-victim exposure currently accumulated anywhere in
+    /// the bank.
+    #[must_use]
+    pub fn max_exposure(&self) -> u32 {
+        self.up
+            .iter()
+            .chain(self.dn.iter())
+            .copied()
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn record(&mut self, row: u32, victim: u32, count: u32) {
+        self.violations += 1;
+        if self.first_violations.len() < MAX_RECORDED {
+            self.first_violations.push(Violation { row, victim, count });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_violation_at_threshold() {
+        let mut ck = RowhammerChecker::new(16, 100);
+        for _ in 0..100 {
+            ck.on_activate(8);
+        }
+        assert_eq!(ck.violations(), 0);
+        assert_eq!(ck.max_exposure(), 100);
+    }
+
+    #[test]
+    fn violation_past_threshold() {
+        let mut ck = RowhammerChecker::new(16, 100);
+        for _ in 0..101 {
+            ck.on_activate(8);
+        }
+        assert_eq!(ck.violations(), 2);
+        let v = ck.violation_records()[0];
+        assert_eq!((v.row, v.count), (8, 101));
+    }
+
+    #[test]
+    fn mitigation_resets_exposure() {
+        let mut ck = RowhammerChecker::new(16, 100);
+        for _ in 0..100 {
+            ck.on_activate(8);
+        }
+        ck.on_mitigate(8, 2);
+        for _ in 0..100 {
+            ck.on_activate(8);
+        }
+        assert_eq!(ck.violations(), 0);
+    }
+
+    #[test]
+    fn one_sided_refresh_resets_only_that_side() {
+        let mut ck = RowhammerChecker::new(16, 100);
+        for _ in 0..60 {
+            ck.on_activate(8);
+        }
+        // Refresh only the upper victim (row 9).
+        ck.on_refresh_row(9);
+        for _ in 0..60 {
+            ck.on_activate(8);
+        }
+        // Lower victim (row 7) accumulated 120 > 100; upper only 60.
+        assert!(ck.violations() > 0);
+        assert!(ck
+            .violation_records()
+            .iter()
+            .all(|v| v.victim == 7), "{:?}", ck.violation_records());
+    }
+
+    #[test]
+    fn periodic_refresh_range() {
+        let mut ck = RowhammerChecker::new(16, 100);
+        for _ in 0..90 {
+            ck.on_activate(8);
+        }
+        ck.on_refresh_range(0..16);
+        for _ in 0..90 {
+            ck.on_activate(8);
+        }
+        assert_eq!(ck.violations(), 0);
+    }
+
+    #[test]
+    fn victim_refresh_counts_as_activation_of_victim() {
+        let mut ck = RowhammerChecker::new(16, 100);
+        // Mitigating row 8 activates rows 6, 7, 9, 10 once each.
+        ck.on_mitigate(8, 2);
+        assert_eq!(ck.max_exposure(), 1);
+    }
+
+    #[test]
+    fn edge_rows_do_not_panic() {
+        let mut ck = RowhammerChecker::new(4, 5);
+        for _ in 0..10 {
+            ck.on_activate(0);
+            ck.on_activate(3);
+        }
+        ck.on_mitigate(0, 2);
+        ck.on_mitigate(3, 2);
+        assert!(ck.violations() > 0);
+    }
+}

@@ -1,0 +1,329 @@
+//! Mitigation configuration presets.
+//!
+//! A [`MitigationConfig`] fully determines the behaviour of a bank's
+//! mitigation engine and which DRAM timing set the memory controller
+//! must use. Presets derive their parameters (`p`, `ATH*`, drain rates)
+//! from `mopac-analysis` so that a config built from just a Rowhammer
+//! threshold is secure by construction.
+
+use mopac_analysis::markov::nup_params;
+use mopac_analysis::moat::{moat_ath, moat_eth};
+use mopac_analysis::params::{
+    mopac_c_params, mopac_d_params, row_press_params, MopacDesign, DEFAULT_SRQ_ENTRIES,
+};
+
+/// Which Rowhammer mitigation the system runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MitigationKind {
+    /// No mitigation and base DDR5 timings (the performance baseline).
+    None,
+    /// PRAC + ABO with the MOAT tracker: every activation pays the PRAC
+    /// timing overhead (counter update on every precharge).
+    Prac,
+    /// MoPAC-C: the memory controller flips a coin per activation and
+    /// closes selected rows with the long-latency `PREcu`.
+    MopacC,
+    /// MoPAC-D: in-DRAM MINT sampling into a per-bank SRQ, drained by
+    /// ABO and REF; the memory controller always uses base timings.
+    MopacD,
+}
+
+impl MitigationKind {
+    /// Whether this design pays PRAC timings on *every* precharge.
+    #[must_use]
+    pub fn always_prac_timings(self) -> bool {
+        matches!(self, Self::Prac)
+    }
+}
+
+impl std::fmt::Display for MitigationKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Self::None => "baseline",
+            Self::Prac => "PRAC",
+            Self::MopacC => "MoPAC-C",
+            Self::MopacD => "MoPAC-D",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Full configuration of the mitigation engine for one experiment.
+///
+/// Construct via the presets ([`MitigationConfig::prac`],
+/// [`MitigationConfig::mopac_c`], [`MitigationConfig::mopac_d`],
+/// [`MitigationConfig::mopac_d_nup`]) and customize with the `with_*`
+/// methods.
+///
+/// # Examples
+///
+/// ```
+/// use mopac::config::MitigationConfig;
+///
+/// let cfg = MitigationConfig::mopac_d(500).with_srq_capacity(32);
+/// assert_eq!(cfg.alert_threshold, 152); // ATH* from Table 8
+/// assert_eq!(cfg.sample_denominator, 8); // p = 1/8
+/// assert_eq!(cfg.srq_capacity, 32);
+/// assert_eq!(cfg.drain_on_ref, 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MitigationConfig {
+    /// The mitigation design.
+    pub kind: MitigationKind,
+    /// The Rowhammer threshold this configuration targets.
+    pub t_rh: u64,
+    /// ALERT threshold on the PRAC counter: `ATH` for PRAC, `ATH*` for
+    /// MoPAC.
+    pub alert_threshold: u32,
+    /// Eligibility threshold for mitigation on ABO (`ETH`).
+    pub eligibility_threshold: u32,
+    /// `1/p`: the sampling denominator (1 for PRAC — every activation).
+    pub sample_denominator: u32,
+    /// Non-uniform probability (Section 8): sample at `p/2` while the
+    /// row's counter is zero. Only meaningful for MoPAC-D.
+    pub nup: bool,
+    /// SRQ capacity in entries (MoPAC-D).
+    pub srq_capacity: usize,
+    /// Tardiness threshold (MoPAC-D): max activations to a buffered row
+    /// before a forced ABO.
+    pub tth: u32,
+    /// SRQ entries drained (counter-updated) at each REF (MoPAC-D).
+    pub drain_on_ref: u32,
+    /// Number of independent DRAM chips modelled (MoPAC-D samples
+    /// independently per chip; the paper's default is 4 per sub-channel).
+    pub chips: u32,
+    /// Row-Press hardening (Appendix A): damage-weighted thresholds and,
+    /// for MoPAC-C, a 180 ns row-open cap at the memory controller.
+    pub row_press: bool,
+    /// Counter updates performed per ABO stall (5 in the paper).
+    pub updates_per_abo: u32,
+    /// Rows on each side refreshed when mitigating an aggressor (blast
+    /// radius; 2 in the paper, i.e. 4 victim refreshes).
+    pub blast_radius: u32,
+}
+
+impl MitigationConfig {
+    /// The unprotected baseline: base timings, no tracking.
+    #[must_use]
+    pub fn baseline() -> Self {
+        Self {
+            kind: MitigationKind::None,
+            t_rh: u64::MAX,
+            alert_threshold: u32::MAX,
+            eligibility_threshold: u32::MAX,
+            sample_denominator: 1,
+            nup: false,
+            srq_capacity: DEFAULT_SRQ_ENTRIES,
+            tth: 0,
+            drain_on_ref: 0,
+            chips: 1,
+            row_press: false,
+            updates_per_abo: 5,
+            blast_radius: 2,
+        }
+    }
+
+    /// PRAC + ABO secured by MOAT (Section 2.6): deterministic counting,
+    /// PRAC timings on every access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_rh <= 64` (outside the MOAT model's domain) or the
+    /// derived threshold exceeds `u32::MAX`.
+    #[must_use]
+    pub fn prac(t_rh: u64) -> Self {
+        let ath = moat_ath(t_rh);
+        Self {
+            kind: MitigationKind::Prac,
+            t_rh,
+            alert_threshold: u32::try_from(ath).expect("ATH fits u32"),
+            eligibility_threshold: u32::try_from(moat_eth(ath)).expect("ETH fits u32"),
+            sample_denominator: 1,
+            ..Self::baseline()
+        }
+    }
+
+    /// MoPAC-C at the given threshold (Section 5, Table 7).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_rh <= 64`.
+    #[must_use]
+    pub fn mopac_c(t_rh: u64) -> Self {
+        let p = mopac_c_params(t_rh);
+        Self {
+            kind: MitigationKind::MopacC,
+            t_rh,
+            alert_threshold: u32::try_from(p.ath_star).expect("ATH* fits u32"),
+            eligibility_threshold: u32::try_from(p.ath_star / 2).expect("ETH fits u32"),
+            sample_denominator: p.update_prob_denominator,
+            ..Self::baseline()
+        }
+    }
+
+    /// MoPAC-D at the given threshold (Section 6, Table 8), with the
+    /// paper's defaults: 16-entry SRQ, TTH = 32, drain-on-REF from
+    /// Table 8, 4 chips.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_rh <= 64`.
+    #[must_use]
+    pub fn mopac_d(t_rh: u64) -> Self {
+        let p = mopac_d_params(t_rh);
+        Self {
+            kind: MitigationKind::MopacD,
+            t_rh,
+            alert_threshold: u32::try_from(p.ath_star).expect("ATH* fits u32"),
+            eligibility_threshold: u32::try_from(p.ath_star / 2).expect("ETH fits u32"),
+            sample_denominator: p.update_prob_denominator,
+            tth: p.tth,
+            drain_on_ref: p.drain_on_ref,
+            chips: 4,
+            ..Self::baseline()
+        }
+    }
+
+    /// MoPAC-D with non-uniform probability (Section 8, Table 11).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_rh <= 64`.
+    #[must_use]
+    pub fn mopac_d_nup(t_rh: u64) -> Self {
+        let p = nup_params(t_rh);
+        Self {
+            nup: true,
+            alert_threshold: u32::try_from(p.ath_star).expect("ATH* fits u32"),
+            eligibility_threshold: u32::try_from(p.ath_star / 2).expect("ETH fits u32"),
+            ..Self::mopac_d(t_rh)
+        }
+    }
+
+    /// Overrides the SRQ capacity (Figure 13's sensitivity study).
+    #[must_use]
+    pub fn with_srq_capacity(mut self, entries: usize) -> Self {
+        self.srq_capacity = entries;
+        self
+    }
+
+    /// Overrides the drain-on-REF rate (Figure 12's sensitivity study).
+    #[must_use]
+    pub fn with_drain_on_ref(mut self, entries: u32) -> Self {
+        self.drain_on_ref = entries;
+        self
+    }
+
+    /// Overrides the number of modelled chips (Appendix B, Figure 19).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chips` is zero.
+    #[must_use]
+    pub fn with_chips(mut self, chips: u32) -> Self {
+        assert!(chips > 0, "need at least one chip");
+        self.chips = chips;
+        self
+    }
+
+    /// Enables Row-Press hardening (Appendix A, Table 14): re-derives
+    /// the alert threshold with damage weighting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a baseline or PRAC configuration.
+    #[must_use]
+    pub fn with_row_press(mut self) -> Self {
+        let design = match self.kind {
+            MitigationKind::MopacC => MopacDesign::ControllerSide,
+            MitigationKind::MopacD => MopacDesign::DramSide,
+            _ => panic!("Row-Press hardening applies to MoPAC designs only"),
+        };
+        let p = row_press_params(design, self.t_rh);
+        self.row_press = true;
+        self.alert_threshold = u32::try_from(p.ath_star).expect("ATH* fits u32");
+        self.eligibility_threshold = u32::try_from(p.ath_star / 2).expect("ETH fits u32");
+        self
+    }
+
+    /// Overrides the alert threshold directly (failure-injection tests
+    /// deliberately weaken the design with this).
+    #[must_use]
+    pub fn with_alert_threshold(mut self, ath: u32) -> Self {
+        self.alert_threshold = ath;
+        self.eligibility_threshold = ath / 2;
+        self
+    }
+
+    /// The per-activation sampling probability `p`.
+    #[must_use]
+    pub fn p(&self) -> f64 {
+        1.0 / f64::from(self.sample_denominator)
+    }
+
+    /// Whether this configuration needs any per-bank tracking state.
+    #[must_use]
+    pub fn tracks(&self) -> bool {
+        self.kind != MitigationKind::None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prac_preset_uses_moat_ath() {
+        let c = MitigationConfig::prac(500);
+        assert_eq!(c.alert_threshold, 472);
+        assert_eq!(c.eligibility_threshold, 236);
+        assert_eq!(c.sample_denominator, 1);
+    }
+
+    #[test]
+    fn mopac_c_preset_matches_table7() {
+        let c = MitigationConfig::mopac_c(500);
+        assert_eq!(c.alert_threshold, 176);
+        assert_eq!(c.sample_denominator, 8);
+        assert_eq!(c.chips, 1);
+    }
+
+    #[test]
+    fn mopac_d_preset_matches_table8() {
+        let c = MitigationConfig::mopac_d(250);
+        assert_eq!(c.alert_threshold, 60);
+        assert_eq!(c.sample_denominator, 4);
+        assert_eq!(c.drain_on_ref, 4);
+        assert_eq!(c.tth, 32);
+        assert_eq!(c.srq_capacity, 16);
+        assert_eq!(c.chips, 4);
+    }
+
+    #[test]
+    fn nup_preset_matches_table11() {
+        let c = MitigationConfig::mopac_d_nup(500);
+        assert!(c.nup);
+        assert_eq!(c.alert_threshold, 136);
+        assert_eq!(c.sample_denominator, 8);
+    }
+
+    #[test]
+    fn row_press_rederives_threshold() {
+        let c = MitigationConfig::mopac_c(500).with_row_press();
+        assert_eq!(c.alert_threshold, 80);
+        let d = MitigationConfig::mopac_d(500).with_row_press();
+        assert_eq!(d.alert_threshold, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "Row-Press")]
+    fn row_press_rejects_prac() {
+        let _ = MitigationConfig::prac(500).with_row_press();
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(MitigationKind::MopacD.to_string(), "MoPAC-D");
+        assert_eq!(MitigationKind::None.to_string(), "baseline");
+    }
+}

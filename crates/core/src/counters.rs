@@ -1,0 +1,119 @@
+//! Per-row PRAC activation counters.
+//!
+//! PRAC extends every DRAM row with a (2-byte) activation counter that is
+//! read, incremented and written back during precharge. This module
+//! models one bank's worth of counters. Under plain PRAC each update adds
+//! 1; under MoPAC each (probabilistic) update adds `1/p`, and MoPAC-D's
+//! deferred updates add `1 + SCtr/p` when an SRQ entry drains.
+
+/// One bank's per-row activation counters.
+///
+/// # Examples
+///
+/// ```
+/// use mopac::counters::PracCounters;
+///
+/// let mut c = PracCounters::new(1024);
+/// c.add(7, 8); // one MoPAC update at p = 1/8
+/// assert_eq!(c.get(7), 8);
+/// c.reset(7);
+/// assert_eq!(c.get(7), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PracCounters {
+    counts: Box<[u32]>,
+}
+
+impl PracCounters {
+    /// Creates counters for a bank with `rows` rows, all zero.
+    #[must_use]
+    pub fn new(rows: u32) -> Self {
+        Self {
+            counts: vec![0u32; rows as usize].into_boxed_slice(),
+        }
+    }
+
+    /// Number of rows covered.
+    #[must_use]
+    pub fn rows(&self) -> u32 {
+        self.counts.len() as u32
+    }
+
+    /// Current counter value of `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    #[must_use]
+    pub fn get(&self, row: u32) -> u32 {
+        self.counts[row as usize]
+    }
+
+    /// Adds `amount` to the counter of `row`, saturating, and returns the
+    /// new value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn add(&mut self, row: u32, amount: u32) -> u32 {
+        let c = &mut self.counts[row as usize];
+        *c = c.saturating_add(amount);
+        *c
+    }
+
+    /// Resets the counter of `row` to zero (mitigation or refresh).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn reset(&mut self, row: u32) {
+        self.counts[row as usize] = 0;
+    }
+
+    /// Iterates over `(row, count)` pairs with non-zero counts.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(|(r, &c)| (r as u32, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_reset() {
+        let mut c = PracCounters::new(8);
+        assert_eq!(c.add(3, 1), 1);
+        assert_eq!(c.add(3, 16), 17);
+        assert_eq!(c.get(3), 17);
+        c.reset(3);
+        assert_eq!(c.get(3), 0);
+    }
+
+    #[test]
+    fn saturates_instead_of_overflowing() {
+        let mut c = PracCounters::new(2);
+        c.add(0, u32::MAX);
+        assert_eq!(c.add(0, 10), u32::MAX);
+    }
+
+    #[test]
+    fn iter_nonzero_only_touched_rows() {
+        let mut c = PracCounters::new(100);
+        c.add(5, 2);
+        c.add(99, 7);
+        let v: Vec<_> = c.iter_nonzero().collect();
+        assert_eq!(v, vec![(5, 2), (99, 7)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_panics() {
+        let c = PracCounters::new(4);
+        let _ = c.get(4);
+    }
+}

@@ -1,0 +1,49 @@
+//! MoPAC: probabilistic activation counting for Rowhammer mitigation.
+//!
+//! This crate implements the paper's contribution — the in-DRAM and
+//! memory-controller-side mechanisms that track aggressor rows and decide
+//! when to trigger ALERT-back-off (ABO):
+//!
+//! * [`counters`] — per-row PRAC activation counters;
+//! * [`moat`] — the MOAT single-entry tracker (the baseline secure
+//!   implementation of PRAC+ABO);
+//! * [`mint`] — the MINT window sampler used by MoPAC-D;
+//! * [`srq`] — MoPAC-D's Selected-Row Queue with ACtr/SCtr coalescing;
+//! * [`config`] — mitigation configuration presets (PRAC, MoPAC-C,
+//!   MoPAC-D, NUP, Row-Press hardening, multi-chip);
+//! * [`bank`] — the per-bank mitigation engine that composes the above
+//!   and is embedded into each simulated DRAM bank;
+//! * [`checker`] — the security oracle that verifies no row ever receives
+//!   `T_RH` activations without an intervening mitigation or refresh.
+//!
+//! The mathematical derivation of the parameters (`p`, `C`, `ATH*`) lives
+//! in the sibling crate `mopac-analysis`; the DRAM timing model that
+//! hosts these engines lives in `mopac-dram`.
+//!
+//! # Examples
+//!
+//! ```
+//! use mopac::config::MitigationConfig;
+//! use mopac::bank::BankMitigation;
+//! use mopac_types::rng::DetRng;
+//!
+//! // A MoPAC-D bank engine at the paper's default threshold of 500.
+//! let cfg = MitigationConfig::mopac_d(500);
+//! let mut bank = BankMitigation::new(&cfg, 64 * 1024, DetRng::from_seed(1));
+//! for act in 0..100u32 {
+//!     bank.on_activate(act % 8, 0.0);
+//! }
+//! assert!(bank.stats().activations >= 100);
+//! ```
+
+pub mod bank;
+pub mod checker;
+pub mod config;
+pub mod counters;
+pub mod mint;
+pub mod moat;
+pub mod srq;
+
+pub use bank::{AboService, BankMitigation};
+pub use checker::RowhammerChecker;
+pub use config::{MitigationConfig, MitigationKind};

@@ -1,0 +1,276 @@
+//! One DRAM bank: row state machine, per-command timing gates, and the
+//! embedded mitigation engine + security oracle.
+
+use crate::timing::TimingSet;
+use mopac::bank::BankMitigation;
+use mopac::checker::RowhammerChecker;
+use mopac_types::time::Cycle;
+
+/// Which flavour of precharge closes the row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrechargeKind {
+    /// Normal precharge: base timings, no counter update.
+    Normal,
+    /// `PREcu`: PRAC timings, performs the counter read-modify-write
+    /// (every precharge under PRAC; the MC-selected subset under
+    /// MoPAC-C).
+    CounterUpdate,
+}
+
+/// A currently open row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpenRow {
+    /// The open row address.
+    pub row: u32,
+    /// Cycle at which it was activated.
+    pub opened_at: Cycle,
+}
+
+/// One bank's timing and mitigation state.
+#[derive(Debug, Clone)]
+pub struct Bank {
+    open: Option<OpenRow>,
+    /// The MoPAC-C 1-bit state (Section 5.1): close this row with PREcu.
+    pending_update: bool,
+    /// Earliest cycle an ACT may issue (tRP / tRFC gate).
+    act_allowed: Cycle,
+    /// Earliest cycle a PRE may issue (tRAS / tRTP / tWR gate).
+    pre_allowed: Cycle,
+    /// Earliest cycle a column command may issue (tRCD / tCCD gate).
+    col_allowed: Cycle,
+    mitigation: BankMitigation,
+    checker: Option<RowhammerChecker>,
+}
+
+impl Bank {
+    /// Creates a closed, idle bank.
+    #[must_use]
+    pub fn new(mitigation: BankMitigation, checker: Option<RowhammerChecker>) -> Self {
+        Self {
+            open: None,
+            pending_update: false,
+            act_allowed: 0,
+            pre_allowed: 0,
+            col_allowed: 0,
+            mitigation,
+            checker,
+        }
+    }
+
+    /// The open row, if any.
+    #[must_use]
+    pub fn open_row(&self) -> Option<OpenRow> {
+        self.open
+    }
+
+    /// Whether the MC marked the open row for a counter-update close.
+    #[must_use]
+    pub fn pending_update(&self) -> bool {
+        self.pending_update
+    }
+
+    /// Earliest cycle an ACT may issue (bank-local constraints only).
+    #[must_use]
+    pub fn earliest_activate(&self) -> Option<Cycle> {
+        self.open.is_none().then_some(self.act_allowed)
+    }
+
+    /// Earliest cycle a column command to `row` may issue.
+    #[must_use]
+    pub fn earliest_column(&self, row: u32) -> Option<Cycle> {
+        self.open
+            .filter(|o| o.row == row)
+            .map(|_| self.col_allowed)
+    }
+
+    /// Earliest cycle a PRE may issue.
+    #[must_use]
+    pub fn earliest_precharge(&self) -> Option<Cycle> {
+        self.open.map(|_| self.pre_allowed)
+    }
+
+    /// Issues an ACT.
+    ///
+    /// `update_selected` is the MoPAC-C coin flip (always true under
+    /// PRAC, always false otherwise); it selects the tRCD/tRAS flavour
+    /// and arms [`Self::pending_update`].
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the bank is open or the timing gate is violated.
+    pub fn activate(
+        &mut self,
+        row: u32,
+        now: Cycle,
+        update_selected: bool,
+        base: &TimingSet,
+        prac: &TimingSet,
+    ) {
+        debug_assert!(self.open.is_none(), "ACT to open bank");
+        debug_assert!(now >= self.act_allowed, "ACT violates tRP/tRFC");
+        let t = if update_selected { prac } else { base };
+        self.open = Some(OpenRow {
+            row,
+            opened_at: now,
+        });
+        self.pending_update = update_selected;
+        self.col_allowed = now + t.t_rcd;
+        self.pre_allowed = now + t.t_ras;
+        self.mitigation.on_activate(row, 0.0);
+        if let Some(ck) = self.checker.as_mut() {
+            ck.on_activate(row);
+        }
+    }
+
+    /// Issues a column read; returns the cycle at which data finishes.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if no matching row is open or timing is violated.
+    pub fn read(&mut self, now: Cycle, t: &TimingSet) -> Cycle {
+        debug_assert!(self.open.is_some(), "RD to closed bank");
+        debug_assert!(now >= self.col_allowed, "RD violates tRCD/tCCD");
+        self.col_allowed = now + t.t_ccd;
+        self.pre_allowed = self.pre_allowed.max(now + t.t_rtp);
+        now + t.cl + t.burst
+    }
+
+    /// Issues a column write; returns the cycle at which data finishes.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if no matching row is open or timing is violated.
+    pub fn write(&mut self, now: Cycle, t: &TimingSet) -> Cycle {
+        debug_assert!(self.open.is_some(), "WR to closed bank");
+        debug_assert!(now >= self.col_allowed, "WR violates tRCD/tCCD");
+        self.col_allowed = now + t.t_ccd;
+        let data_end = now + t.cwl + t.burst;
+        self.pre_allowed = self.pre_allowed.max(data_end + t.t_wr);
+        data_end
+    }
+
+    /// Issues a precharge of the given kind; returns the row-open time
+    /// in cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the bank is closed or tRAS is violated.
+    pub fn precharge(
+        &mut self,
+        kind: PrechargeKind,
+        now: Cycle,
+        base: &TimingSet,
+        prac: &TimingSet,
+        ns_per_cycle: f64,
+    ) -> Cycle {
+        let open = self.open.take().expect("PRE to closed bank");
+        debug_assert!(now >= self.pre_allowed, "PRE violates tRAS/tRTP/tWR");
+        let t = match kind {
+            PrechargeKind::Normal => base,
+            PrechargeKind::CounterUpdate => prac,
+        };
+        self.act_allowed = now + t.t_rp;
+        self.pending_update = false;
+        let open_cycles = now - open.opened_at;
+        self.mitigation.on_precharge(
+            open.row,
+            kind == PrechargeKind::CounterUpdate,
+            open_cycles as f64 * ns_per_cycle,
+        );
+        open_cycles
+    }
+
+    /// Blocks the bank until `until` (REF / RFM execution).
+    pub fn block_until(&mut self, until: Cycle) {
+        debug_assert!(self.open.is_none(), "REF/RFM with open row");
+        self.act_allowed = self.act_allowed.max(until);
+    }
+
+    /// Access to the mitigation engine.
+    #[must_use]
+    pub fn mitigation(&self) -> &BankMitigation {
+        &self.mitigation
+    }
+
+    /// Mutable access to the mitigation engine (REF drains, ABO service).
+    pub fn mitigation_mut(&mut self) -> &mut BankMitigation {
+        &mut self.mitigation
+    }
+
+    /// Access to the security oracle, if enabled.
+    #[must_use]
+    pub fn checker(&self) -> Option<&RowhammerChecker> {
+        self.checker.as_ref()
+    }
+
+    /// Mutable access to the security oracle.
+    pub fn checker_mut(&mut self) -> Option<&mut RowhammerChecker> {
+        self.checker.as_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mopac::config::MitigationConfig;
+    use mopac_types::rng::DetRng;
+
+    fn bank() -> Bank {
+        let cfg = MitigationConfig::baseline();
+        Bank::new(
+            BankMitigation::new(&cfg, 1024, DetRng::from_seed(1)),
+            Some(RowhammerChecker::new(1024, 500)),
+        )
+    }
+
+    #[test]
+    fn act_read_pre_sequence_base_timings() {
+        let base = TimingSet::ddr5_base();
+        let prac = TimingSet::ddr5_prac();
+        let mut b = bank();
+        assert_eq!(b.earliest_activate(), Some(0));
+        b.activate(5, 0, false, &base, &prac);
+        assert_eq!(b.earliest_column(5), Some(42)); // tRCD
+        assert_eq!(b.earliest_column(6), None); // wrong row
+        let done = b.read(42, &base);
+        assert_eq!(done, 42 + 42 + 8); // CL + burst
+        assert_eq!(b.earliest_precharge(), Some(96)); // tRAS from ACT
+        b.precharge(PrechargeKind::Normal, 96, &base, &prac, 1.0 / 3.0);
+        assert_eq!(b.earliest_activate(), Some(96 + 42)); // + tRP
+    }
+
+    #[test]
+    fn prac_precharge_extends_reopen_time() {
+        let base = TimingSet::ddr5_base();
+        let prac = TimingSet::ddr5_prac();
+        let mut b = bank();
+        b.activate(5, 0, true, &base, &prac);
+        // PRAC tRAS is shorter (48), tRCD longer (48).
+        assert_eq!(b.earliest_precharge(), Some(48));
+        assert_eq!(b.earliest_column(5), Some(48));
+        b.precharge(PrechargeKind::CounterUpdate, 48, &base, &prac, 1.0 / 3.0);
+        // PRAC tRP = 108 -> next ACT at 156 = PRAC tRC from first ACT.
+        assert_eq!(b.earliest_activate(), Some(156));
+    }
+
+    #[test]
+    fn write_recovery_delays_precharge() {
+        let base = TimingSet::ddr5_base();
+        let prac = TimingSet::ddr5_prac();
+        let mut b = bank();
+        b.activate(1, 0, false, &base, &prac);
+        let data_end = b.write(42, &base);
+        assert_eq!(data_end, 42 + 40 + 8);
+        assert_eq!(b.earliest_precharge(), Some(data_end + base.t_wr));
+    }
+
+    #[test]
+    fn open_time_reported_to_mitigation() {
+        let base = TimingSet::ddr5_base();
+        let prac = TimingSet::ddr5_prac();
+        let mut b = bank();
+        b.activate(1, 0, false, &base, &prac);
+        let open_cycles = b.precharge(PrechargeKind::Normal, 96, &base, &prac, 1.0 / 3.0);
+        assert_eq!(open_cycles, 96);
+    }
+}

@@ -1,0 +1,643 @@
+//! The DRAM device: sub-channels of banks, shared-resource constraints
+//! (command/data bus, tRRD, tFAW), refresh, and the ALERT/RFM (ABO)
+//! protocol.
+//!
+//! The device is passive with respect to time: the memory controller
+//! owns the clock and calls `can_*` / command methods with the current
+//! cycle. The device enforces JEDEC legality (debug assertions plus
+//! `can_*` predicates), executes the mitigation engines, and raises
+//! ALERT when a bank needs ABO.
+
+use crate::bank::{Bank, OpenRow, PrechargeKind};
+use crate::timing::{AboTiming, TimingSet};
+use mopac::bank::AlertCause;
+use mopac::checker::Violation;
+use mopac::config::{MitigationConfig, MitigationKind};
+use mopac_types::geometry::DramGeometry;
+use mopac_types::rng::DetRng;
+use mopac_types::time::{Cycle, MemClock};
+
+/// Number of refresh groups per bank (tREFW / tREFI).
+const REFRESH_GROUPS: u32 = 8192;
+
+/// Device-level configuration.
+#[derive(Debug, Clone)]
+pub struct DramConfig {
+    /// Physical organization.
+    pub geometry: DramGeometry,
+    /// Mitigation design and parameters.
+    pub mitigation: MitigationConfig,
+    /// Whether to run the Rowhammer security oracle alongside (costs
+    /// memory and a little time; on by default).
+    pub enable_checker: bool,
+    /// Master RNG seed (per-bank streams are forked from it).
+    pub seed: u64,
+}
+
+impl DramConfig {
+    /// The paper's Table 3 system with the given mitigation.
+    #[must_use]
+    pub fn paper_default(mitigation: MitigationConfig) -> Self {
+        Self {
+            geometry: DramGeometry::ddr5_32gb(),
+            mitigation,
+            enable_checker: true,
+            seed: 0xD0_5E_ED,
+        }
+    }
+
+    /// A small geometry for unit tests.
+    #[must_use]
+    pub fn tiny(mitigation: MitigationConfig) -> Self {
+        Self {
+            geometry: DramGeometry::tiny(),
+            mitigation,
+            enable_checker: true,
+            seed: 0xD0_5E_ED,
+        }
+    }
+}
+
+/// Aggregate device statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DramStats {
+    /// Activations issued.
+    pub activates: u64,
+    /// Reads issued.
+    pub reads: u64,
+    /// Writes issued.
+    pub writes: u64,
+    /// Normal precharges.
+    pub precharges: u64,
+    /// Counter-update precharges (PRAC / PREcu).
+    pub precharges_cu: u64,
+    /// REF commands executed.
+    pub refreshes: u64,
+    /// RFM (ABO service) commands executed.
+    pub rfms: u64,
+    /// ALERT assertions caused by mitigation need.
+    pub alerts_mitigation: u64,
+    /// ALERT assertions caused by a full SRQ.
+    pub alerts_srq_full: u64,
+    /// ALERT assertions caused by tardiness.
+    pub alerts_tardiness: u64,
+    /// Aggressor-row mitigations performed.
+    pub mitigations: u64,
+    /// Deferred counter updates performed under ABO / REF.
+    pub deferred_updates: u64,
+}
+
+impl DramStats {
+    /// Total ALERT assertions.
+    #[must_use]
+    pub fn alerts(&self) -> u64 {
+        self.alerts_mitigation + self.alerts_srq_full + self.alerts_tardiness
+    }
+}
+
+/// Per-sub-channel shared state.
+#[derive(Debug, Clone)]
+struct SubChannel {
+    banks: Vec<Bank>,
+    /// Last ACT cycle in this sub-channel (tRRD), if any.
+    last_act: Option<Cycle>,
+    /// Ring of the last four ACT cycles (tFAW).
+    faw: [Cycle; 4],
+    faw_idx: usize,
+    /// How many ACTs have been recorded in `faw` (constraint only
+    /// applies once four have happened).
+    faw_filled: usize,
+    /// Data bus busy until this cycle.
+    bus_busy_until: Cycle,
+    /// No commands may issue before this cycle (REF / RFM execution).
+    blocked_until: Cycle,
+    /// Next refresh group to be refreshed.
+    ref_group: u32,
+    /// When ALERT was asserted, if pending.
+    alert_since: Option<Cycle>,
+    /// Activations since the last ALERT completed (ABO requires a
+    /// non-zero count before re-asserting).
+    acts_since_alert: u64,
+}
+
+/// The simulated DRAM device.
+#[derive(Debug, Clone)]
+pub struct DramDevice {
+    cfg: DramConfig,
+    base: TimingSet,
+    prac: TimingSet,
+    abo: AboTiming,
+    clock: MemClock,
+    subchannels: Vec<SubChannel>,
+    stats: DramStats,
+}
+
+impl DramDevice {
+    /// Builds the device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry has no banks or rows.
+    #[must_use]
+    pub fn new(cfg: DramConfig) -> Self {
+        let geom = cfg.geometry;
+        assert!(geom.subchannels > 0 && geom.banks_per_subchannel > 0);
+        let rng = DetRng::from_seed(cfg.seed);
+        let subchannels = (0..geom.subchannels)
+            .map(|sc| {
+                let banks = (0..geom.banks_per_subchannel)
+                    .map(|b| {
+                        let flat = geom.flat_bank(sc, b);
+                        let bank_rng = rng.fork(u64::from(flat));
+                        let mitigation = mopac::bank::BankMitigation::new(
+                            &cfg.mitigation,
+                            geom.rows_per_bank,
+                            bank_rng,
+                        );
+                        let checker = (cfg.enable_checker
+                            && cfg.mitigation.kind != MitigationKind::None)
+                            .then(|| {
+                                mopac::checker::RowhammerChecker::new(
+                                    geom.rows_per_bank,
+                                    u32::try_from(cfg.mitigation.t_rh.min(u64::from(u32::MAX)))
+                                        .expect("threshold fits"),
+                                )
+                            });
+                        Bank::new(mitigation, checker)
+                    })
+                    .collect();
+                SubChannel {
+                    banks,
+                    last_act: None,
+                    faw: [0; 4],
+                    faw_idx: 0,
+                    faw_filled: 0,
+                    bus_busy_until: 0,
+                    blocked_until: 0,
+                    ref_group: 0,
+                    alert_since: None,
+                    acts_since_alert: 1,
+                }
+            })
+            .collect();
+        Self {
+            base: TimingSet::ddr5_base(),
+            prac: TimingSet::ddr5_prac(),
+            abo: AboTiming::paper_default(),
+            clock: MemClock::ddr5_6000(),
+            cfg,
+            subchannels,
+            stats: DramStats::default(),
+        }
+    }
+
+    /// The device configuration.
+    #[must_use]
+    pub fn config(&self) -> &DramConfig {
+        &self.cfg
+    }
+
+    /// The base timing set.
+    #[must_use]
+    pub fn timing_base(&self) -> &TimingSet {
+        &self.base
+    }
+
+    /// The PRAC timing set.
+    #[must_use]
+    pub fn timing_prac(&self) -> &TimingSet {
+        &self.prac
+    }
+
+    /// The timing set governing ACT/column commands for this mitigation
+    /// (PRAC pays PRAC timings everywhere; everything else uses base
+    /// timings, with MoPAC-C switching per command).
+    #[must_use]
+    pub fn timing_default(&self) -> &TimingSet {
+        if self.cfg.mitigation.kind.always_prac_timings() {
+            &self.prac
+        } else {
+            &self.base
+        }
+    }
+
+    /// ABO timing constants.
+    #[must_use]
+    pub fn abo_timing(&self) -> &AboTiming {
+        &self.abo
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> DramStats {
+        self.stats
+    }
+
+    /// The open row in a bank.
+    #[must_use]
+    pub fn open_row(&self, sc: u32, bank: u32) -> Option<OpenRow> {
+        self.sub(sc).banks[bank as usize].open_row()
+    }
+
+    /// Whether the MC marked the open row for a PREcu close (MoPAC-C).
+    #[must_use]
+    pub fn pending_update(&self, sc: u32, bank: u32) -> bool {
+        self.sub(sc).banks[bank as usize].pending_update()
+    }
+
+    /// When ALERT was asserted on a sub-channel, if it is pending.
+    #[must_use]
+    pub fn alert_since(&self, sc: u32) -> Option<Cycle> {
+        self.sub(sc).alert_since
+    }
+
+    /// Earliest cycle an ACT to (sc, bank) may issue, or `None` if the
+    /// bank is open.
+    #[must_use]
+    pub fn earliest_activate(&self, sc: u32, bank: u32) -> Option<Cycle> {
+        let s = self.sub(sc);
+        let t = self.timing_default();
+        let bank_ok = s.banks[bank as usize].earliest_activate()?;
+        let rrd_ok = s.last_act.map_or(0, |a| a + t.t_rrd);
+        let faw_ok = if s.faw_filled >= 4 {
+            s.faw[s.faw_idx] + t.t_faw
+        } else {
+            0
+        };
+        Some(bank_ok.max(rrd_ok).max(faw_ok).max(s.blocked_until))
+    }
+
+    /// Issues an ACT. `update_selected` is MoPAC-C's coin flip; ignored
+    /// (forced) for other designs.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) on timing violations.
+    pub fn activate(&mut self, sc: u32, bank: u32, row: u32, now: Cycle, update_selected: bool) {
+        let selected = match self.cfg.mitigation.kind {
+            MitigationKind::Prac => true,
+            MitigationKind::MopacC => update_selected,
+            MitigationKind::None | MitigationKind::MopacD => false,
+        };
+        debug_assert!(self.earliest_activate(sc, bank).is_some_and(|e| now >= e));
+        let (base, prac) = (self.base, self.prac);
+        let s = self.sub_mut(sc);
+        s.banks[bank as usize].activate(row, now, selected, &base, &prac);
+        s.last_act = Some(now);
+        s.faw[s.faw_idx] = now;
+        s.faw_idx = (s.faw_idx + 1) % 4;
+        s.faw_filled = (s.faw_filled + 1).min(4);
+        s.acts_since_alert += 1;
+        self.stats.activates += 1;
+        self.refresh_alert_line(sc, now);
+    }
+
+    /// Earliest cycle a read/write to `row` may issue (bank + bus).
+    #[must_use]
+    pub fn earliest_column(&self, sc: u32, bank: u32, row: u32) -> Option<Cycle> {
+        let s = self.sub(sc);
+        let t = self.timing_default();
+        let bank_ok = s.banks[bank as usize].earliest_column(row)?;
+        // The data burst must not overlap the previous one.
+        let bus_ok = s.bus_busy_until.saturating_sub(t.cl);
+        Some(bank_ok.max(bus_ok).max(s.blocked_until))
+    }
+
+    /// Issues a read; returns the data-completion cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) on timing violations.
+    pub fn read(&mut self, sc: u32, bank: u32, now: Cycle) -> Cycle {
+        let t = *self.timing_default();
+        let s = self.sub_mut(sc);
+        let done = s.banks[bank as usize].read(now, &t);
+        s.bus_busy_until = done;
+        self.stats.reads += 1;
+        done
+    }
+
+    /// Issues a write; returns the data-completion cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) on timing violations.
+    pub fn write(&mut self, sc: u32, bank: u32, now: Cycle) -> Cycle {
+        let t = *self.timing_default();
+        let s = self.sub_mut(sc);
+        let done = s.banks[bank as usize].write(now, &t);
+        s.bus_busy_until = done;
+        self.stats.writes += 1;
+        done
+    }
+
+    /// Earliest cycle a PRE may issue.
+    #[must_use]
+    pub fn earliest_precharge(&self, sc: u32, bank: u32) -> Option<Cycle> {
+        let s = self.sub(sc);
+        Some(
+            s.banks[bank as usize]
+                .earliest_precharge()?
+                .max(s.blocked_until),
+        )
+    }
+
+    /// Issues a precharge. The kind is derived from the mitigation design
+    /// and the bank's pending-update bit (PRAC always updates; MoPAC-C
+    /// updates when the MC armed the bit at ACT).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) on timing violations.
+    pub fn precharge(&mut self, sc: u32, bank: u32, now: Cycle) {
+        let kind = match self.cfg.mitigation.kind {
+            MitigationKind::Prac => PrechargeKind::CounterUpdate,
+            MitigationKind::MopacC if self.pending_update(sc, bank) => {
+                PrechargeKind::CounterUpdate
+            }
+            _ => PrechargeKind::Normal,
+        };
+        let (base, prac) = (self.base, self.prac);
+        let ns_per_cycle = 1.0 / self.clock.freq_ghz();
+        let s = self.sub_mut(sc);
+        s.banks[bank as usize].precharge(kind, now, &base, &prac, ns_per_cycle);
+        match kind {
+            PrechargeKind::Normal => self.stats.precharges += 1,
+            PrechargeKind::CounterUpdate => self.stats.precharges_cu += 1,
+        }
+        self.refresh_alert_line(sc, now);
+    }
+
+    /// Earliest cycle a REF may issue (all banks must be precharged; the
+    /// caller closes open rows first).
+    #[must_use]
+    pub fn earliest_refresh(&self, sc: u32) -> Option<Cycle> {
+        let s = self.sub(sc);
+        let mut latest = s.blocked_until;
+        for b in &s.banks {
+            latest = latest.max(b.earliest_activate()?);
+        }
+        Some(latest)
+    }
+
+    /// Issues an all-bank REF: refreshes the next group of rows in every
+    /// bank, performs MoPAC-D drain-on-REF, and blocks the sub-channel
+    /// for tRFC.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if any bank still has an open row.
+    pub fn refresh(&mut self, sc: u32, now: Cycle) {
+        let t_rfc = self.timing_default().t_rfc;
+        let rows_per_group = self.cfg.geometry.rows_per_bank.div_ceil(REFRESH_GROUPS).max(1);
+        let rows_per_bank = self.cfg.geometry.rows_per_bank;
+        let s = self.sub_mut(sc);
+        let start = (s.ref_group * rows_per_group).min(rows_per_bank);
+        let end = (start + rows_per_group).min(rows_per_bank);
+        s.ref_group = (s.ref_group + 1) % REFRESH_GROUPS;
+        s.blocked_until = now + t_rfc;
+        let mut deferred = 0u64;
+        for b in &mut s.banks {
+            b.block_until(now + t_rfc);
+            let svc = b.mitigation_mut().on_ref(start..end);
+            deferred += u64::from(svc.counter_updates);
+            if let Some(ck) = b.checker_mut() {
+                ck.on_refresh_range(start..end);
+            }
+        }
+        self.stats.refreshes += 1;
+        self.stats.deferred_updates += deferred;
+        self.refresh_alert_line(sc, now);
+    }
+
+    /// Issues an RFM, servicing the pending ABO on every bank of the
+    /// sub-channel; blocks the sub-channel for the ABO stall time.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if any bank has an open row.
+    pub fn rfm(&mut self, sc: u32, now: Cycle) {
+        let stall = self.abo.stall;
+        let blast = self.cfg.mitigation.blast_radius;
+        let s = self.sub_mut(sc);
+        let mut mitigations = 0u64;
+        let mut updates = 0u64;
+        for b in &mut s.banks {
+            b.block_until(now + stall);
+            let svc = b.mitigation_mut().service_abo();
+            updates += u64::from(svc.counter_updates);
+            mitigations += svc.mitigated_rows.len() as u64;
+            if let Some(ck) = b.checker_mut() {
+                for &row in &svc.mitigated_rows {
+                    ck.on_mitigate(row, blast);
+                }
+            }
+        }
+        s.blocked_until = now + stall;
+        s.alert_since = None;
+        s.acts_since_alert = 0;
+        self.stats.rfms += 1;
+        self.stats.mitigations += mitigations;
+        self.stats.deferred_updates += updates;
+        // A bank may *still* need service (e.g. more SRQ entries than one
+        // ABO drains); it may re-assert after the next activation.
+        self.refresh_alert_line(sc, now);
+    }
+
+    /// Total Rowhammer violations recorded by the oracle across all
+    /// banks.
+    #[must_use]
+    pub fn violations(&self) -> u64 {
+        self.subchannels
+            .iter()
+            .flat_map(|s| &s.banks)
+            .filter_map(|b| b.checker().map(|c| c.violations()))
+            .sum()
+    }
+
+    /// First recorded violations for diagnostics.
+    #[must_use]
+    pub fn violation_records(&self) -> Vec<Violation> {
+        self.subchannels
+            .iter()
+            .flat_map(|s| &s.banks)
+            .filter_map(|b| b.checker())
+            .flat_map(|c| c.violation_records().iter().copied())
+            .collect()
+    }
+
+    /// Sums a per-bank mitigation statistic over all banks.
+    #[must_use]
+    pub fn mitigation_stats(&self) -> mopac::bank::MitigationStats {
+        let mut total = mopac::bank::MitigationStats::default();
+        for b in self.subchannels.iter().flat_map(|s| &s.banks) {
+            let s = b.mitigation().stats();
+            total.activations += s.activations;
+            total.counter_updates += s.counter_updates;
+            total.srq_insertions += s.srq_insertions;
+            total.srq_overflows += s.srq_overflows;
+            total.mitigations += s.mitigations;
+            total.update_precharges += s.update_precharges;
+        }
+        total
+    }
+
+    fn sub(&self, sc: u32) -> &SubChannel {
+        &self.subchannels[sc as usize]
+    }
+
+    fn sub_mut(&mut self, sc: u32) -> &mut SubChannel {
+        &mut self.subchannels[sc as usize]
+    }
+
+    /// Re-evaluates the ALERT pin for a sub-channel. ALERT asserts when
+    /// any bank wants service, provided at least one activation happened
+    /// since the previous ALERT completed (ABO's anti-livelock rule).
+    fn refresh_alert_line(&mut self, sc: u32, now: Cycle) {
+        let cause = {
+            let s = self.sub(sc);
+            if s.alert_since.is_some() || s.acts_since_alert == 0 {
+                None
+            } else {
+                s.banks.iter().find_map(|b| b.mitigation().alert_cause())
+            }
+        };
+        if let Some(cause) = cause {
+            self.sub_mut(sc).alert_since = Some(now);
+            match cause {
+                AlertCause::Mitigation => self.stats.alerts_mitigation += 1,
+                AlertCause::SrqFull => self.stats.alerts_srq_full += 1,
+                AlertCause::Tardiness => self.stats.alerts_tardiness += 1,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device(mit: MitigationConfig) -> DramDevice {
+        DramDevice::new(DramConfig::tiny(mit))
+    }
+
+    /// Figure 4: a row-buffer-conflict read costs tRP + tRCD + CL; PRAC
+    /// stretches it ~1.55x.
+    #[test]
+    fn fig4_conflict_latency() {
+        let mut base_dev = device(MitigationConfig::baseline());
+        let mut prac_dev = device(MitigationConfig::prac(500));
+        let latency = |d: &mut DramDevice| {
+            // Open row 0, then service a conflicting read to row 1.
+            d.activate(0, 0, 0, 0, false);
+            let pre_at = d.earliest_precharge(0, 0).unwrap();
+            d.precharge(0, 0, pre_at);
+            let act_at = d.earliest_activate(0, 0).unwrap();
+            d.activate(0, 0, 1, act_at, false);
+            let rd_at = d.earliest_column(0, 0, 1).unwrap();
+            let done = d.read(0, 0, rd_at);
+            done - pre_at
+        };
+        let base_lat = latency(&mut base_dev);
+        let prac_lat = latency(&mut prac_dev);
+        // Base: tRP(42) + tRCD(42) + CL(42) + burst(8) = 134 cycles.
+        assert_eq!(base_lat, 134);
+        // PRAC: tRP(108) + tRCD(48) + CL(42) + burst(8) = 206 cycles.
+        assert_eq!(prac_lat, 206);
+        let ratio = prac_lat as f64 / base_lat as f64;
+        assert!((1.45..1.65).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn faw_limits_burst_of_activations() {
+        let mut cfg = DramConfig::tiny(MitigationConfig::baseline());
+        cfg.geometry.banks_per_subchannel = 8;
+        let mut d = DramDevice::new(cfg);
+        let t_faw = d.timing_default().t_faw;
+        let mut now = 0;
+        for b in 0..4 {
+            now = d.earliest_activate(0, b).unwrap().max(now);
+            d.activate(0, b, 0, now, false);
+            now += 1;
+        }
+        // Fifth ACT must wait for the FAW window.
+        let fifth = d.earliest_activate(0, 4).unwrap();
+        assert!(fifth >= t_faw, "fifth ACT at {fifth}, tFAW {t_faw}");
+    }
+
+    #[test]
+    fn prac_alerts_and_rfm_mitigates() {
+        let mut d = device(MitigationConfig::prac(500)); // ATH 472
+        let mut now = 0;
+        let mut acts = 0u64;
+        while d.alert_since(0).is_none() {
+            now = d.earliest_activate(0, 0).unwrap();
+            d.activate(0, 0, 10, now, false);
+            now = d.earliest_precharge(0, 0).unwrap();
+            d.precharge(0, 0, now);
+            acts += 1;
+            assert!(acts <= 473, "no alert after {acts} ACTs");
+        }
+        assert_eq!(acts, 472);
+        // Service it.
+        let rfm_at = now + 540;
+        d.rfm(0, rfm_at);
+        assert_eq!(d.stats().mitigations, 1);
+        assert_eq!(d.alert_since(0), None);
+        assert_eq!(d.violations(), 0);
+        // Bank is blocked during the stall.
+        assert!(d.earliest_activate(0, 0).unwrap() >= rfm_at + 1050);
+    }
+
+    #[test]
+    fn refresh_blocks_subchannel_and_advances_group() {
+        let mut d = device(MitigationConfig::prac(500));
+        let now = d.earliest_refresh(0).unwrap();
+        d.refresh(0, now);
+        assert_eq!(d.stats().refreshes, 1);
+        let next = d.earliest_activate(0, 0).unwrap();
+        assert_eq!(next, now + d.timing_default().t_rfc);
+        // Other sub-channel unaffected.
+        assert_eq!(d.earliest_activate(1, 0), Some(0));
+    }
+
+    #[test]
+    fn mopac_d_srq_full_alert_drained_by_rfm() {
+        let mit = MitigationConfig::mopac_d(500)
+            .with_chips(1)
+            .with_drain_on_ref(0);
+        let mut d = device(mit);
+        let mut now = 0;
+        let mut row = 0u32;
+        while d.alert_since(0).is_none() {
+            now = d.earliest_activate(0, 0).unwrap();
+            d.activate(0, 0, row, now, false);
+            now = d.earliest_precharge(0, 0).unwrap();
+            d.precharge(0, 0, now);
+            row = (row + 1) % 1024;
+            assert!(row < 1000, "SRQ never filled");
+        }
+        assert_eq!(d.stats().alerts_srq_full, 1);
+        d.rfm(0, now + 540);
+        assert_eq!(d.stats().deferred_updates, 5);
+        assert_eq!(d.alert_since(0), None);
+    }
+
+    #[test]
+    fn violations_detected_without_mitigation() {
+        // Failure injection: a deliberately broken PRAC config (alert
+        // threshold far above T_RH) must let the oracle catch overflows.
+        let broken = MitigationConfig::prac(500).with_alert_threshold(100_000);
+        let mut d = DramDevice::new(DramConfig::tiny(broken));
+        let mut now;
+        for _ in 0..600 {
+            now = d.earliest_activate(0, 0).unwrap();
+            d.activate(0, 0, 10, now, false);
+            now = d.earliest_precharge(0, 0).unwrap();
+            d.precharge(0, 0, now);
+        }
+        assert!(d.violations() > 0, "oracle missed an obvious overflow");
+        let rec = d.violation_records();
+        assert_eq!(rec[0].row, 10);
+    }
+}

@@ -1,0 +1,34 @@
+//! Cycle-level DDR5 DRAM device model for the MoPAC reproduction.
+//!
+//! This crate is the simulation substrate the paper obtains from
+//! DRAMSim3: banks with JEDEC timing state machines ([`bank`]), the
+//! Table 1 timing sets for base DDR5 and PRAC ([`timing`]), and the
+//! device-level shared resources, refresh machinery and ALERT/RFM (ABO)
+//! protocol ([`device`]).
+//!
+//! The device embeds a [`mopac::bank::BankMitigation`] engine and a
+//! [`mopac::checker::RowhammerChecker`] oracle in every bank, so any
+//! command stream driven through it is simultaneously timed, protected
+//! and security-checked.
+//!
+//! # Examples
+//!
+//! ```
+//! use mopac_dram::device::{DramConfig, DramDevice};
+//! use mopac::config::MitigationConfig;
+//!
+//! let mut dev = DramDevice::new(DramConfig::tiny(MitigationConfig::prac(500)));
+//! let at = dev.earliest_activate(0, 0).unwrap();
+//! dev.activate(0, 0, /*row=*/ 7, at, false);
+//! let rd = dev.earliest_column(0, 0, 7).unwrap();
+//! let data_done = dev.read(0, 0, rd);
+//! assert!(data_done > rd);
+//! ```
+
+pub mod bank;
+pub mod device;
+pub mod timing;
+
+pub use bank::PrechargeKind;
+pub use device::{DramConfig, DramDevice, DramStats};
+pub use timing::{AboTiming, TimingSet};

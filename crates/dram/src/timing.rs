@@ -1,0 +1,142 @@
+//! DRAM timing sets in clock cycles.
+//!
+//! Converts the nanosecond JEDEC parameters (Table 1) into DDR5-6000
+//! command-clock cycles and adds the secondary constraints (tCCD, tRRD,
+//! tFAW, tWR, tRTP, CAS latencies) that the paper's DRAMSim3 baseline
+//! enforces. Two sets exist: base DDR5 and PRAC. MoPAC-C mixes them per
+//! command (base `PRE` vs long `PREcu`).
+
+use mopac_types::jedec::TimingNs;
+use mopac_types::time::{Cycle, MemClock};
+
+/// One complete set of timing constraints, in cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimingSet {
+    /// ACT to column command (read/write).
+    pub t_rcd: Cycle,
+    /// PRE to ACT on the same bank.
+    pub t_rp: Cycle,
+    /// ACT to PRE on the same bank.
+    pub t_ras: Cycle,
+    /// ACT to ACT on the same bank (informational; equals tRAS + tRP).
+    pub t_rc: Cycle,
+    /// REF interval.
+    pub t_refi: Cycle,
+    /// REF execution time.
+    pub t_rfc: Cycle,
+    /// Read CAS latency (command to first data).
+    pub cl: Cycle,
+    /// Write CAS latency.
+    pub cwl: Cycle,
+    /// Data burst duration on the bus (BL16 at two transfers per cycle).
+    pub burst: Cycle,
+    /// Column-to-column command spacing.
+    pub t_ccd: Cycle,
+    /// ACT to ACT across banks of the same sub-channel.
+    pub t_rrd: Cycle,
+    /// Rolling four-activate window.
+    pub t_faw: Cycle,
+    /// Internal read-to-precharge delay.
+    pub t_rtp: Cycle,
+    /// Write recovery: end of write data to precharge.
+    pub t_wr: Cycle,
+}
+
+impl TimingSet {
+    /// Builds a timing set from nanosecond primaries plus DDR5-6000
+    /// secondary constants.
+    #[must_use]
+    pub fn from_ns(ns: &TimingNs, clock: MemClock) -> Self {
+        let c = |v: f64| clock.ns_to_cycles(v);
+        Self {
+            t_rcd: c(ns.t_rcd),
+            t_rp: c(ns.t_rp),
+            t_ras: c(ns.t_ras),
+            t_rc: c(ns.t_rc),
+            t_refi: c(ns.t_refi),
+            t_rfc: c(ns.t_rfc),
+            cl: c(14.0),
+            cwl: c(14.0).saturating_sub(2),
+            burst: 8, // BL16, two transfers per clock
+            t_ccd: 8,
+            t_rrd: c(2.66),
+            t_faw: c(13.33),
+            t_rtp: c(7.5),
+            t_wr: c(30.0),
+        }
+    }
+
+    /// The base DDR5-6000AN set.
+    #[must_use]
+    pub fn ddr5_base() -> Self {
+        Self::from_ns(&TimingNs::ddr5_base(), MemClock::ddr5_6000())
+    }
+
+    /// The PRAC set (counter read-modify-write in precharge).
+    #[must_use]
+    pub fn ddr5_prac() -> Self {
+        Self::from_ns(&TimingNs::ddr5_prac(), MemClock::ddr5_6000())
+    }
+}
+
+/// ABO protocol constants in cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AboTiming {
+    /// Commands may continue for this long after ALERT asserts (180 ns).
+    pub normal_window: Cycle,
+    /// Stall / RFM execution time (350 ns).
+    pub stall: Cycle,
+}
+
+impl AboTiming {
+    /// The paper's configuration at DDR5-6000.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        let clock = MemClock::ddr5_6000();
+        let abo = mopac_types::jedec::AboSpec::paper_default();
+        Self {
+            normal_window: clock.ns_to_cycles(abo.normal_window_ns),
+            stall: clock.ns_to_cycles(abo.stall_ns),
+        }
+    }
+}
+
+impl Default for AboTiming {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_in_cycles() {
+        let base = TimingSet::ddr5_base();
+        assert_eq!(base.t_rcd, 42);
+        assert_eq!(base.t_rp, 42);
+        assert_eq!(base.t_ras, 96);
+        assert_eq!(base.t_rc, 138);
+        let prac = TimingSet::ddr5_prac();
+        assert_eq!(prac.t_rp, 108);
+        assert_eq!(prac.t_ras, 48);
+        assert_eq!(prac.t_rc, 156);
+    }
+
+    #[test]
+    fn trc_equals_tras_plus_trp() {
+        // The row-cycle constraint emerges from tRAS + tRP in both sets,
+        // which is how the bank FSM enforces it.
+        for t in [TimingSet::ddr5_base(), TimingSet::ddr5_prac()] {
+            assert_eq!(t.t_rc, t.t_ras + t.t_rp);
+        }
+    }
+
+    #[test]
+    fn abo_cycles() {
+        let abo = AboTiming::paper_default();
+        assert_eq!(abo.normal_window, 540);
+        assert_eq!(abo.stall, 1050);
+    }
+}

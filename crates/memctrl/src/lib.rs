@@ -1,0 +1,33 @@
+//! DDR5 memory controller for the MoPAC reproduction.
+//!
+//! Provides address mapping ([`mapping`], Minimalist Open Page by
+//! default) and the command scheduler ([`controller`]): FR-FCFS with
+//! open/close/timeout page policies, write-drain hysteresis, periodic
+//! refresh, ALERT-back-off handling (stall + RFM after the 180 ns
+//! window), and MoPAC-C's probabilistic `PREcu` selection.
+//!
+//! # Examples
+//!
+//! ```
+//! use mopac_memctrl::controller::{AccessKind, McConfig, MemoryController, MemRequest};
+//! use mopac_memctrl::mapping::{AddressMapper, Mapping};
+//! use mopac_dram::device::{DramConfig, DramDevice};
+//! use mopac::config::MitigationConfig;
+//! use mopac_types::addr::PhysAddr;
+//!
+//! let dram = DramDevice::new(DramConfig::tiny(MitigationConfig::mopac_c(500)));
+//! let mapper = AddressMapper::new(dram.config().geometry, Mapping::paper_default());
+//! let mut mc = MemoryController::new(dram, McConfig::default());
+//! mc.enqueue_phys(1, AccessKind::Read, PhysAddr::new(0x4000), &mapper, 0);
+//! let mut done = Vec::new();
+//! for now in 0..1000 {
+//!     mc.tick(now, &mut done);
+//! }
+//! assert_eq!(done.len(), 1);
+//! ```
+
+pub mod controller;
+pub mod mapping;
+
+pub use controller::{AccessKind, Completion, McConfig, MemRequest, MemoryController, PagePolicy};
+pub use mapping::{AddressMapper, Mapping};

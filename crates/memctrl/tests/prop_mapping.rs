@@ -1,0 +1,46 @@
+//! Property tests for address mapping: decode/encode must be a bijection
+//! over the device's address space for every policy.
+
+use mopac_memctrl::mapping::{AddressMapper, Mapping};
+use mopac_types::addr::PhysAddr;
+use mopac_types::geometry::DramGeometry;
+use proptest::prelude::*;
+
+fn mappings() -> Vec<Mapping> {
+    vec![
+        Mapping::Mop { lines_per_group: 1 },
+        Mapping::Mop { lines_per_group: 4 },
+        Mapping::Mop { lines_per_group: 16 },
+        Mapping::RowInterleaved,
+    ]
+}
+
+proptest! {
+    #[test]
+    fn decode_encode_round_trip(line in 0u64..(32u64 << 30) / 64) {
+        let geom = DramGeometry::ddr5_32gb();
+        for mapping in mappings() {
+            let m = AddressMapper::new(geom, mapping);
+            let addr = PhysAddr::from_line_index(line, 64);
+            let d = m.decode(addr);
+            prop_assert!(d.row < geom.rows_per_bank);
+            prop_assert!(d.col < geom.lines_per_row());
+            prop_assert!(d.bank.subchannel < geom.subchannels);
+            prop_assert!(d.bank.bank < geom.banks_per_subchannel);
+            prop_assert_eq!(m.encode(d), addr, "{:?}", mapping);
+        }
+    }
+
+    #[test]
+    fn distinct_lines_map_to_distinct_coordinates(
+        a in 0u64..(1u64 << 29),
+        b in 0u64..(1u64 << 29),
+    ) {
+        prop_assume!(a != b);
+        let geom = DramGeometry::ddr5_32gb();
+        let m = AddressMapper::new(geom, Mapping::paper_default());
+        let da = m.decode(PhysAddr::from_line_index(a, 64));
+        let db = m.decode(PhysAddr::from_line_index(b, 64));
+        prop_assert_ne!((da.bank, da.row, da.col), (db.bank, db.row, db.col));
+    }
+}

@@ -1,0 +1,193 @@
+//! The attack driver (Sections 2.1 and 7).
+//!
+//! Drives an [`AttackPattern`] through the memory controller at maximum
+//! rate — close-page policy, a deep window of outstanding requests, no
+//! instruction gaps — measuring activation throughput, ALERT rate, and
+//! security-oracle violations.
+
+use mopac::config::MitigationConfig;
+use mopac_dram::device::{DramConfig, DramDevice, DramStats};
+use mopac_memctrl::controller::{AccessKind, McConfig, MemRequest, MemoryController, PagePolicy};
+use mopac_types::geometry::DramGeometry;
+use mopac_types::time::Cycle;
+use mopac_workloads::attack::AttackPattern;
+
+/// Attack-run configuration.
+#[derive(Debug, Clone)]
+pub struct AttackConfig {
+    /// DRAM organization.
+    pub geometry: DramGeometry,
+    /// Mitigation under attack.
+    pub mitigation: MitigationConfig,
+    /// How many DRAM cycles to run.
+    pub cycles: Cycle,
+    /// Outstanding requests the attacker keeps in flight per
+    /// sub-channel.
+    pub window: usize,
+    /// Enable the Rowhammer oracle (on by default — attacks are the
+    /// security tests).
+    pub enable_checker: bool,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl AttackConfig {
+    /// Default attack setup on the paper's geometry.
+    #[must_use]
+    pub fn new(mitigation: MitigationConfig, cycles: Cycle) -> Self {
+        Self {
+            geometry: DramGeometry::ddr5_32gb(),
+            mitigation,
+            cycles,
+            window: 32,
+            enable_checker: true,
+            seed: 0xA77AC4,
+        }
+    }
+}
+
+/// Results of an attack run.
+#[derive(Debug, Clone)]
+pub struct AttackResult {
+    /// Total activations achieved by the attacker.
+    pub activations: u64,
+    /// Cycles simulated.
+    pub cycles: Cycle,
+    /// DRAM statistics (alerts, RFMs, mitigations...).
+    pub dram: DramStats,
+    /// Security-oracle violations (must be 0 for a secure config).
+    pub violations: u64,
+}
+
+impl AttackResult {
+    /// Activations per ALERT (the `N` in the slowdown model
+    /// `7 / (N + 7)`), or `None` if no ALERT fired.
+    #[must_use]
+    pub fn acts_per_alert(&self) -> Option<f64> {
+        let alerts = self.dram.alerts();
+        (alerts > 0).then(|| self.activations as f64 / alerts as f64)
+    }
+
+    /// Activation throughput in ACTs per cycle.
+    #[must_use]
+    pub fn act_throughput(&self) -> f64 {
+        self.activations as f64 / self.cycles.max(1) as f64
+    }
+
+    /// Throughput loss relative to a reference run (typically the same
+    /// pattern against an inert mitigation).
+    #[must_use]
+    pub fn throughput_loss_vs(&self, reference: &AttackResult) -> f64 {
+        1.0 - self.act_throughput() / reference.act_throughput()
+    }
+}
+
+/// Runs `pattern` against the configured mitigation at maximum rate.
+pub fn run_attack(cfg: &AttackConfig, pattern: &mut dyn AttackPattern) -> AttackResult {
+    let dram = DramDevice::new(DramConfig {
+        geometry: cfg.geometry,
+        mitigation: cfg.mitigation,
+        enable_checker: cfg.enable_checker,
+        seed: cfg.seed,
+    });
+    let mut mc = MemoryController::new(
+        dram,
+        McConfig {
+            // Threat model: the attacker picks the policy that suits the
+            // attack; close-page turns every access into an activation.
+            page_policy: PagePolicy::Closed,
+            read_queue_capacity: cfg.window,
+            write_queue_capacity: 8,
+            starvation_cycles: 100_000,
+            seed: cfg.seed ^ 0xF00,
+        },
+    );
+    let mut done = Vec::new();
+    let mut id = 0u64;
+    for now in 0..cfg.cycles {
+        // Keep the window full.
+        while mc.queued() < cfg.window {
+            let target = pattern.next_target();
+            if !mc.enqueue(
+                MemRequest {
+                    id,
+                    kind: AccessKind::Read,
+                    addr: target,
+                },
+                now,
+            ) {
+                break;
+            }
+            id += 1;
+        }
+        done.clear();
+        mc.tick(now, &mut done);
+    }
+    AttackResult {
+        activations: mc.dram().stats().activates,
+        cycles: cfg.cycles,
+        dram: mc.dram().stats(),
+        violations: mc.dram().violations(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mopac_types::geometry::BankRef;
+    use mopac_workloads::attack::{DoubleSidedHammer, SrqFillAttack};
+
+    fn tiny(mit: MitigationConfig, cycles: Cycle) -> AttackConfig {
+        AttackConfig {
+            geometry: DramGeometry::tiny(),
+            ..AttackConfig::new(mit, cycles)
+        }
+    }
+
+    #[test]
+    fn double_sided_on_prac_never_violates() {
+        let cfg = tiny(MitigationConfig::prac(500), 400_000);
+        let mut p = DoubleSidedHammer::new(BankRef::new(0, 0), 100);
+        let r = run_attack(&cfg, &mut p);
+        assert_eq!(r.violations, 0);
+        assert!(r.dram.alerts() > 0, "attack never triggered ALERT");
+        assert!(r.dram.mitigations > 0);
+    }
+
+    #[test]
+    fn double_sided_on_broken_config_violates() {
+        // Failure injection: ATH far above T_RH must let the attack win.
+        let broken = MitigationConfig::prac(500).with_alert_threshold(50_000);
+        let cfg = tiny(broken, 400_000);
+        let mut p = DoubleSidedHammer::new(BankRef::new(0, 0), 100);
+        let r = run_attack(&cfg, &mut p);
+        assert!(r.violations > 0, "oracle should have caught the attack");
+    }
+
+    #[test]
+    fn srq_fill_forces_alerts_on_mopac_d() {
+        let mit = MitigationConfig::mopac_d(500)
+            .with_chips(1)
+            .with_drain_on_ref(0);
+        let cfg = tiny(mit, 300_000);
+        let mut p = SrqFillAttack::new(BankRef::new(0, 0), 512);
+        let r = run_attack(&cfg, &mut p);
+        assert_eq!(r.violations, 0);
+        assert!(r.dram.alerts_srq_full > 0);
+        // Expected pace: one ALERT per ~(drained 5) / p = 40 ACTs, with
+        // some slack for refresh interference.
+        let per = r.acts_per_alert().unwrap();
+        assert!((20.0..90.0).contains(&per), "ACTs per ALERT {per}");
+    }
+
+    #[test]
+    fn throughput_loss_positive_under_alerts() {
+        let base_cfg = tiny(MitigationConfig::baseline(), 150_000);
+        let mut p0 = DoubleSidedHammer::new(BankRef::new(0, 0), 100);
+        let base = run_attack(&base_cfg, &mut p0);
+        let cfg = tiny(MitigationConfig::mopac_c(500), 150_000);
+        let mut p1 = DoubleSidedHammer::new(BankRef::new(0, 0), 100);
+        let hit = run_attack(&cfg, &mut p1);
+        assert!(hit.throughput_loss_vs(&base) > 0.0);
+    }
+}

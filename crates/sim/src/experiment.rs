@@ -1,0 +1,164 @@
+//! Experiment-level helpers: build and run the paper's workloads against
+//! a mitigation configuration and compute slowdowns.
+
+use crate::system::{RunResult, System, SystemConfig};
+use mopac::config::MitigationConfig;
+use mopac_cpu::trace::TraceSource;
+use mopac_memctrl::mapping::AddressMapper;
+use mopac_workloads::generator::CalibratedTrace;
+use mopac_workloads::spec::{self, MIXES};
+
+/// Number of cores in the paper's system.
+pub const CORES: usize = 8;
+
+/// Default per-core instruction budget for experiments. The paper runs
+/// 100 M instructions per core; slowdown ratios for these steady-state
+/// workloads converge much earlier, so the bench harness defaults to a
+/// smaller budget (override with the `MOPAC_INSTRS` environment
+/// variable).
+#[must_use]
+pub fn default_instrs_per_core() -> u64 {
+    std::env::var("MOPAC_INSTRS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(250_000)
+}
+
+/// Builds the 8 per-core traces for a named workload: rate mode (eight
+/// copies) for plain workloads, the fixed assignment for `mix1`–`mix6`.
+///
+/// # Panics
+///
+/// Panics if the name is unknown.
+#[must_use]
+pub fn build_traces(name: &str, cfg: &SystemConfig) -> Vec<Box<dyn TraceSource>> {
+    let mapper = AddressMapper::new(cfg.geometry, cfg.mapping);
+    if let Some((_, assignment)) = MIXES.iter().find(|(n, _)| *n == name) {
+        assignment
+            .iter()
+            .enumerate()
+            .map(|(core, wname)| {
+                let spec = spec::find(wname).expect("mix references known workload");
+                Box::new(CalibratedTrace::new(spec, mapper, core as u32, cfg.seed))
+                    as Box<dyn TraceSource>
+            })
+            .collect()
+    } else {
+        let spec = spec::find(name).unwrap_or_else(|| panic!("unknown workload {name}"));
+        (0..CORES)
+            .map(|core| {
+                Box::new(CalibratedTrace::new(spec, mapper, core as u32, cfg.seed))
+                    as Box<dyn TraceSource>
+            })
+            .collect()
+    }
+}
+
+/// Runs one workload under one mitigation and returns the result.
+///
+/// # Panics
+///
+/// Panics if the workload name is unknown.
+#[must_use]
+pub fn run_workload(name: &str, mitigation: MitigationConfig, instrs: u64) -> RunResult {
+    let cfg = SystemConfig::paper_default(mitigation, instrs);
+    run_workload_with(name, cfg)
+}
+
+/// Runs one workload with a fully custom system configuration.
+///
+/// # Panics
+///
+/// Panics if the workload name is unknown.
+#[must_use]
+pub fn run_workload_with(name: &str, cfg: SystemConfig) -> RunResult {
+    let traces = build_traces(name, &cfg);
+    System::new(cfg, traces).run()
+}
+
+/// A (workload, slowdown) pair produced by a sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlowdownRow {
+    /// Workload name.
+    pub workload: String,
+    /// Fractional slowdown vs the baseline (positive = slower).
+    pub slowdown: f64,
+}
+
+/// Runs `mitigation` and the unprotected baseline over the given
+/// workloads and reports per-workload slowdowns plus the geometric-mean
+/// row ("gmean" in the paper's figures uses the arithmetic mean of
+/// slowdowns; we report the arithmetic mean, matching "on average").
+///
+/// # Panics
+///
+/// Panics on unknown workload names.
+#[must_use]
+pub fn slowdown_sweep(
+    workloads: &[&str],
+    mitigation: MitigationConfig,
+    instrs: u64,
+) -> Vec<SlowdownRow> {
+    let mut rows = Vec::with_capacity(workloads.len() + 1);
+    let mut total = 0.0;
+    for w in workloads {
+        let base = run_workload(w, MitigationConfig::baseline(), instrs);
+        let test = run_workload(w, mitigation, instrs);
+        let s = test.slowdown_vs(&base);
+        total += s;
+        rows.push(SlowdownRow {
+            workload: (*w).to_string(),
+            slowdown: s,
+        });
+    }
+    rows.push(SlowdownRow {
+        workload: "mean".to_string(),
+        slowdown: total / workloads.len() as f64,
+    });
+    rows
+}
+
+/// The mean slowdown across all 23 paper workloads — the headline number
+/// of Figures 2, 9, 11 and 17.
+///
+/// # Panics
+///
+/// Panics if a workload is missing from the catalog.
+#[must_use]
+pub fn mean_slowdown(mitigation: MitigationConfig, instrs: u64) -> f64 {
+    let names = spec::all_names();
+    let rows = slowdown_sweep(&names, mitigation, instrs);
+    rows.last().expect("mean row").slowdown
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_built_for_rate_mode_and_mixes() {
+        let cfg = SystemConfig::paper_default(MitigationConfig::baseline(), 1000);
+        assert_eq!(build_traces("xz", &cfg).len(), 8);
+        let mix = build_traces("mix1", &cfg);
+        assert_eq!(mix.len(), 8);
+        assert_eq!(mix[0].name(), "parest");
+        assert_eq!(mix[3].name(), "xz");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown workload")]
+    fn unknown_workload_panics() {
+        let cfg = SystemConfig::paper_default(MitigationConfig::baseline(), 1000);
+        let _ = build_traces("nope", &cfg);
+    }
+
+    #[test]
+    fn small_run_produces_sane_slowdown() {
+        // A fast smoke test: cam4 (low MPKI) under PRAC.
+        let base = run_workload("cam4", MitigationConfig::baseline(), 20_000);
+        let prac = run_workload("cam4", MitigationConfig::prac(500), 20_000);
+        let s = prac.slowdown_vs(&base);
+        assert!((-0.05..0.5).contains(&s), "slowdown {s}");
+        assert_eq!(prac.violations, 0);
+    }
+}

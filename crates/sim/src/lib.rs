@@ -1,0 +1,27 @@
+//! Full-system simulation harness for the MoPAC reproduction.
+//!
+//! Assembles the substrates — trace-driven cores (`mopac-cpu`), the
+//! memory controller (`mopac-memctrl`) and the DDR5 device with embedded
+//! mitigation engines (`mopac-dram`) — into the paper's Table 3 system
+//! ([`system`]), provides workload-level experiment helpers and the
+//! weighted-speedup metric ([`experiment`]), and a maximum-rate attack
+//! driver for the security and performance-attack studies ([`attack`]).
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use mopac::config::MitigationConfig;
+//! use mopac_sim::experiment::run_workload;
+//!
+//! let base = run_workload("xz", MitigationConfig::baseline(), 100_000);
+//! let prac = run_workload("xz", MitigationConfig::prac(500), 100_000);
+//! println!("PRAC slowdown on xz: {:.1}%", prac.slowdown_vs(&base) * 100.0);
+//! ```
+
+pub mod attack;
+pub mod experiment;
+pub mod system;
+
+pub use attack::{run_attack, AttackConfig, AttackResult};
+pub use experiment::{mean_slowdown, run_workload, slowdown_sweep};
+pub use system::{RunResult, System, SystemConfig};

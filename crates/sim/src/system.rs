@@ -1,0 +1,650 @@
+//! The full-system simulator: 8 trace-driven cores, optional shared LLC,
+//! the memory controller and the DRAM device, advanced in lockstep on
+//! the DRAM clock.
+
+use mopac::config::MitigationConfig;
+use mopac_cpu::core::{Core, CoreParams};
+use mopac_cpu::llc::{CacheAccess, Llc};
+use mopac_cpu::prefetch::StreamPrefetcher;
+use mopac_cpu::trace::TraceSource;
+use mopac_dram::device::{DramConfig, DramDevice, DramStats};
+use mopac_memctrl::controller::{AccessKind, Completion, McConfig, MemRequest, MemoryController};
+use mopac_memctrl::mapping::{AddressMapper, Mapping};
+use mopac_types::addr::PhysAddr;
+use mopac_types::geometry::DramGeometry;
+use mopac_types::time::Cycle;
+use std::collections::{HashMap, VecDeque};
+
+/// System-level configuration.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// DRAM organization (Table 3 default).
+    pub geometry: DramGeometry,
+    /// Mitigation under test.
+    pub mitigation: MitigationConfig,
+    /// Memory-controller configuration (page policy etc.).
+    pub mc: McConfig,
+    /// Address mapping.
+    pub mapping: Mapping,
+    /// Instructions each core must retire.
+    pub instrs_per_core: u64,
+    /// Route traces through the shared LLC (calibrated Table 4 traces
+    /// bypass it; raw-address applications enable it).
+    pub use_llc: bool,
+    /// Run the Rowhammer oracle during the run.
+    pub enable_checker: bool,
+    /// Master seed.
+    pub seed: u64,
+    /// Hard cycle cap (safety net for misconfigured runs).
+    pub max_cycles: Cycle,
+    /// Stream-prefetcher lookahead in lines (0 disables prefetching).
+    pub prefetch_distance: u64,
+    /// Stream trackers per core.
+    pub prefetch_trackers: usize,
+}
+
+impl SystemConfig {
+    /// The paper's system with the given mitigation and a per-core
+    /// instruction budget.
+    #[must_use]
+    pub fn paper_default(mitigation: MitigationConfig, instrs_per_core: u64) -> Self {
+        Self {
+            geometry: DramGeometry::ddr5_32gb(),
+            mitigation,
+            mc: McConfig::default(),
+            mapping: Mapping::paper_default(),
+            instrs_per_core,
+            use_llc: false,
+            enable_checker: false,
+            seed: 0x5151,
+            max_cycles: 2_000_000_000,
+            prefetch_distance: 16,
+            prefetch_trackers: 8,
+        }
+    }
+}
+
+/// Per-core results.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoreResult {
+    /// Instructions retired when the budget was reached.
+    pub instructions: u64,
+    /// Cycle at which the budget was crossed.
+    pub finish_cycle: Cycle,
+    /// Instructions per DRAM cycle up to the finish.
+    pub ipc: f64,
+}
+
+/// Prefetcher effectiveness counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefetchStats {
+    /// Prefetch requests sent to memory.
+    pub issued: u64,
+    /// Demand reads fully absorbed by a completed prefetch.
+    pub hits: u64,
+    /// Demand reads that piggybacked on an in-flight prefetch.
+    pub late_hits: u64,
+}
+
+/// Results of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Per-core outcomes.
+    pub cores: Vec<CoreResult>,
+    /// Total cycles simulated (last finisher).
+    pub cycles: Cycle,
+    /// DRAM statistics.
+    pub dram: DramStats,
+    /// Aggregated mitigation statistics.
+    pub mitigation: mopac::bank::MitigationStats,
+    /// Rowhammer oracle violations (0 when disabled).
+    pub violations: u64,
+    /// Mean read latency (cycles).
+    pub avg_read_latency: f64,
+    /// Prefetcher counters.
+    pub prefetch: PrefetchStats,
+}
+
+impl RunResult {
+    /// Weighted speedup of this run relative to `base` (mean per-core
+    /// IPC ratio); the paper's performance metric.
+    #[must_use]
+    pub fn weighted_speedup_vs(&self, base: &RunResult) -> f64 {
+        assert_eq!(self.cores.len(), base.cores.len(), "core count mismatch");
+        let n = self.cores.len() as f64;
+        self.cores
+            .iter()
+            .zip(&base.cores)
+            .map(|(a, b)| a.ipc / b.ipc)
+            .sum::<f64>()
+            / n
+    }
+
+    /// Slowdown relative to `base` (1 - weighted speedup). Positive
+    /// values mean this run is slower.
+    #[must_use]
+    pub fn slowdown_vs(&self, base: &RunResult) -> f64 {
+        1.0 - self.weighted_speedup_vs(base)
+    }
+
+    /// Row-buffer hit rate observed at the DRAM (column commands that
+    /// did not need a fresh activation).
+    #[must_use]
+    pub fn rbhr(&self) -> f64 {
+        let cols = self.dram.reads + self.dram.writes;
+        if cols == 0 {
+            0.0
+        } else {
+            1.0 - self.dram.activates.min(cols) as f64 / cols as f64
+        }
+    }
+
+    /// Activations per refresh interval per bank (Table 4's APRI).
+    #[must_use]
+    pub fn apri(&self, banks: u32) -> f64 {
+        let refs_per_sc = self.dram.refreshes.max(1) / 2;
+        self.dram.activates as f64 / refs_per_sc as f64 / f64::from(banks)
+    }
+}
+
+/// State of one prefetched line.
+#[derive(Debug, Clone, Copy)]
+struct PfEntry {
+    ready: bool,
+    /// ROB load waiting for this prefetch to land, if any.
+    rob_waiter: Option<u64>,
+}
+
+struct CoreDriver {
+    core: Core,
+    trace: Box<dyn TraceSource>,
+    fetch_credit: f64,
+    gap_left: u32,
+    pending: Option<(PhysAddr, bool)>,
+    seq: u64,
+    prefetcher: Option<StreamPrefetcher>,
+    /// Prefetched lines by line index.
+    pf_lines: HashMap<u64, PfEntry>,
+    /// In-flight prefetch request id -> line.
+    pf_by_id: HashMap<u64, u64>,
+}
+
+/// The assembled system.
+pub struct System {
+    cfg: SystemConfig,
+    mapper: AddressMapper,
+    mc: MemoryController,
+    llc: Option<Llc>,
+    drivers: Vec<CoreDriver>,
+    inflight: VecDeque<Completion>,
+    scratch: Vec<Completion>,
+    now: Cycle,
+    pf_stats: PrefetchStats,
+}
+
+impl System {
+    /// Builds a system running one trace per core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces` is empty.
+    #[must_use]
+    pub fn new(cfg: SystemConfig, traces: Vec<Box<dyn TraceSource>>) -> Self {
+        assert!(!traces.is_empty(), "need at least one core trace");
+        let mapper = AddressMapper::new(cfg.geometry, cfg.mapping);
+        let dram = DramDevice::new(DramConfig {
+            geometry: cfg.geometry,
+            mitigation: cfg.mitigation,
+            enable_checker: cfg.enable_checker,
+            seed: cfg.seed ^ 0xD8A3,
+        });
+        let mut mc_cfg = cfg.mc;
+        mc_cfg.seed = cfg.seed ^ 0x3C;
+        let mc = MemoryController::new(dram, mc_cfg);
+        let drivers = traces
+            .into_iter()
+            .map(|trace| CoreDriver {
+                core: Core::new(CoreParams::paper_default()),
+                trace,
+                fetch_credit: 0.0,
+                gap_left: 0,
+                pending: None,
+                seq: 0,
+                prefetcher: (cfg.prefetch_distance > 0).then(|| {
+                    StreamPrefetcher::new(cfg.prefetch_trackers, cfg.prefetch_distance)
+                }),
+                pf_lines: HashMap::new(),
+                pf_by_id: HashMap::new(),
+            })
+            .collect();
+        let llc = cfg.use_llc.then(Llc::paper_default);
+        Self {
+            cfg,
+            mapper,
+            mc,
+            llc,
+            drivers,
+            inflight: VecDeque::new(),
+            scratch: Vec::new(),
+            now: 0,
+            pf_stats: PrefetchStats::default(),
+        }
+    }
+
+    /// Like [`System::run`] but also returns the memory controller's
+    /// statistics (diagnostics and reporting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cycle cap is hit before all cores finish.
+    pub fn run_with_mc_stats(self) -> (RunResult, mopac_memctrl::controller::McStats) {
+        let mut me = self;
+        let result = me.run_inner();
+        let stats = me.mc.stats();
+        (result, stats)
+    }
+
+    /// Runs to completion (all cores reach the instruction budget) and
+    /// returns the results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cycle cap is hit before all cores finish.
+    pub fn run(mut self) -> RunResult {
+        self.run_inner()
+    }
+
+    fn run_inner(&mut self) -> RunResult {
+        let budget = self.cfg.instrs_per_core;
+        let n_cores = self.drivers.len();
+        let mut finished = 0usize;
+        while finished < n_cores {
+            self.step();
+            finished = self
+                .drivers
+                .iter_mut()
+                .map(|d| usize::from(d.core.check_finished(budget, self.now)))
+                .sum();
+            assert!(
+                self.now < self.cfg.max_cycles,
+                "cycle cap {} hit with {finished}/{n_cores} cores finished",
+                self.cfg.max_cycles
+            );
+        }
+        let cores = self
+            .drivers
+            .iter()
+            .map(|d| {
+                let finish = d.core.finished_at().expect("finished");
+                CoreResult {
+                    instructions: budget,
+                    finish_cycle: finish,
+                    ipc: budget as f64 / finish.max(1) as f64,
+                }
+            })
+            .collect();
+        RunResult {
+            cores,
+            cycles: self.now,
+            dram: self.mc.dram().stats(),
+            mitigation: self.mc.dram().mitigation_stats(),
+            violations: self.mc.dram().violations(),
+            avg_read_latency: self.mc.stats().avg_read_latency(),
+            prefetch: self.pf_stats,
+        }
+    }
+
+    /// Test/diagnostic hook: advances one cycle.
+    #[doc(hidden)]
+    pub fn debug_step(&mut self) {
+        self.step();
+    }
+
+    /// Test/diagnostic hook: per-core retired instruction counts.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn debug_retired(&self) -> Vec<u64> {
+        self.drivers.iter().map(|d| d.core.retired()).collect()
+    }
+
+    /// Test/diagnostic hook: total queued requests in the MC.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn debug_queued(&self) -> usize {
+        self.mc.queued()
+    }
+
+    /// Test/diagnostic hook: in-flight read completions.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn debug_inflight(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Advances one DRAM cycle.
+    fn step(&mut self) {
+        let now = self.now;
+        // Memory controller issues commands; reads may complete.
+        self.scratch.clear();
+        self.mc.tick(now, &mut self.scratch);
+        for c in self.scratch.drain(..) {
+            // Insert keeping ascending completion order.
+            let pos = self.inflight.partition_point(|x| x.at <= c.at);
+            self.inflight.insert(pos, c);
+        }
+        // Deliver due completions (demand loads and prefetches).
+        while self.inflight.front().is_some_and(|c| c.at <= now) {
+            let c = self.inflight.pop_front().expect("nonempty");
+            let d = &mut self.drivers[(c.id >> 48) as usize];
+            if let Some(line) = d.pf_by_id.remove(&c.id) {
+                if let Some(entry) = d.pf_lines.get_mut(&line) {
+                    entry.ready = true;
+                    if let Some(waiter) = entry.rob_waiter {
+                        d.core.on_complete(waiter);
+                        // Consumed by the demand stream.
+                        d.pf_lines.remove(&line);
+                    }
+                }
+            } else {
+                d.core.on_complete(c.id);
+            }
+        }
+        // Fetch in rotating order so no core monopolizes a nearly-full
+        // queue, then retire.
+        let n = self.drivers.len();
+        let start = (now as usize) % n;
+        for k in 0..n {
+            self.fetch_core((start + k) % n, now);
+        }
+        for d in &mut self.drivers {
+            d.core.retire();
+        }
+        self.now += 1;
+    }
+
+    /// Feeds the prefetcher with a demand line and issues any candidate
+    /// prefetches the memory controller can accept.
+    fn run_prefetcher(
+        stats: &mut PrefetchStats,
+        d: &mut CoreDriver,
+        idx: usize,
+        line: u64,
+        mapper: &AddressMapper,
+        mc: &mut MemoryController,
+        now: Cycle,
+    ) {
+        let Some(pf) = d.prefetcher.as_mut() else {
+            return;
+        };
+        // Bound outstanding prefetch state per core.
+        const MAX_PF_LINES: usize = 512;
+        for cand in pf.observe(line) {
+            if d.pf_lines.len() >= MAX_PF_LINES || d.pf_lines.contains_key(&cand) {
+                continue;
+            }
+            let addr = PhysAddr::from_line_index(cand, mapper.geometry().line_bytes);
+            let decoded = mapper.decode(addr);
+            if !mc.can_accept(decoded.bank.subchannel, AccessKind::Read) {
+                continue;
+            }
+            let id = ((idx as u64) << 48) | d.seq;
+            d.seq += 1;
+            let ok = mc.enqueue(
+                MemRequest {
+                    id,
+                    kind: AccessKind::Read,
+                    addr: decoded,
+                },
+                now,
+            );
+            debug_assert!(ok);
+            d.pf_by_id.insert(id, cand);
+            d.pf_lines.insert(
+                cand,
+                PfEntry {
+                    ready: false,
+                    rob_waiter: None,
+                },
+            );
+            stats.issued += 1;
+        }
+    }
+
+    fn fetch_core(&mut self, idx: usize, now: Cycle) {
+        let d = &mut self.drivers[idx];
+        d.fetch_credit =
+            (d.fetch_credit + CoreParams::paper_default().retire_per_dram_cycle).min(64.0);
+        loop {
+            if d.fetch_credit < 1.0 {
+                break;
+            }
+            if d.gap_left > 0 {
+                let free = d.core.rob_free() as u32;
+                let n = d.gap_left.min(d.fetch_credit as u32).min(free);
+                if n == 0 {
+                    break;
+                }
+                d.core.push_instrs(n);
+                d.gap_left -= n;
+                d.fetch_credit -= f64::from(n);
+                continue;
+            }
+            if let Some((addr, is_write)) = d.pending {
+                if d.core.rob_free() == 0 {
+                    break;
+                }
+                let line = addr.line_index(self.cfg.geometry.line_bytes);
+                // Demand read absorbed by the prefetcher?
+                if !is_write {
+                    match d.pf_lines.get_mut(&line) {
+                        Some(e) if e.ready => {
+                            d.pf_lines.remove(&line);
+                            self.pf_stats.hits += 1;
+                            d.core.push_instrs(1);
+                            d.fetch_credit -= 1.0;
+                            d.pending = None;
+                            Self::run_prefetcher(
+                                &mut self.pf_stats,
+                                d,
+                                idx,
+                                line,
+                                &self.mapper,
+                                &mut self.mc,
+                                now,
+                            );
+                            continue;
+                        }
+                        Some(e) if e.rob_waiter.is_none() => {
+                            let id = ((idx as u64) << 48) | d.seq;
+                            d.seq += 1;
+                            e.rob_waiter = Some(id);
+                            self.pf_stats.late_hits += 1;
+                            d.core.push_read(id);
+                            d.fetch_credit -= 1.0;
+                            d.pending = None;
+                            Self::run_prefetcher(
+                                &mut self.pf_stats,
+                                d,
+                                idx,
+                                line,
+                                &self.mapper,
+                                &mut self.mc,
+                                now,
+                            );
+                            continue;
+                        }
+                        _ => {}
+                    }
+                }
+                let decoded = self.mapper.decode(addr);
+                let sc = decoded.bank.subchannel;
+                let kind = if is_write {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
+                if !self.mc.can_accept(sc, kind) {
+                    break;
+                }
+                let id = ((idx as u64) << 48) | d.seq;
+                d.seq += 1;
+                let ok = self.mc.enqueue(
+                    MemRequest {
+                        id,
+                        kind,
+                        addr: decoded,
+                    },
+                    now,
+                );
+                debug_assert!(ok);
+                if is_write {
+                    d.core.push_instrs(1);
+                } else {
+                    d.core.push_read(id);
+                }
+                d.fetch_credit -= 1.0;
+                d.pending = None;
+                if !is_write {
+                    Self::run_prefetcher(
+                        &mut self.pf_stats,
+                        d,
+                        idx,
+                        line,
+                        &self.mapper,
+                        &mut self.mc,
+                        now,
+                    );
+                }
+                continue;
+            }
+            // Pull the next trace record (through the LLC if enabled).
+            let rec = d.trace.next_record();
+            d.gap_left = rec.gap;
+            match self.llc.as_mut() {
+                None => d.pending = Some((rec.addr, rec.is_write)),
+                Some(llc) => match llc.access(rec.addr, rec.is_write) {
+                    CacheAccess::Hit => {
+                        // Hit: the access is one ordinary instruction.
+                        d.gap_left = d.gap_left.saturating_add(1);
+                    }
+                    CacheAccess::Miss => {
+                        // Allocate on write too: the demand fill is a
+                        // read; dirty data leaves later.
+                        d.pending = Some((rec.addr, false));
+                    }
+                    CacheAccess::MissDirtyEviction(victim) => {
+                        d.pending = Some((rec.addr, false));
+                        // Post the writeback without ROB involvement.
+                        let decoded = self.mapper.decode(victim);
+                        let id = ((idx as u64) << 48) | d.seq;
+                        d.seq += 1;
+                        let _ = self.mc.enqueue(
+                            MemRequest {
+                                id,
+                                kind: AccessKind::Write,
+                                addr: decoded,
+                            },
+                            now,
+                        );
+                    }
+                },
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mopac_cpu::trace::{ReplayTrace, TraceRecord};
+
+    fn stream_trace(stride: u64, gap: u32) -> Box<dyn TraceSource> {
+        let records = (0..256u64)
+            .map(|i| TraceRecord {
+                gap,
+                addr: PhysAddr::new(i * stride),
+                is_write: false,
+            })
+            .collect();
+        Box::new(ReplayTrace::new("unit", records))
+    }
+
+    fn tiny_cfg(mit: MitigationConfig, instrs: u64) -> SystemConfig {
+        let mut cfg = SystemConfig::paper_default(mit, instrs);
+        cfg.geometry = DramGeometry::tiny();
+        cfg
+    }
+
+    #[test]
+    fn single_core_completes() {
+        let cfg = tiny_cfg(MitigationConfig::baseline(), 20_000);
+        let sys = System::new(cfg, vec![stream_trace(64, 20)]);
+        let r = sys.run();
+        assert_eq!(r.cores.len(), 1);
+        assert!(r.cores[0].ipc > 0.1, "ipc {}", r.cores[0].ipc);
+        assert!(r.dram.reads > 0);
+    }
+
+    #[test]
+    fn prac_is_slower_than_baseline() {
+        // Row-conflict-heavy pattern: every access a different row in
+        // the same banks.
+        let mk = || {
+            let records = (0..512u64)
+                .map(|i| TraceRecord {
+                    gap: 6,
+                    addr: PhysAddr::new(i * 64 * 1024 * 8), // unique rows
+                    is_write: false,
+                })
+                .collect();
+            Box::new(ReplayTrace::new("conflict", records)) as Box<dyn TraceSource>
+        };
+        let base = System::new(tiny_cfg(MitigationConfig::baseline(), 30_000), vec![mk()]).run();
+        let prac = System::new(tiny_cfg(MitigationConfig::prac(500), 30_000), vec![mk()]).run();
+        let slow = prac.slowdown_vs(&base);
+        assert!(slow > 0.02, "PRAC slowdown only {slow}");
+    }
+
+    #[test]
+    fn eight_core_rate_mode_runs() {
+        let cfg = tiny_cfg(MitigationConfig::baseline(), 5_000);
+        let traces = (0..8).map(|_| stream_trace(64, 10)).collect();
+        let r = System::new(cfg, traces).run();
+        assert_eq!(r.cores.len(), 8);
+        assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn llc_filters_repeated_lines() {
+        let mut cfg = tiny_cfg(MitigationConfig::baseline(), 20_000);
+        cfg.use_llc = true;
+        cfg.prefetch_distance = 0; // isolate the LLC path
+        // A working set that fits in the LLC: after warmup, no DRAM
+        // traffic.
+        let records = (0..64u64)
+            .map(|i| TraceRecord {
+                gap: 10,
+                addr: PhysAddr::new(i * 64),
+                is_write: false,
+            })
+            .collect();
+        let sys = System::new(
+            cfg,
+            vec![Box::new(ReplayTrace::new("resident", records)) as Box<dyn TraceSource>],
+        );
+        let r = sys.run();
+        assert!(r.dram.reads <= 64, "reads {}", r.dram.reads);
+    }
+
+    #[test]
+    fn weighted_speedup_of_identical_runs_is_one() {
+        let mk = || {
+            let cfg = tiny_cfg(MitigationConfig::baseline(), 10_000);
+            System::new(cfg, vec![stream_trace(64, 10)]).run()
+        };
+        let a = mk();
+        let b = mk();
+        assert!((a.weighted_speedup_vs(&b) - 1.0).abs() < 1e-9);
+        assert!(a.slowdown_vs(&b).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,131 @@
+//! Physical addresses and their DRAM decomposition.
+//!
+//! The memory controller maps a [`PhysAddr`] to a [`DecodedAddr`]
+//! (sub-channel, bank, row, column). The mapping policy itself (MOP etc.)
+//! lives in `mopac-memctrl`; this module only defines the address types.
+
+use crate::geometry::BankRef;
+
+/// A byte-granular physical address.
+///
+/// # Examples
+///
+/// ```
+/// use mopac_types::addr::PhysAddr;
+///
+/// let a = PhysAddr::new(0x1000);
+/// assert_eq!(a.get(), 0x1000);
+/// assert_eq!(a.line_index(64), 0x40);
+/// assert_eq!(a.align_down(64), PhysAddr::new(0x1000));
+/// assert_eq!(PhysAddr::new(0x1003).align_down(64), PhysAddr::new(0x1000));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct PhysAddr(u64);
+
+impl PhysAddr {
+    /// Creates a physical address from a raw byte address.
+    #[must_use]
+    pub const fn new(addr: u64) -> Self {
+        Self(addr)
+    }
+
+    /// Returns the raw byte address.
+    #[must_use]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the cache-line index of this address (address divided by
+    /// the line size).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `line_bytes` is not a power of two.
+    #[must_use]
+    pub fn line_index(self, line_bytes: u32) -> u64 {
+        debug_assert!(line_bytes.is_power_of_two());
+        self.0 >> line_bytes.trailing_zeros()
+    }
+
+    /// Rounds the address down to a multiple of `align` (a power of two).
+    #[must_use]
+    pub fn align_down(self, align: u32) -> Self {
+        debug_assert!(align.is_power_of_two());
+        Self(self.0 & !u64::from(align - 1))
+    }
+
+    /// Constructs an address from a cache-line index.
+    #[must_use]
+    pub fn from_line_index(line: u64, line_bytes: u32) -> Self {
+        Self(line << line_bytes.trailing_zeros())
+    }
+}
+
+impl From<u64> for PhysAddr {
+    fn from(v: u64) -> Self {
+        Self(v)
+    }
+}
+
+impl From<PhysAddr> for u64 {
+    fn from(a: PhysAddr) -> Self {
+        a.0
+    }
+}
+
+impl std::fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl std::fmt::LowerHex for PhysAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// A physical address decoded into DRAM coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DecodedAddr {
+    /// The bank (sub-channel + bank-in-subchannel) this address maps to.
+    pub bank: BankRef,
+    /// Row within the bank.
+    pub row: u32,
+    /// Column within the row, in cache-line units.
+    pub col: u32,
+}
+
+impl DecodedAddr {
+    /// Creates a decoded address.
+    #[must_use]
+    pub fn new(bank: BankRef, row: u32, col: u32) -> Self {
+        Self { bank, row, col }
+    }
+}
+
+impl std::fmt::Display for DecodedAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.r{}.c{}", self.bank, self.row, self.col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_index_and_back() {
+        let a = PhysAddr::new(0xdead_bec0);
+        let li = a.line_index(64);
+        assert_eq!(PhysAddr::from_line_index(li, 64), a.align_down(64));
+    }
+
+    #[test]
+    fn display_formats() {
+        let d = DecodedAddr::new(BankRef::new(0, 3), 42, 7);
+        assert_eq!(d.to_string(), "sc0.b3.r42.c7");
+        assert_eq!(PhysAddr::new(255).to_string(), "0xff");
+        assert_eq!(format!("{:x}", PhysAddr::new(255)), "ff");
+    }
+}

@@ -1,0 +1,160 @@
+//! DRAM organization: channels, sub-channels, banks, rows.
+//!
+//! The paper's baseline (Table 3) is a 32 GB DDR5 system with one rank,
+//! two sub-channels, 32 banks per sub-channel, 64K rows per bank and
+//! 8 KB rows. ABO (ALERT-back-off) is sub-channel scoped: an ALERT from
+//! any bank stalls all 32 banks of its sub-channel.
+
+/// Static description of the simulated DRAM organization.
+///
+/// # Examples
+///
+/// ```
+/// use mopac_types::geometry::DramGeometry;
+///
+/// let geom = DramGeometry::ddr5_32gb();
+/// assert_eq!(geom.total_banks(), 64);
+/// assert_eq!(geom.capacity_bytes(), 32 * 1024 * 1024 * 1024);
+/// assert_eq!(geom.lines_per_row(), 128);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DramGeometry {
+    /// Number of sub-channels (ABO scope). DDR5 DIMMs have two.
+    pub subchannels: u32,
+    /// Banks per sub-channel (32 for DDR5: 8 bank groups x 4 banks).
+    pub banks_per_subchannel: u32,
+    /// Rows per bank.
+    pub rows_per_bank: u32,
+    /// Row (page) size in bytes.
+    pub row_bytes: u32,
+    /// Cache-line / memory-transaction size in bytes.
+    pub line_bytes: u32,
+}
+
+impl DramGeometry {
+    /// The paper's Table 3 configuration: 32 GB, 2 sub-channels x 32 banks,
+    /// 64K rows per bank, 8 KB rows, 64 B lines.
+    #[must_use]
+    pub fn ddr5_32gb() -> Self {
+        Self {
+            subchannels: 2,
+            banks_per_subchannel: 32,
+            rows_per_bank: 64 * 1024,
+            row_bytes: 8 * 1024,
+            line_bytes: 64,
+        }
+    }
+
+    /// A tiny geometry for fast unit tests (2 sub-channels x 4 banks,
+    /// 1K rows).
+    #[must_use]
+    pub fn tiny() -> Self {
+        Self {
+            subchannels: 2,
+            banks_per_subchannel: 4,
+            rows_per_bank: 1024,
+            row_bytes: 8 * 1024,
+            line_bytes: 64,
+        }
+    }
+
+    /// Total number of banks across all sub-channels.
+    #[must_use]
+    pub fn total_banks(&self) -> u32 {
+        self.subchannels * self.banks_per_subchannel
+    }
+
+    /// Total addressable capacity in bytes.
+    #[must_use]
+    pub fn capacity_bytes(&self) -> u64 {
+        u64::from(self.total_banks()) * u64::from(self.rows_per_bank) * u64::from(self.row_bytes)
+    }
+
+    /// Number of cache lines per row.
+    #[must_use]
+    pub fn lines_per_row(&self) -> u32 {
+        self.row_bytes / self.line_bytes
+    }
+
+    /// Total number of cache lines in the system.
+    #[must_use]
+    pub fn total_lines(&self) -> u64 {
+        self.capacity_bytes() / u64::from(self.line_bytes)
+    }
+
+    /// Converts a (sub-channel, bank-in-subchannel) pair to a flat bank
+    /// index in `0..total_banks()`.
+    #[must_use]
+    pub fn flat_bank(&self, subch: u32, bank: u32) -> u32 {
+        debug_assert!(subch < self.subchannels && bank < self.banks_per_subchannel);
+        subch * self.banks_per_subchannel + bank
+    }
+
+    /// Inverse of [`Self::flat_bank`].
+    #[must_use]
+    pub fn split_bank(&self, flat: u32) -> BankRef {
+        debug_assert!(flat < self.total_banks());
+        BankRef {
+            subchannel: flat / self.banks_per_subchannel,
+            bank: flat % self.banks_per_subchannel,
+        }
+    }
+}
+
+impl Default for DramGeometry {
+    fn default() -> Self {
+        Self::ddr5_32gb()
+    }
+}
+
+/// Identifies one bank: its sub-channel and its index within the
+/// sub-channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BankRef {
+    /// Sub-channel index.
+    pub subchannel: u32,
+    /// Bank index within the sub-channel.
+    pub bank: u32,
+}
+
+impl BankRef {
+    /// Creates a bank reference.
+    #[must_use]
+    pub fn new(subchannel: u32, bank: u32) -> Self {
+        Self { subchannel, bank }
+    }
+}
+
+impl std::fmt::Display for BankRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sc{}.b{}", self.subchannel, self.bank)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_geometry() {
+        let g = DramGeometry::ddr5_32gb();
+        assert_eq!(g.total_banks(), 64);
+        assert_eq!(g.capacity_bytes(), 32 << 30);
+        assert_eq!(g.lines_per_row(), 128);
+        assert_eq!(g.total_lines(), (32u64 << 30) / 64);
+    }
+
+    #[test]
+    fn flat_bank_round_trip() {
+        let g = DramGeometry::ddr5_32gb();
+        for flat in 0..g.total_banks() {
+            let r = g.split_bank(flat);
+            assert_eq!(g.flat_bank(r.subchannel, r.bank), flat);
+        }
+    }
+
+    #[test]
+    fn bank_ref_display() {
+        assert_eq!(BankRef::new(1, 7).to_string(), "sc1.b7");
+    }
+}

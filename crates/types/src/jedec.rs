@@ -1,0 +1,132 @@
+//! JEDEC DDR5 timing specifications from the paper's Table 1, in
+//! nanoseconds, for both the base DDR5-6000AN device and the PRAC-enabled
+//! device (JESD79-5C).
+//!
+//! These are the ground-truth constants every other crate converts into
+//! clock cycles. The PRAC column reflects the counter read-modify-write
+//! folded into precharge: tRP grows 14 -> 36 ns (2.57x), tRC 46 -> 52 ns,
+//! while tRAS shrinks 32 -> 16 ns (the row can close earlier because the
+//! restore completes during the longer precharge).
+
+/// DRAM timing parameters in nanoseconds (one row of the paper's Table 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingNs {
+    /// Time for performing ACT (row activation to column command).
+    pub t_rcd: f64,
+    /// Time to precharge an open row.
+    pub t_rp: f64,
+    /// Minimum time a row must be kept open (ACT to PRE).
+    pub t_ras: f64,
+    /// Time between successive ACTs to the same bank.
+    pub t_rc: f64,
+    /// Refresh period in nanoseconds (32 ms).
+    pub t_refw: f64,
+    /// Time between successive REF commands.
+    pub t_refi: f64,
+    /// Execution time of one REF command.
+    pub t_rfc: f64,
+}
+
+impl TimingNs {
+    /// Base DDR5-6000AN timings (Table 1, "Base" column).
+    #[must_use]
+    pub const fn ddr5_base() -> Self {
+        Self {
+            t_rcd: 14.0,
+            t_rp: 14.0,
+            t_ras: 32.0,
+            t_rc: 46.0,
+            t_refw: 32.0e6,
+            t_refi: 3900.0,
+            t_rfc: 410.0,
+        }
+    }
+
+    /// PRAC timings (Table 1, "PRAC" column): precharge performs the
+    /// counter read-modify-write.
+    #[must_use]
+    pub const fn ddr5_prac() -> Self {
+        Self {
+            t_rcd: 16.0,
+            t_rp: 36.0,
+            t_ras: 16.0,
+            t_rc: 52.0,
+            t_refw: 32.0e6,
+            t_refi: 3900.0,
+            t_rfc: 410.0,
+        }
+    }
+}
+
+/// ABO (ALERT-back-off) protocol constants from Table 3 and Section 2.5.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AboSpec {
+    /// Time the memory controller may keep operating normally after
+    /// ALERT is asserted (ns).
+    pub normal_window_ns: f64,
+    /// Stall time once the MC issues the RFM (ns). With 1 RFM per ABO the
+    /// DRAM is unavailable for 350 ns.
+    pub stall_ns: f64,
+    /// Time to perform one PRAC-counter read-modify-write for a row under
+    /// ABO (ns); each ABO drains up to `stall_ns / row_update_ns = 5` rows.
+    pub row_update_ns: f64,
+}
+
+impl AboSpec {
+    /// The paper's configuration: 180 ns normal window + 350 ns stall
+    /// (mitigation level 1, one RFM per ABO), 70 ns per row update.
+    #[must_use]
+    pub const fn paper_default() -> Self {
+        Self {
+            normal_window_ns: 180.0,
+            stall_ns: 350.0,
+            row_update_ns: 70.0,
+        }
+    }
+
+    /// Total ALERT cost seen by the memory controller (530 ns in Table 3).
+    #[must_use]
+    pub fn total_alert_ns(&self) -> f64 {
+        self.normal_window_ns + self.stall_ns
+    }
+
+    /// Number of row counter-updates that fit in one ABO stall (5 in the
+    /// paper).
+    #[must_use]
+    pub fn updates_per_abo(&self) -> u32 {
+        (self.stall_ns / self.row_update_ns) as u32
+    }
+}
+
+impl Default for AboSpec {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_values() {
+        let base = TimingNs::ddr5_base();
+        let prac = TimingNs::ddr5_prac();
+        assert_eq!(base.t_rp, 14.0);
+        assert_eq!(prac.t_rp, 36.0);
+        assert_eq!(base.t_rc, 46.0);
+        assert_eq!(prac.t_rc, 52.0);
+        assert_eq!(base.t_ras, 32.0);
+        assert_eq!(prac.t_ras, 16.0);
+        // tREFW/tREFI/tRFC identical across columns.
+        assert_eq!(base.t_refi, prac.t_refi);
+        assert_eq!(base.t_rfc, prac.t_rfc);
+    }
+
+    #[test]
+    fn abo_spec() {
+        let abo = AboSpec::paper_default();
+        assert_eq!(abo.total_alert_ns(), 530.0);
+        assert_eq!(abo.updates_per_abo(), 5);
+    }
+}

@@ -1,0 +1,32 @@
+//! Shared foundation types for the MoPAC Rowhammer-mitigation simulator.
+//!
+//! This crate holds the vocabulary used by every other crate in the
+//! workspace: DRAM geometry and component identifiers ([`geometry`]),
+//! physical addresses ([`addr`]), simulation time ([`time`]), deterministic
+//! random-number generation ([`rng`]), and lightweight statistics
+//! ([`stats`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use mopac_types::geometry::DramGeometry;
+//! use mopac_types::addr::PhysAddr;
+//!
+//! let geom = DramGeometry::ddr5_32gb();
+//! assert_eq!(geom.banks_per_subchannel, 32);
+//! assert_eq!(geom.rows_per_bank, 64 * 1024);
+//! let addr = PhysAddr::new(0x1234_5678);
+//! assert_eq!(addr.line_index(64), 0x1234_5678 / 64);
+//! ```
+
+pub mod addr;
+pub mod geometry;
+pub mod jedec;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use addr::{DecodedAddr, PhysAddr};
+pub use geometry::{BankRef, DramGeometry};
+pub use rng::DetRng;
+pub use time::{Cycle, MemClock};

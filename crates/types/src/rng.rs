@@ -1,0 +1,172 @@
+//! Deterministic random-number generation.
+//!
+//! Every stochastic component in the simulator (MoPAC coin flips, MINT
+//! window selection, workload generators, Monte-Carlo analysis) draws from
+//! a [`DetRng`] seeded from an experiment-level master seed. Sub-streams
+//! are derived with [`DetRng::fork`] using a SplitMix64 hash of the parent
+//! seed and a stream label, so per-bank / per-chip / per-core streams are
+//! independent and reproducible regardless of construction order.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// SplitMix64 step: turns a 64-bit state into a well-mixed 64-bit output.
+#[must_use]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A deterministic, forkable PRNG.
+///
+/// # Examples
+///
+/// ```
+/// use mopac_types::rng::DetRng;
+///
+/// let mut a = DetRng::from_seed(42);
+/// let mut b = DetRng::from_seed(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+///
+/// // Forked streams are independent of the parent's draw position.
+/// let fork1 = DetRng::from_seed(42).fork(7);
+/// let mut parent = DetRng::from_seed(42);
+/// let _ = parent.next_u64();
+/// let fork2 = parent.fork(7);
+/// let mut f1 = fork1;
+/// let mut f2 = fork2;
+/// assert_eq!(f1.next_u64(), f2.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    seed: u64,
+    inner: SmallRng,
+}
+
+impl DetRng {
+    /// Creates a generator from a 64-bit seed.
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Self {
+        Self {
+            seed,
+            inner: SmallRng::seed_from_u64(splitmix64(seed)),
+        }
+    }
+
+    /// Derives an independent child stream labelled `stream`.
+    ///
+    /// Forking depends only on the seed and label, never on how many
+    /// values have been drawn from `self`.
+    #[must_use]
+    pub fn fork(&self, stream: u64) -> Self {
+        Self::from_seed(splitmix64(self.seed ^ splitmix64(stream.wrapping_add(1))))
+    }
+
+    /// Returns the seed this generator was created with.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Draws a uniformly random 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.gen()
+    }
+
+    /// Draws a uniform value in `0..bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below() requires a positive bound");
+        self.inner.gen_range(0..bound)
+    }
+
+    /// Draws a uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `p` is outside `[0, 1]`.
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        self.inner.gen::<f64>() < p
+    }
+
+    /// Draws a geometric gap: the number of failures before the first
+    /// success of a Bernoulli(`p`) process. Used for inter-miss gaps in
+    /// workload generation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `(0, 1]`.
+    pub fn geometric(&mut self, p: f64) -> u64 {
+        assert!(p > 0.0 && p <= 1.0, "geometric requires p in (0,1], got {p}");
+        if p >= 1.0 {
+            return 0;
+        }
+        let u = self.unit_f64().max(f64::MIN_POSITIVE);
+        (u.ln() / (1.0 - p).ln()).floor() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproducible() {
+        let mut a = DetRng::from_seed(1);
+        let mut b = DetRng::from_seed(1);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn forks_differ_from_parent_and_each_other() {
+        let parent = DetRng::from_seed(9);
+        let mut f0 = parent.fork(0);
+        let mut f1 = parent.fork(1);
+        let mut p = parent.clone();
+        let (a, b, c) = (f0.next_u64(), f1.next_u64(), p.next_u64());
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn bernoulli_mean_close() {
+        let mut rng = DetRng::from_seed(3);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| rng.bernoulli(0.125)).count() as f64;
+        let mean = hits / n as f64;
+        assert!((mean - 0.125).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn geometric_mean_close() {
+        let mut rng = DetRng::from_seed(4);
+        let p = 0.1;
+        let n = 50_000;
+        let total: u64 = (0..n).map(|_| rng.geometric(p)).sum();
+        let mean = total as f64 / n as f64;
+        // E[geometric failures] = (1-p)/p = 9
+        assert!((mean - 9.0).abs() < 0.3, "mean {mean}");
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = DetRng::from_seed(5);
+        for _ in 0..1000 {
+            assert!(rng.below(7) < 7);
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Lightweight statistics helpers used by the simulator and the bench
+//! harness: counters, running means, and fixed-bucket histograms.
+
+/// Running mean/min/max over a stream of `f64` samples.
+///
+/// # Examples
+///
+/// ```
+/// use mopac_types::stats::RunningStats;
+///
+/// let mut s = RunningStats::new();
+/// for v in [1.0, 2.0, 3.0] {
+///     s.push(v);
+/// }
+/// assert_eq!(s.count(), 3);
+/// assert!((s.mean() - 2.0).abs() < 1e-12);
+/// assert_eq!(s.min(), Some(1.0));
+/// assert_eq!(s.max(), Some(3.0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunningStats {
+    count: u64,
+    sum: f64,
+    sum_sq: f64,
+    min: Option<f64>,
+    max: Option<f64>,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.sum_sq += v * v;
+        self.min = Some(self.min.map_or(v, |m| m.min(v)));
+        self.max = Some(self.max.map_or(v, |m| m.max(v)));
+    }
+
+    /// Number of samples seen.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of the samples (0 if empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Population standard deviation (0 if fewer than two samples).
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        if self.count < 2 {
+            return 0.0;
+        }
+        let n = self.count as f64;
+        let var = (self.sum_sq / n - (self.sum / n).powi(2)).max(0.0);
+        var.sqrt()
+    }
+
+    /// Smallest sample, if any.
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        self.min
+    }
+
+    /// Largest sample, if any.
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        self.max
+    }
+}
+
+impl Extend<f64> for RunningStats {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for v in iter {
+            self.push(v);
+        }
+    }
+}
+
+impl FromIterator<f64> for RunningStats {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut s = Self::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// A histogram with fixed-width buckets plus an overflow bucket.
+///
+/// # Examples
+///
+/// ```
+/// use mopac_types::stats::Histogram;
+///
+/// let mut h = Histogram::new(10, 5); // 5 buckets of width 10: [0,10), [10,20)...
+/// h.record(3);
+/// h.record(12);
+/// h.record(999); // overflow
+/// assert_eq!(h.bucket_count(0), 1);
+/// assert_eq!(h.bucket_count(1), 1);
+/// assert_eq!(h.overflow(), 1);
+/// assert_eq!(h.total(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bucket_width: u64,
+    buckets: Vec<u64>,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `num_buckets` buckets of `bucket_width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width` is zero or `num_buckets` is zero.
+    #[must_use]
+    pub fn new(bucket_width: u64, num_buckets: usize) -> Self {
+        assert!(bucket_width > 0, "bucket width must be positive");
+        assert!(num_buckets > 0, "need at least one bucket");
+        Self {
+            bucket_width,
+            buckets: vec![0; num_buckets],
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.total += 1;
+        let idx = (value / self.bucket_width) as usize;
+        if idx < self.buckets.len() {
+            self.buckets[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Count in bucket `idx` (`[idx*width, (idx+1)*width)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn bucket_count(&self, idx: usize) -> u64 {
+        self.buckets[idx]
+    }
+
+    /// Number of buckets (excluding overflow).
+    #[must_use]
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Count of samples beyond the last bucket.
+    #[must_use]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total samples recorded.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count of samples at or above `value` (rounded down to a bucket
+    /// boundary).
+    #[must_use]
+    pub fn count_at_or_above(&self, value: u64) -> u64 {
+        let start = (value / self.bucket_width) as usize;
+        self.buckets.iter().skip(start).sum::<u64>() + self.overflow
+    }
+}
+
+/// Formats a ratio as a signed percentage string, e.g. `+1.8%`.
+#[must_use]
+pub fn format_pct(frac: f64) -> String {
+    format!("{:+.1}%", frac * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_stats_std_dev() {
+        let s: RunningStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = RunningStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.min(), None);
+    }
+
+    #[test]
+    fn histogram_cumulative() {
+        let mut h = Histogram::new(64, 8);
+        for v in [0, 63, 64, 200, 10_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count_at_or_above(64), 3);
+        assert_eq!(h.count_at_or_above(0), 5);
+        assert_eq!(h.overflow(), 1);
+    }
+
+    #[test]
+    fn format_pct_signs() {
+        assert_eq!(format_pct(0.018), "+1.8%");
+        assert_eq!(format_pct(-0.004), "-0.4%");
+    }
+}

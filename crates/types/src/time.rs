@@ -1,0 +1,115 @@
+//! Simulation time: DRAM-clock cycles and nanosecond conversion.
+//!
+//! The whole simulator runs in the DRAM command-clock domain. For
+//! DDR5-6000 the data rate is 6000 MT/s, so the command clock runs at
+//! 3 GHz (one cycle = 1/3 ns). Timing parameters from the JEDEC tables are
+//! specified in nanoseconds and converted (rounding up, as hardware must)
+//! with [`MemClock::ns_to_cycles`].
+
+/// A point in (or duration of) simulated time, in DRAM clock cycles.
+pub type Cycle = u64;
+
+/// Converts between nanoseconds and DRAM clock cycles for a fixed clock.
+///
+/// # Examples
+///
+/// ```
+/// use mopac_types::time::MemClock;
+///
+/// let clk = MemClock::ddr5_6000();
+/// assert_eq!(clk.ns_to_cycles(14.0), 42); // tRP = 14ns -> 42 cycles at 3GHz
+/// assert_eq!(clk.ns_to_cycles(46.0), 138); // tRC = 46ns
+/// assert!((clk.cycles_to_ns(42) - 14.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemClock {
+    /// Clock frequency in GHz (cycles per nanosecond).
+    freq_ghz: f64,
+}
+
+impl MemClock {
+    /// Creates a clock with the given frequency in GHz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freq_ghz` is not finite and positive.
+    #[must_use]
+    pub fn new(freq_ghz: f64) -> Self {
+        assert!(
+            freq_ghz.is_finite() && freq_ghz > 0.0,
+            "clock frequency must be finite and positive, got {freq_ghz}"
+        );
+        Self { freq_ghz }
+    }
+
+    /// The DDR5-6000 command clock (3 GHz), used throughout the paper.
+    #[must_use]
+    pub fn ddr5_6000() -> Self {
+        Self::new(3.0)
+    }
+
+    /// Clock frequency in GHz.
+    #[must_use]
+    pub fn freq_ghz(&self) -> f64 {
+        self.freq_ghz
+    }
+
+    /// Converts a duration in nanoseconds to clock cycles, rounding up.
+    ///
+    /// Hardware timing constraints must be met or exceeded, hence the
+    /// ceiling. A tiny epsilon absorbs floating-point noise so that an
+    /// exact multiple (e.g. 14 ns at 3 GHz) maps to exactly 42 cycles.
+    #[must_use]
+    pub fn ns_to_cycles(&self, ns: f64) -> Cycle {
+        debug_assert!(ns >= 0.0, "negative duration {ns}");
+        (ns * self.freq_ghz - 1e-9).ceil().max(0.0) as Cycle
+    }
+
+    /// Converts a cycle count back to nanoseconds.
+    #[must_use]
+    pub fn cycles_to_ns(&self, cycles: Cycle) -> f64 {
+        cycles as f64 / self.freq_ghz
+    }
+}
+
+impl Default for MemClock {
+    fn default() -> Self {
+        Self::ddr5_6000()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_multiples_round_trip() {
+        let clk = MemClock::ddr5_6000();
+        assert_eq!(clk.ns_to_cycles(0.0), 0);
+        assert_eq!(clk.ns_to_cycles(1.0), 3);
+        assert_eq!(clk.ns_to_cycles(32.0), 96); // tRAS
+        assert_eq!(clk.ns_to_cycles(36.0), 108); // PRAC tRP
+        assert_eq!(clk.ns_to_cycles(52.0), 156); // PRAC tRC
+        assert_eq!(clk.ns_to_cycles(3900.0), 11_700); // tREFI
+        assert_eq!(clk.ns_to_cycles(410.0), 1230); // tRFC
+    }
+
+    #[test]
+    fn non_multiples_round_up() {
+        let clk = MemClock::ddr5_6000();
+        // 0.5 ns = 1.5 cycles -> 2
+        assert_eq!(clk.ns_to_cycles(0.5), 2);
+        // 180 ns = 540 exactly
+        assert_eq!(clk.ns_to_cycles(180.0), 540);
+        // 350 ns = 1050 exactly
+        assert_eq!(clk.ns_to_cycles(350.0), 1050);
+        // 70 ns (per-row counter update under ABO) = 210
+        assert_eq!(clk.ns_to_cycles(70.0), 210);
+    }
+
+    #[test]
+    #[should_panic(expected = "clock frequency")]
+    fn rejects_zero_frequency() {
+        let _ = MemClock::new(0.0);
+    }
+}

@@ -1,0 +1,66 @@
+//! Property tests for the foundation types.
+
+use mopac_types::addr::PhysAddr;
+use mopac_types::rng::DetRng;
+use mopac_types::stats::Histogram;
+use mopac_types::time::MemClock;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn line_index_round_trips(addr in 0u64..(1 << 40)) {
+        let a = PhysAddr::new(addr);
+        let line = a.line_index(64);
+        prop_assert_eq!(PhysAddr::from_line_index(line, 64), a.align_down(64));
+    }
+
+    #[test]
+    fn align_down_is_idempotent(addr in any::<u64>(), shift in 0u32..12) {
+        let align = 1u32 << shift;
+        let once = PhysAddr::new(addr).align_down(align);
+        prop_assert_eq!(once.align_down(align), once);
+        prop_assert!(once.get() <= addr);
+    }
+
+    #[test]
+    fn ns_to_cycles_monotone(a in 0.0f64..1e6, b in 0.0f64..1e6) {
+        let clk = MemClock::ddr5_6000();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(clk.ns_to_cycles(lo) <= clk.ns_to_cycles(hi));
+    }
+
+    #[test]
+    fn cycles_cover_duration(ns in 0.0f64..1e6) {
+        // The ceiling conversion must never under-provision time.
+        let clk = MemClock::ddr5_6000();
+        let cycles = clk.ns_to_cycles(ns);
+        prop_assert!(clk.cycles_to_ns(cycles) + 1e-6 >= ns);
+    }
+
+    #[test]
+    fn histogram_totals_conserved(values in prop::collection::vec(0u64..10_000, 1..200)) {
+        let mut h = Histogram::new(64, 16);
+        for &v in &values {
+            h.record(v);
+        }
+        let bucket_sum: u64 = (0..h.num_buckets()).map(|i| h.bucket_count(i)).sum();
+        prop_assert_eq!(bucket_sum + h.overflow(), values.len() as u64);
+        prop_assert_eq!(h.count_at_or_above(0), values.len() as u64);
+    }
+
+    #[test]
+    fn rng_forks_are_reproducible(seed in any::<u64>(), stream in any::<u64>()) {
+        let mut a = DetRng::from_seed(seed).fork(stream);
+        let mut b = DetRng::from_seed(seed).fork(stream);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn bernoulli_extremes(seed in any::<u64>()) {
+        let mut rng = DetRng::from_seed(seed);
+        prop_assert!(!rng.bernoulli(0.0));
+        prop_assert!(rng.bernoulli(1.0));
+    }
+}

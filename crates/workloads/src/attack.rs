@@ -1,0 +1,249 @@
+//! Attack-pattern generators (Sections 2.1 and 7).
+//!
+//! Attack patterns emit DRAM coordinates directly (the attacker knows
+//! the mapping and, per the threat model, picks the memory-system policy
+//! best suited to the attack — the drivers run them under a close-page
+//! policy so every access is an activation).
+
+use mopac_types::addr::DecodedAddr;
+use mopac_types::geometry::{BankRef, DramGeometry};
+
+/// An infinite stream of attack targets.
+pub trait AttackPattern {
+    /// The next address to access.
+    fn next_target(&mut self) -> DecodedAddr;
+
+    /// A short display name.
+    fn name(&self) -> &str;
+}
+
+/// Classic double-sided hammer: alternate the two aggressor rows
+/// sandwiching a victim (`victim - 1`, `victim + 1`) in one bank. The
+/// alternation also guarantees every access is a row-buffer conflict.
+#[derive(Debug, Clone)]
+pub struct DoubleSidedHammer {
+    bank: BankRef,
+    victim: u32,
+    toggle: bool,
+}
+
+impl DoubleSidedHammer {
+    /// Creates the pattern around `victim` (which must have both
+    /// neighbours).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `victim` is row 0.
+    #[must_use]
+    pub fn new(bank: BankRef, victim: u32) -> Self {
+        assert!(victim > 0, "victim needs a lower neighbour");
+        Self {
+            bank,
+            victim,
+            toggle: false,
+        }
+    }
+}
+
+impl AttackPattern for DoubleSidedHammer {
+    fn next_target(&mut self) -> DecodedAddr {
+        self.toggle = !self.toggle;
+        let row = if self.toggle {
+            self.victim - 1
+        } else {
+            self.victim + 1
+        };
+        DecodedAddr::new(self.bank, row, 0)
+    }
+
+    fn name(&self) -> &str {
+        "double-sided"
+    }
+}
+
+/// Single-bank, single-row hammer with rotating conflict rows (every
+/// other access) so the aggressor is re-activated each round.
+#[derive(Debug, Clone)]
+pub struct SingleRowHammer {
+    bank: BankRef,
+    aggressor: u32,
+    conflict_base: u32,
+    conflict_span: u32,
+    i: u32,
+}
+
+impl SingleRowHammer {
+    /// Hammers `aggressor`, interleaving conflict rows from
+    /// `conflict_base..conflict_base + conflict_span`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `conflict_span` is zero.
+    #[must_use]
+    pub fn new(bank: BankRef, aggressor: u32, conflict_base: u32, conflict_span: u32) -> Self {
+        assert!(conflict_span > 0);
+        Self {
+            bank,
+            aggressor,
+            conflict_base,
+            conflict_span,
+            i: 0,
+        }
+    }
+}
+
+impl AttackPattern for SingleRowHammer {
+    fn next_target(&mut self) -> DecodedAddr {
+        self.i = self.i.wrapping_add(1);
+        let row = if self.i.is_multiple_of(2) {
+            self.aggressor
+        } else {
+            self.conflict_base + (self.i / 2) % self.conflict_span
+        };
+        DecodedAddr::new(self.bank, row, 0)
+    }
+
+    fn name(&self) -> &str {
+        "single-row"
+    }
+}
+
+/// The multi-bank performance attack of Figure 14(b): one row per bank,
+/// visited in a circular fashion across all banks of the device.
+#[derive(Debug, Clone)]
+pub struct MultiBankRoundRobin {
+    geom: DramGeometry,
+    row: u32,
+    next_bank: u32,
+}
+
+impl MultiBankRoundRobin {
+    /// Creates the pattern hammering `row` in every bank.
+    #[must_use]
+    pub fn new(geom: DramGeometry, row: u32) -> Self {
+        Self {
+            geom,
+            row,
+            next_bank: 0,
+        }
+    }
+}
+
+impl AttackPattern for MultiBankRoundRobin {
+    fn next_target(&mut self) -> DecodedAddr {
+        let bank = self.geom.split_bank(self.next_bank);
+        self.next_bank = (self.next_bank + 1) % self.geom.total_banks();
+        DecodedAddr::new(bank, self.row, 0)
+    }
+
+    fn name(&self) -> &str {
+        "multi-bank"
+    }
+}
+
+/// The SRQ-full attack of Section 7.4: a single bank receives a long
+/// stream of unique rows, filling MoPAC-D's SRQ as fast as sampling
+/// allows.
+#[derive(Debug, Clone)]
+pub struct SrqFillAttack {
+    bank: BankRef,
+    rows: u32,
+    i: u32,
+}
+
+impl SrqFillAttack {
+    /// Creates the pattern cycling over `rows` unique rows (much larger
+    /// than the SRQ).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is zero.
+    #[must_use]
+    pub fn new(bank: BankRef, rows: u32) -> Self {
+        assert!(rows > 0);
+        Self { bank, rows, i: 0 }
+    }
+}
+
+impl AttackPattern for SrqFillAttack {
+    fn next_target(&mut self) -> DecodedAddr {
+        let row = self.i % self.rows;
+        self.i = self.i.wrapping_add(1);
+        DecodedAddr::new(self.bank, row, 0)
+    }
+
+    fn name(&self) -> &str {
+        "srq-fill"
+    }
+}
+
+/// The tardiness attack of Section 7.4 (multi-bank): hammer one row per
+/// bank so that once it enters the SRQ its ACtr races to TTH.
+#[derive(Debug, Clone)]
+pub struct TardinessAttack {
+    inner: MultiBankRoundRobin,
+}
+
+impl TardinessAttack {
+    /// Creates the pattern (same shape as the multi-bank round-robin,
+    /// but the interesting effect is the per-row ACtr).
+    #[must_use]
+    pub fn new(geom: DramGeometry, row: u32) -> Self {
+        Self {
+            inner: MultiBankRoundRobin::new(geom, row),
+        }
+    }
+}
+
+impl AttackPattern for TardinessAttack {
+    fn next_target(&mut self) -> DecodedAddr {
+        self.inner.next_target()
+    }
+
+    fn name(&self) -> &str {
+        "tardiness"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn double_sided_alternates_neighbours() {
+        let mut p = DoubleSidedHammer::new(BankRef::new(0, 0), 100);
+        let rows: Vec<u32> = (0..4).map(|_| p.next_target().row).collect();
+        assert_eq!(rows, vec![99, 101, 99, 101]);
+    }
+
+    #[test]
+    fn single_row_hits_aggressor_every_other_access() {
+        let mut p = SingleRowHammer::new(BankRef::new(0, 1), 50, 500, 8);
+        let hits = (0..100)
+            .filter(|_| p.next_target().row == 50)
+            .count();
+        assert_eq!(hits, 50);
+    }
+
+    #[test]
+    fn multi_bank_cycles_all_banks() {
+        let geom = DramGeometry::tiny(); // 8 banks
+        let mut p = MultiBankRoundRobin::new(geom, 7);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..geom.total_banks() {
+            let t = p.next_target();
+            assert_eq!(t.row, 7);
+            seen.insert(t.bank);
+        }
+        assert_eq!(seen.len(), geom.total_banks() as usize);
+    }
+
+    #[test]
+    fn srq_fill_is_all_unique_within_span() {
+        let mut p = SrqFillAttack::new(BankRef::new(1, 0), 64);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..64 {
+            assert!(seen.insert(p.next_target().row));
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Workload synthesis for the MoPAC reproduction.
+//!
+//! The paper evaluates on SPEC-2017, STREAM and masstree traces that are
+//! not redistributable; this crate substitutes generators calibrated to
+//! the memory-level statistics the paper publishes in Table 4 ([`spec`],
+//! [`generator`]), plus the attack patterns used by the threat-model and
+//! performance-attack studies ([`attack`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use mopac_workloads::spec::{all_names, find};
+//!
+//! assert_eq!(all_names().len(), 23); // every bar in Figures 2/9/11
+//! assert_eq!(find("parest").unwrap().rbhr, 0.61);
+//! ```
+
+pub mod attack;
+pub mod generator;
+pub mod spec;
+
+pub use attack::AttackPattern;
+pub use generator::CalibratedTrace;
+pub use spec::{AccessPattern, PaperStats, WorkloadSpec};

@@ -1,0 +1,488 @@
+//! The workload catalog: every row of the paper's Table 4, encoded as a
+//! generator specification.
+//!
+//! The SPEC-2017 / STREAM / masstree traces themselves are not
+//! redistributable, so each workload is described by the memory-level
+//! statistics the paper publishes — misses per kilo-instruction (MPKI),
+//! row-buffer hit rate (RBHR), and the hot-row skew implied by the
+//! ACT-64+/ACT-200+ columns — and synthesized by
+//! [`crate::generator::CalibratedTrace`]. See DESIGN.md, substitution 1.
+
+/// Row-selection behaviour of a workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AccessPattern {
+    /// Sequential array sweeps (STREAM): `streams` concurrent cursors
+    /// walking consecutive cache lines.
+    Streaming {
+        /// Number of concurrent array streams (e.g. 3 for triad).
+        streams: u32,
+    },
+    /// SPEC-like irregular access: row runs sized by RBHR, a random row
+    /// working set, and an optional hot set producing the ACT-64+/200+
+    /// rows of Table 4.
+    Irregular {
+        /// Hot rows per bank.
+        hot_rows: u32,
+        /// Fraction of new-row choices that land in the hot set.
+        hot_frac: f64,
+        /// Harmonic skew within the hot set (some rows reach 200+
+        /// activations) versus uniform.
+        skewed: bool,
+    },
+    /// Key-value-store behaviour (masstree): Zipfian row popularity.
+    Zipf {
+        /// Number of distinct rows in the working set (per core).
+        footprint_rows: u32,
+        /// Zipf exponent.
+        theta: f64,
+    },
+}
+
+/// A complete workload description (one row of Table 4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadSpec {
+    /// Benchmark name as used in the paper.
+    pub name: &'static str,
+    /// LLC misses per kilo-instruction.
+    pub mpki: f64,
+    /// Target row-buffer hit rate.
+    pub rbhr: f64,
+    /// Fraction of misses that are writebacks.
+    pub write_frac: f64,
+    /// Mean miss-cluster size: misses arrive in bursts of roughly this
+    /// many (memory-level parallelism the ROB can exploit). Table 4 does
+    /// not publish MLP; these values are calibrated so the PRAC
+    /// slowdowns reproduce the shape of Figure 2 (see EXPERIMENTS.md).
+    pub burst: u32,
+    /// Row-selection behaviour.
+    pub pattern: AccessPattern,
+}
+
+/// Paper values carried along for validation (Table 4 columns).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperStats {
+    /// Misses per kilo-instruction.
+    pub mpki: f64,
+    /// Row-buffer hit rate.
+    pub rbhr: f64,
+    /// Mean activations per refresh interval per bank.
+    pub apri: f64,
+    /// Rows per bank with 64+ activations per 32 ms.
+    pub act64: f64,
+    /// Rows per bank with 200+ activations per 32 ms.
+    pub act200: f64,
+}
+
+const fn irregular(hot_rows: u32, hot_frac: f64, skewed: bool) -> AccessPattern {
+    AccessPattern::Irregular {
+        hot_rows,
+        hot_frac,
+        skewed,
+    }
+}
+
+/// The 12 SPEC-2017 workloads with MPKI > 1 (Table 4), plus masstree and
+/// the four STREAM kernels. Hot-set knobs are calibrated so the
+/// generated streams approximate the published ACT-64+/ACT-200+ skew.
+pub const WORKLOADS: &[(WorkloadSpec, PaperStats)] = &[
+    (
+        WorkloadSpec {
+            name: "bwaves",
+            mpki: 42.3,
+            rbhr: 0.51,
+            write_frac: 0.25,
+            burst: 6,
+            pattern: irregular(0, 0.0, false),
+        },
+        PaperStats {
+            mpki: 42.3,
+            rbhr: 0.51,
+            apri: 14.1,
+            act64: 0.0,
+            act200: 0.0,
+        },
+    ),
+    (
+        WorkloadSpec {
+            name: "parest",
+            mpki: 28.9,
+            rbhr: 0.61,
+            write_frac: 0.25,
+            burst: 4,
+            pattern: irregular(160, 0.12, true),
+        },
+        PaperStats {
+            mpki: 28.9,
+            rbhr: 0.61,
+            apri: 12.6,
+            act64: 155.4,
+            act200: 10.5,
+        },
+    ),
+    (
+        WorkloadSpec {
+            name: "mcf",
+            mpki: 28.8,
+            rbhr: 0.47,
+            write_frac: 0.2,
+            burst: 3,
+            pattern: irregular(3, 0.002, false),
+        },
+        PaperStats {
+            mpki: 28.8,
+            rbhr: 0.47,
+            apri: 16.9,
+            act64: 3.1,
+            act200: 0.0,
+        },
+    ),
+    (
+        WorkloadSpec {
+            name: "lbm",
+            mpki: 28.2,
+            rbhr: 0.29,
+            write_frac: 0.4,
+            burst: 6,
+            pattern: irregular(14, 0.008, false),
+        },
+        PaperStats {
+            mpki: 28.2,
+            rbhr: 0.29,
+            apri: 19.4,
+            act64: 13.3,
+            act200: 0.0,
+        },
+    ),
+    (
+        WorkloadSpec {
+            name: "fotonik3d",
+            mpki: 25.4,
+            rbhr: 0.23,
+            write_frac: 0.3,
+            burst: 5,
+            pattern: irregular(1, 0.0005, false),
+        },
+        PaperStats {
+            mpki: 25.4,
+            rbhr: 0.23,
+            apri: 19.5,
+            act64: 0.4,
+            act200: 0.0,
+        },
+    ),
+    (
+        WorkloadSpec {
+            name: "omnetpp",
+            mpki: 10.2,
+            rbhr: 0.25,
+            write_frac: 0.25,
+            burst: 2,
+            pattern: irregular(60, 0.045, true),
+        },
+        PaperStats {
+            mpki: 10.2,
+            rbhr: 0.25,
+            apri: 19.7,
+            act64: 49.3,
+            act200: 10.1,
+        },
+    ),
+    (
+        WorkloadSpec {
+            name: "roms",
+            mpki: 8.2,
+            rbhr: 0.62,
+            write_frac: 0.3,
+            burst: 4,
+            pattern: irregular(1, 0.001, false),
+        },
+        PaperStats {
+            mpki: 8.2,
+            rbhr: 0.62,
+            apri: 10.4,
+            act64: 1.2,
+            act200: 0.0,
+        },
+    ),
+    (
+        WorkloadSpec {
+            name: "xz",
+            mpki: 6.1,
+            rbhr: 0.05,
+            write_frac: 0.3,
+            burst: 1,
+            pattern: irregular(165, 0.08, false),
+        },
+        PaperStats {
+            mpki: 6.1,
+            rbhr: 0.05,
+            apri: 20.7,
+            act64: 164.0,
+            act200: 0.0,
+        },
+    ),
+    (
+        WorkloadSpec {
+            name: "cactuBSSN",
+            mpki: 3.5,
+            rbhr: 0.00,
+            write_frac: 0.3,
+            burst: 2,
+            pattern: irregular(0, 0.0, false),
+        },
+        PaperStats {
+            mpki: 3.5,
+            rbhr: 0.00,
+            apri: 16.3,
+            act64: 0.0,
+            act200: 0.0,
+        },
+    ),
+    (
+        WorkloadSpec {
+            name: "xalancbmk",
+            mpki: 2.0,
+            rbhr: 0.54,
+            write_frac: 0.2,
+            burst: 2,
+            pattern: irregular(0, 0.0, false),
+        },
+        PaperStats {
+            mpki: 2.0,
+            rbhr: 0.54,
+            apri: 8.7,
+            act64: 0.0,
+            act200: 0.0,
+        },
+    ),
+    (
+        WorkloadSpec {
+            name: "cam4",
+            mpki: 1.6,
+            rbhr: 0.58,
+            write_frac: 0.25,
+            burst: 3,
+            pattern: irregular(0, 0.0, false),
+        },
+        PaperStats {
+            mpki: 1.6,
+            rbhr: 0.58,
+            apri: 5.6,
+            act64: 0.0,
+            act200: 0.0,
+        },
+    ),
+    (
+        WorkloadSpec {
+            name: "blender",
+            mpki: 1.5,
+            rbhr: 0.37,
+            write_frac: 0.25,
+            burst: 3,
+            pattern: irregular(0, 0.0, false),
+        },
+        PaperStats {
+            mpki: 1.5,
+            rbhr: 0.37,
+            apri: 6.0,
+            act64: 0.0,
+            act200: 0.0,
+        },
+    ),
+    (
+        WorkloadSpec {
+            name: "masstree",
+            mpki: 20.3,
+            rbhr: 0.55,
+            write_frac: 0.15,
+            burst: 2,
+            pattern: AccessPattern::Zipf {
+                footprint_rows: 32 * 1024,
+                theta: 0.9,
+            },
+        },
+        PaperStats {
+            mpki: 20.3,
+            rbhr: 0.55,
+            apri: 13.6,
+            act64: 14.3,
+            act200: 0.0,
+        },
+    ),
+    (
+        WorkloadSpec {
+            name: "add",
+            mpki: 62.5,
+            rbhr: 0.69,
+            write_frac: 0.33,
+            burst: 1,
+            pattern: AccessPattern::Streaming { streams: 3 },
+        },
+        PaperStats {
+            mpki: 62.5,
+            rbhr: 0.69,
+            apri: 10.2,
+            act64: 0.0,
+            act200: 0.0,
+        },
+    ),
+    (
+        WorkloadSpec {
+            name: "triad",
+            mpki: 53.6,
+            rbhr: 0.69,
+            write_frac: 0.33,
+            burst: 1,
+            pattern: AccessPattern::Streaming { streams: 3 },
+        },
+        PaperStats {
+            mpki: 53.6,
+            rbhr: 0.69,
+            apri: 10.3,
+            act64: 0.0,
+            act200: 0.0,
+        },
+    ),
+    (
+        WorkloadSpec {
+            name: "copy",
+            mpki: 50.0,
+            rbhr: 0.70,
+            write_frac: 0.5,
+            burst: 1,
+            pattern: AccessPattern::Streaming { streams: 2 },
+        },
+        PaperStats {
+            mpki: 50.0,
+            rbhr: 0.70,
+            apri: 9.8,
+            act64: 0.0,
+            act200: 0.0,
+        },
+    ),
+    (
+        WorkloadSpec {
+            name: "scale",
+            mpki: 41.7,
+            rbhr: 0.70,
+            write_frac: 0.5,
+            burst: 1,
+            pattern: AccessPattern::Streaming { streams: 2 },
+        },
+        PaperStats {
+            mpki: 41.7,
+            rbhr: 0.70,
+            apri: 9.7,
+            act64: 0.0,
+            act200: 0.0,
+        },
+    ),
+];
+
+/// The paper's six mixed workloads: 8-core assignments drawn from the
+/// SPEC set (the paper picks them randomly; we fix representative
+/// combinations so results are reproducible).
+pub const MIXES: &[(&str, [&str; 8])] = &[
+    ("mix1", ["parest", "mcf", "omnetpp", "xz", "bwaves", "lbm", "parest", "omnetpp"]),
+    ("mix2", ["parest", "lbm", "mcf", "xalancbmk", "omnetpp", "bwaves", "xz", "cam4"]),
+    ("mix3", ["omnetpp", "xz", "parest", "roms", "mcf", "fotonik3d", "blender", "lbm"]),
+    ("mix4", ["parest", "parest", "omnetpp", "xz", "mcf", "lbm", "bwaves", "xalancbmk"]),
+    ("mix5", ["omnetpp", "parest", "xz", "cam4", "lbm", "roms", "mcf", "bwaves"]),
+    ("mix6", ["xz", "omnetpp", "parest", "blender", "fotonik3d", "mcf", "lbm", "roms"]),
+];
+
+/// Looks up a workload spec by name.
+///
+/// # Examples
+///
+/// ```
+/// use mopac_workloads::spec::find;
+///
+/// assert_eq!(find("xz").unwrap().mpki, 6.1);
+/// assert!(find("nonexistent").is_none());
+/// ```
+#[must_use]
+pub fn find(name: &str) -> Option<WorkloadSpec> {
+    WORKLOADS
+        .iter()
+        .find(|(w, _)| w.name == name)
+        .map(|(w, _)| *w)
+}
+
+/// Paper-published statistics for a workload.
+#[must_use]
+pub fn paper_stats(name: &str) -> Option<PaperStats> {
+    WORKLOADS
+        .iter()
+        .find(|(w, _)| w.name == name)
+        .map(|(_, s)| *s)
+}
+
+/// All workload names in Table 4 order (SPEC, mixes, masstree, STREAM —
+/// the order of the paper's figures).
+#[must_use]
+pub fn all_names() -> Vec<&'static str> {
+    let spec_order = [
+        "bwaves",
+        "parest",
+        "mcf",
+        "lbm",
+        "fotonik3d",
+        "omnetpp",
+        "roms",
+        "xz",
+        "cactuBSSN",
+        "xalancbmk",
+        "cam4",
+        "blender",
+    ];
+    let mut names: Vec<&'static str> = spec_order.to_vec();
+    names.extend(MIXES.iter().map(|(n, _)| *n));
+    names.push("masstree");
+    names.extend(["add", "triad", "copy", "scale"]);
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_matches_table4_row_count() {
+        // 12 SPEC + masstree + 4 STREAM = 17 specs; 6 mixes on top.
+        assert_eq!(WORKLOADS.len(), 17);
+        assert_eq!(MIXES.len(), 6);
+        assert_eq!(all_names().len(), 23);
+    }
+
+    #[test]
+    fn mixes_reference_known_workloads() {
+        for (name, cores) in MIXES {
+            for w in cores {
+                assert!(find(w).is_some(), "{name} references unknown {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn stream_kernels_have_high_rbhr_and_streaming_pattern() {
+        for n in ["add", "triad", "copy", "scale"] {
+            let w = find(n).unwrap();
+            assert!(w.rbhr >= 0.69);
+            assert!(matches!(w.pattern, AccessPattern::Streaming { .. }));
+        }
+    }
+
+    #[test]
+    fn hot_workloads_have_hot_sets() {
+        for n in ["parest", "omnetpp", "xz"] {
+            let w = find(n).unwrap();
+            match w.pattern {
+                AccessPattern::Irregular { hot_rows, hot_frac, .. } => {
+                    assert!(hot_rows > 0 && hot_frac > 0.0, "{n}");
+                }
+                _ => panic!("{n} should be irregular"),
+            }
+        }
+    }
+}

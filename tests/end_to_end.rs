@@ -1,0 +1,135 @@
+//! End-to-end performance behaviour across the full stack: cores, LLC,
+//! memory controller, DRAM device and mitigation engines together.
+
+use mopac::config::MitigationConfig;
+use mopac_sim::experiment::{build_traces, run_workload};
+use mopac_sim::system::{System, SystemConfig};
+
+const INSTRS: u64 = 60_000;
+
+#[test]
+fn mitigation_cost_ordering_on_latency_bound_workload() {
+    // xz: lowest RBHR in Table 4, most PRAC-sensitive.
+    let base = run_workload("xz", MitigationConfig::baseline(), INSTRS);
+    let prac = run_workload("xz", MitigationConfig::prac(500), INSTRS);
+    let mc = run_workload("xz", MitigationConfig::mopac_c(500), INSTRS);
+    let md = run_workload("xz", MitigationConfig::mopac_d(500), INSTRS);
+    let s_prac = prac.slowdown_vs(&base);
+    let s_mc = mc.slowdown_vs(&base);
+    let s_md = md.slowdown_vs(&base);
+    assert!(s_prac > 0.10, "PRAC slowdown {s_prac}");
+    assert!(s_mc < s_prac / 2.0, "MoPAC-C {s_mc} vs PRAC {s_prac}");
+    assert!(s_md < s_prac / 2.0, "MoPAC-D {s_md} vs PRAC {s_prac}");
+    assert!(s_md < 0.03, "MoPAC-D at T=500 should be near zero, got {s_md}");
+}
+
+#[test]
+fn streams_are_insensitive_to_prac() {
+    let base = run_workload("copy", MitigationConfig::baseline(), INSTRS);
+    let prac = run_workload("copy", MitigationConfig::prac(500), INSTRS);
+    let s = prac.slowdown_vs(&base);
+    // Paper: ~1%. Our write-drain turnaround model keeps a few percent
+    // of residual sensitivity (see EXPERIMENTS.md); assert it stays far
+    // below the latency-bound workloads' ~15-25%.
+    assert!(
+        s < 0.12,
+        "bandwidth-bound stream should barely feel PRAC, got {s}"
+    );
+}
+
+#[test]
+fn mopac_c_overhead_grows_as_threshold_drops() {
+    let base = run_workload("mcf", MitigationConfig::baseline(), INSTRS);
+    let s1000 = run_workload("mcf", MitigationConfig::mopac_c(1000), INSTRS).slowdown_vs(&base);
+    let s250 = run_workload("mcf", MitigationConfig::mopac_c(250), INSTRS).slowdown_vs(&base);
+    assert!(
+        s250 > s1000,
+        "lower threshold must cost more: {s250} vs {s1000}"
+    );
+}
+
+#[test]
+fn identical_seeds_are_deterministic() {
+    let a = run_workload("omnetpp", MitigationConfig::mopac_d(500), 20_000);
+    let b = run_workload("omnetpp", MitigationConfig::mopac_d(500), 20_000);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.dram, b.dram);
+    for (x, y) in a.cores.iter().zip(&b.cores) {
+        assert_eq!(x.finish_cycle, y.finish_cycle);
+    }
+}
+
+#[test]
+fn mixes_run_heterogeneous_cores() {
+    let r = run_workload("mix1", MitigationConfig::baseline(), 30_000);
+    assert_eq!(r.cores.len(), 8);
+    // Heterogeneous workloads finish at different times.
+    let first = r.cores[0].finish_cycle;
+    assert!(
+        r.cores.iter().any(|c| c.finish_cycle != first),
+        "mix cores should not be in lockstep"
+    );
+}
+
+#[test]
+fn drain_on_ref_reduces_alert_rate() {
+    let no_drain = {
+        let cfg = MitigationConfig::mopac_d(250).with_drain_on_ref(0);
+        run_workload("parest", cfg, INSTRS)
+    };
+    let with_drain = run_workload("parest", MitigationConfig::mopac_d(250), INSTRS);
+    assert!(
+        with_drain.dram.alerts() <= no_drain.dram.alerts(),
+        "drain-on-REF should not increase alerts: {} vs {}",
+        with_drain.dram.alerts(),
+        no_drain.dram.alerts()
+    );
+}
+
+#[test]
+fn nup_halves_srq_insertions() {
+    let uni = run_workload("bwaves", MitigationConfig::mopac_d(500), INSTRS);
+    let nup = run_workload("bwaves", MitigationConfig::mopac_d_nup(500), INSTRS);
+    let rate_uni = uni.mitigation.srq_insertions as f64 / uni.dram.activates as f64;
+    let rate_nup = nup.mitigation.srq_insertions as f64 / nup.dram.activates as f64;
+    let ratio = rate_nup / rate_uni;
+    assert!(
+        (0.4..0.68).contains(&ratio),
+        "NUP should halve insertions (Table 12), got ratio {ratio}"
+    );
+}
+
+#[test]
+fn checker_stays_clean_during_benign_runs() {
+    let mut cfg = SystemConfig::paper_default(MitigationConfig::mopac_d(500), 40_000);
+    cfg.enable_checker = true;
+    let traces = build_traces("parest", &cfg);
+    let r = System::new(cfg, traces).run();
+    assert_eq!(r.violations, 0);
+}
+
+#[test]
+fn llc_path_reduces_dram_traffic() {
+    let mut with_llc = SystemConfig::paper_default(MitigationConfig::baseline(), 40_000);
+    with_llc.use_llc = true;
+    let r_llc = System::new(with_llc.clone(), build_traces("masstree", &with_llc)).run();
+    let without = SystemConfig::paper_default(MitigationConfig::baseline(), 40_000);
+    let r_raw = System::new(without.clone(), build_traces("masstree", &without)).run();
+    assert!(
+        r_llc.dram.reads < r_raw.dram.reads,
+        "LLC should filter hot rows of the Zipf workload: {} vs {}",
+        r_llc.dram.reads,
+        r_raw.dram.reads
+    );
+}
+
+#[test]
+fn rate_mode_cores_see_similar_ipc() {
+    let r = run_workload("lbm", MitigationConfig::baseline(), 30_000);
+    let min = r.cores.iter().map(|c| c.ipc).fold(f64::MAX, f64::min);
+    let max = r.cores.iter().map(|c| c.ipc).fold(0.0, f64::max);
+    assert!(
+        max / min < 1.3,
+        "rate-mode IPC spread too wide: {min}..{max}"
+    );
+}

@@ -1,0 +1,156 @@
+//! JEDEC timing conformance: drive the DRAM device directly and verify
+//! every command-interval rule of Table 1 for both timing sets, plus the
+//! ABO protocol timing.
+
+use mopac::config::MitigationConfig;
+use mopac_dram::device::{DramConfig, DramDevice};
+use mopac_dram::timing::TimingSet;
+
+fn device(mit: MitigationConfig) -> DramDevice {
+    DramDevice::new(DramConfig::tiny(mit))
+}
+
+#[test]
+fn act_to_column_respects_trcd() {
+    for (mit, t) in [
+        (MitigationConfig::baseline(), TimingSet::ddr5_base()),
+        (MitigationConfig::prac(500), TimingSet::ddr5_prac()),
+    ] {
+        let mut d = device(mit);
+        d.activate(0, 0, 5, 0, false);
+        assert_eq!(d.earliest_column(0, 0, 5), Some(t.t_rcd));
+    }
+}
+
+#[test]
+fn act_to_pre_respects_tras() {
+    for (mit, t) in [
+        (MitigationConfig::baseline(), TimingSet::ddr5_base()),
+        (MitigationConfig::prac(500), TimingSet::ddr5_prac()),
+    ] {
+        let mut d = device(mit);
+        d.activate(0, 0, 5, 0, false);
+        assert_eq!(d.earliest_precharge(0, 0), Some(t.t_ras));
+    }
+}
+
+#[test]
+fn pre_to_act_respects_trp_per_kind() {
+    // Base timing set.
+    let mut d = device(MitigationConfig::baseline());
+    d.activate(0, 0, 5, 0, false);
+    d.precharge(0, 0, 96);
+    assert_eq!(d.earliest_activate(0, 0), Some(96 + 42));
+    // PRAC set: tRP = 108.
+    let mut d = device(MitigationConfig::prac(500));
+    d.activate(0, 0, 5, 0, false);
+    d.precharge(0, 0, 48);
+    assert_eq!(d.earliest_activate(0, 0), Some(48 + 108));
+}
+
+#[test]
+fn full_row_cycle_matches_trc() {
+    // ACT + immediate PRE + re-ACT equals tRAS + tRP = tRC in both sets.
+    for (mit, t) in [
+        (MitigationConfig::baseline(), TimingSet::ddr5_base()),
+        (MitigationConfig::prac(500), TimingSet::ddr5_prac()),
+    ] {
+        let mut d = device(mit);
+        d.activate(0, 0, 1, 0, false);
+        let pre = d.earliest_precharge(0, 0).unwrap();
+        d.precharge(0, 0, pre);
+        assert_eq!(d.earliest_activate(0, 0), Some(t.t_rc));
+    }
+}
+
+#[test]
+fn mopac_c_mixes_timing_sets_per_precharge() {
+    let base = TimingSet::ddr5_base();
+    let prac = TimingSet::ddr5_prac();
+    let mut d = device(MitigationConfig::mopac_c(500));
+    // Unselected ACT: base timings.
+    d.activate(0, 0, 1, 0, false);
+    assert_eq!(d.earliest_precharge(0, 0), Some(base.t_ras));
+    let pre = base.t_ras;
+    d.precharge(0, 0, pre);
+    assert_eq!(d.earliest_activate(0, 0), Some(pre + base.t_rp));
+    // Selected ACT: PRAC tRAS (shorter) and PREcu's tRP (longer).
+    let act2 = pre + base.t_rp;
+    d.activate(0, 0, 2, act2, true);
+    assert!(d.pending_update(0, 0));
+    assert_eq!(d.earliest_precharge(0, 0), Some(act2 + prac.t_ras));
+    let pre2 = act2 + prac.t_ras;
+    d.precharge(0, 0, pre2);
+    assert_eq!(d.earliest_activate(0, 0), Some(pre2 + prac.t_rp));
+}
+
+#[test]
+fn read_to_read_respects_tccd_and_bus() {
+    let mut d = device(MitigationConfig::baseline());
+    d.activate(0, 0, 1, 0, false);
+    let rd1 = d.earliest_column(0, 0, 1).unwrap();
+    d.read(0, 0, rd1);
+    let rd2 = d.earliest_column(0, 0, 1).unwrap();
+    assert_eq!(rd2, rd1 + 8); // tCCD = burst occupancy
+}
+
+#[test]
+fn write_recovery_blocks_precharge() {
+    let t = TimingSet::ddr5_base();
+    let mut d = device(MitigationConfig::baseline());
+    d.activate(0, 0, 1, 0, false);
+    let wr = d.earliest_column(0, 0, 1).unwrap();
+    let data_end = d.write(0, 0, wr);
+    assert_eq!(d.earliest_precharge(0, 0), Some(data_end + t.t_wr));
+}
+
+#[test]
+fn trrd_spaces_activations_across_banks() {
+    let t = TimingSet::ddr5_base();
+    let mut d = device(MitigationConfig::baseline());
+    d.activate(0, 0, 1, 0, false);
+    let next = d.earliest_activate(0, 1).unwrap();
+    assert_eq!(next, t.t_rrd);
+}
+
+#[test]
+fn refresh_blocks_for_trfc_and_cycles_groups() {
+    let t = TimingSet::ddr5_base();
+    let mut d = device(MitigationConfig::baseline());
+    d.refresh(0, 0);
+    assert_eq!(d.earliest_activate(0, 0), Some(t.t_rfc));
+    // Second refresh covers the next group; issue after tRFC.
+    d.refresh(0, t.t_rfc);
+    assert_eq!(d.stats().refreshes, 2);
+}
+
+#[test]
+fn abo_stall_blocks_subchannel_for_350ns() {
+    let mut d = device(MitigationConfig::prac(500));
+    // Force an alert by hammering one row.
+    let mut now = 0;
+    while d.alert_since(0).is_none() {
+        now = d.earliest_activate(0, 0).unwrap();
+        d.activate(0, 0, 7, now, false);
+        now = d.earliest_precharge(0, 0).unwrap();
+        d.precharge(0, 0, now);
+    }
+    let rfm_at = now + 540;
+    d.rfm(0, rfm_at);
+    assert_eq!(d.earliest_activate(0, 0), Some(rfm_at + 1050));
+    // The other sub-channel is unaffected (ABO is sub-channel scoped).
+    assert!(d.earliest_activate(1, 0).unwrap() < rfm_at);
+}
+
+#[test]
+fn data_bus_serializes_bursts_across_banks() {
+    let mut d = device(MitigationConfig::baseline());
+    d.activate(0, 0, 1, 0, false);
+    d.activate(0, 1, 1, 8, false);
+    let rd0 = d.earliest_column(0, 0, 1).unwrap();
+    let done0 = d.read(0, 0, rd0);
+    // Bank 1's read cannot overlap the bus: earliest data start is
+    // done0, so earliest command is done0 - CL.
+    let rd1 = d.earliest_column(0, 1, 1).unwrap();
+    assert!(rd1 + 42 >= done0, "bus overlap: rd1={rd1}, done0={done0}");
+}
