@@ -3,91 +3,128 @@
 use mopac_analysis::binomial::{critical_updates, prob_fewer_than};
 use mopac_analysis::markov::{critical_updates_markov, update_count_distribution};
 use mopac_analysis::params::{mopac_c_params, mopac_d_params};
-use proptest::prelude::*;
+use mopac_types::check::prop_check;
+use mopac_types::prop_ensure;
 
-proptest! {
-    #[test]
-    fn tail_is_a_probability(a in 1u64..2000, denom in 1u32..64, c in 0u64..100) {
+#[test]
+fn tail_is_a_probability() {
+    prop_check("tail_is_a_probability", 128, |rng| {
+        let a = 1 + rng.below(1999);
+        let denom = 1 + rng.below(63) as u32;
+        let c = rng.below(100);
         let p = 1.0 / f64::from(denom);
         let v = prob_fewer_than(a, p, c);
-        prop_assert!((0.0..=1.0).contains(&v), "{v}");
-    }
+        prop_ensure!((0.0..=1.0).contains(&v), "a={a} denom={denom} c={c}: {v}");
+        Ok(())
+    });
+}
 
-    #[test]
-    fn tail_monotone_in_c(a in 1u64..1000, denom in 2u32..32) {
+#[test]
+fn tail_monotone_in_c() {
+    prop_check("tail_monotone_in_c", 64, |rng| {
+        let a = 1 + rng.below(999);
+        let denom = 2 + rng.below(30) as u32;
         let p = 1.0 / f64::from(denom);
         let mut prev = 0.0;
         for c in 0..40 {
             let v = prob_fewer_than(a, p, c);
-            prop_assert!(v + 1e-15 >= prev, "c={c}: {v} < {prev}");
+            prop_ensure!(v + 1e-15 >= prev, "a={a} denom={denom} c={c}: {v} < {prev}");
             prev = v;
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn critical_updates_is_the_boundary(
-        a in 100u64..1500,
-        denom in 2u32..32,
-        eps_exp in 4.0f64..12.0,
-    ) {
+#[test]
+fn critical_updates_is_the_boundary() {
+    prop_check("critical_updates_is_the_boundary", 64, |rng| {
+        let a = 100 + rng.below(1400);
+        let denom = 2 + rng.below(30) as u32;
+        let eps_exp = 4.0 + rng.unit_f64() * 8.0;
         let p = 1.0 / f64::from(denom);
         let eps = 10f64.powf(-eps_exp);
         let c = critical_updates(a, p, eps);
         // P(N <= C) < eps <= P(N <= C + 1) (when C > 0).
         if c > 0 {
-            prop_assert!(prob_fewer_than(a, p, c + 1) < eps);
+            prop_ensure!(
+                prob_fewer_than(a, p, c + 1) < eps,
+                "a={a} p={p} eps={eps}: boundary too high"
+            );
         }
-        prop_assert!(prob_fewer_than(a, p, c + 2) >= eps);
-    }
+        prop_ensure!(
+            prob_fewer_than(a, p, c + 2) >= eps,
+            "a={a} p={p} eps={eps}: boundary too low"
+        );
+        Ok(())
+    });
+}
 
-    #[test]
-    fn markov_uniform_equals_binomial(
-        a in 50u64..800,
-        denom in 2u32..32,
-        eps_exp in 5.0f64..10.0,
-    ) {
+#[test]
+fn markov_uniform_equals_binomial() {
+    prop_check("markov_uniform_equals_binomial", 64, |rng| {
+        let a = 50 + rng.below(750);
+        let denom = 2 + rng.below(30) as u32;
+        let eps_exp = 5.0 + rng.unit_f64() * 5.0;
         let p = 1.0 / f64::from(denom);
         let eps = 10f64.powf(-eps_exp);
-        prop_assert_eq!(
-            critical_updates_markov(a, p, p, eps),
-            critical_updates(a, p, eps)
+        prop_ensure!(
+            critical_updates_markov(a, p, p, eps) == critical_updates(a, p, eps),
+            "a={a} p={p} eps={eps}: markov != binomial"
         );
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn markov_distribution_is_normalized(
-        a in 1u64..1200,
-        denom in 2u32..32,
-    ) {
+#[test]
+fn markov_distribution_is_normalized() {
+    prop_check("markov_distribution_is_normalized", 64, |rng| {
+        let a = 1 + rng.below(1199);
+        let denom = 2 + rng.below(30) as u32;
         let p = 1.0 / f64::from(denom);
         let y = update_count_distribution(a, p / 2.0, p, 128);
         let total: f64 = y.iter().sum();
-        prop_assert!((total - 1.0).abs() < 1e-9, "{total}");
-        prop_assert!(y.iter().all(|&v| (-1e-12..=1.0 + 1e-12).contains(&v)));
-    }
+        prop_ensure!((total - 1.0).abs() < 1e-9, "a={a} denom={denom}: total {total}");
+        prop_ensure!(
+            y.iter().all(|&v| (-1e-12..=1.0 + 1e-12).contains(&v)),
+            "a={a} denom={denom}: element out of [0,1]"
+        );
+        Ok(())
+    });
+}
 
-    #[test]
-    fn derived_params_are_internally_consistent(t_rh in 80u64..5000) {
+#[test]
+fn derived_params_are_internally_consistent() {
+    prop_check("derived_params_are_internally_consistent", 128, |rng| {
+        let t_rh = 80 + rng.below(4920);
         for p in [mopac_c_params(t_rh), mopac_d_params(t_rh)] {
-            prop_assert!(p.ath_star <= p.ath, "T={t_rh}");
-            prop_assert_eq!(
-                p.ath_star,
-                p.critical_updates * u64::from(p.update_prob_denominator)
+            prop_ensure!(p.ath_star <= p.ath, "T={t_rh}: ATH* above ATH");
+            prop_ensure!(
+                p.ath_star == p.critical_updates * u64::from(p.update_prob_denominator),
+                "T={t_rh}: ATH* != C * denom"
             );
-            prop_assert!(p.attack_ath_star() > p.ath_star);
-            prop_assert!(p.update_prob_denominator.is_power_of_two());
+            prop_ensure!(p.attack_ath_star() > p.ath_star, "T={t_rh}: attack bound");
+            prop_ensure!(
+                p.update_prob_denominator.is_power_of_two(),
+                "T={t_rh}: denom not a power of two"
+            );
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn lower_thresholds_need_higher_sampling(lo in 80u64..1000, hi in 1000u64..5000) {
+#[test]
+fn lower_thresholds_need_higher_sampling() {
+    prop_check("lower_thresholds_need_higher_sampling", 128, |rng| {
+        let lo = 80 + rng.below(920);
+        let hi = 1000 + rng.below(4000);
         let p_lo = mopac_c_params(lo);
         let p_hi = mopac_c_params(hi);
-        prop_assert!(
+        prop_ensure!(
             p_lo.update_prob_denominator <= p_hi.update_prob_denominator,
             "p must not shrink as T_RH drops: {lo}->{} {hi}->{}",
             p_lo.update_prob_denominator,
             p_hi.update_prob_denominator
         );
-    }
+        Ok(())
+    });
 }

@@ -1,33 +1,43 @@
-//! Criterion micro-benchmarks for the security-analysis math.
+//! Micro-benchmarks for the security-analysis math.
+//!
+//! Plain `std::time` harness (no external benchmark framework): each
+//! benchmark is warmed up, then timed over enough iterations to smooth
+//! scheduler noise, reporting ns/iter.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use mopac_analysis::binomial::{critical_updates, prob_fewer_than};
 use mopac_analysis::markov::update_count_distribution;
 use mopac_analysis::params::{mopac_c_params, mopac_d_params};
+use std::time::Instant;
 
-fn bench_binomial(c: &mut Criterion) {
-    c.bench_function("binomial_tail_a472_c23", |b| {
-        b.iter(|| prob_fewer_than(std::hint::black_box(472), 0.125, 23))
-    });
-    c.bench_function("critical_updates_search_t500", |b| {
-        b.iter(|| critical_updates(std::hint::black_box(472), 0.125, 8.48e-9))
-    });
+fn bench<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) {
+    for _ in 0..iters / 10 {
+        std::hint::black_box(f());
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let elapsed = start.elapsed();
+    println!(
+        "{name:<36} {:>12.1} ns/iter ({iters} iters)",
+        elapsed.as_nanos() as f64 / f64::from(iters)
+    );
 }
 
-fn bench_markov(c: &mut Criterion) {
-    c.bench_function("markov_nup_chain_a975", |b| {
-        b.iter(|| update_count_distribution(std::hint::black_box(975), 1.0 / 32.0, 1.0 / 16.0, 256))
+fn main() {
+    bench("binomial_tail_a472_c23", 10_000, || {
+        prob_fewer_than(std::hint::black_box(472), 0.125, 23)
+    });
+    bench("critical_updates_search_t500", 2_000, || {
+        critical_updates(std::hint::black_box(472), 0.125, 8.48e-9)
+    });
+    bench("markov_nup_chain_a975", 200, || {
+        update_count_distribution(std::hint::black_box(975), 1.0 / 32.0, 1.0 / 16.0, 256)
+    });
+    bench("mopac_c_params_t500", 2_000, || {
+        mopac_c_params(std::hint::black_box(500))
+    });
+    bench("mopac_d_params_t500", 2_000, || {
+        mopac_d_params(std::hint::black_box(500))
     });
 }
-
-fn bench_param_derivation(c: &mut Criterion) {
-    c.bench_function("mopac_c_params_t500", |b| {
-        b.iter(|| mopac_c_params(std::hint::black_box(500)))
-    });
-    c.bench_function("mopac_d_params_t500", |b| {
-        b.iter(|| mopac_d_params(std::hint::black_box(500)))
-    });
-}
-
-criterion_group!(benches, bench_binomial, bench_markov, bench_param_derivation);
-criterion_main!(benches);

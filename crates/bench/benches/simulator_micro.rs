@@ -1,17 +1,36 @@
-//! Criterion micro-benchmarks for the simulator substrates.
+//! Micro-benchmarks for the simulator substrates.
+//!
+//! Plain `std::time` harness (no external benchmark framework): each
+//! benchmark is warmed up, then timed over enough iterations to smooth
+//! scheduler noise, reporting ns/iter.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use mopac::bank::BankMitigation;
 use mopac::config::MitigationConfig;
 use mopac::mint::MintSampler;
 use mopac_cpu::llc::Llc;
 use mopac_types::addr::PhysAddr;
 use mopac_types::rng::DetRng;
+use std::time::Instant;
 
-fn bench_mint(c: &mut Criterion) {
-    c.bench_function("mint_sampler_1k_acts", |b| {
+fn bench<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) {
+    for _ in 0..iters / 10 {
+        std::hint::black_box(f());
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let elapsed = start.elapsed();
+    println!(
+        "{name:<36} {:>12.1} ns/iter ({iters} iters)",
+        elapsed.as_nanos() as f64 / f64::from(iters)
+    );
+}
+
+fn main() {
+    {
         let mut s = MintSampler::new(8, DetRng::from_seed(1));
-        b.iter(|| {
+        bench("mint_sampler_1k_acts", 2_000, || {
             let mut hits = 0;
             for i in 0..1000u32 {
                 if s.on_activate(i).is_some() {
@@ -19,16 +38,13 @@ fn bench_mint(c: &mut Criterion) {
                 }
             }
             hits
-        })
-    });
-}
-
-fn bench_bank_mitigation(c: &mut Criterion) {
-    c.bench_function("mopac_d_bank_1k_acts", |b| {
+        });
+    }
+    {
         let cfg = MitigationConfig::mopac_d(500);
         let mut bank = BankMitigation::new(&cfg, 64 * 1024, DetRng::from_seed(2));
         let mut row = 0u32;
-        b.iter(|| {
+        bench("mopac_d_bank_1k_acts", 2_000, || {
             for _ in 0..1000 {
                 bank.on_activate(row, 0.0);
                 row = (row + 1) % 65536;
@@ -36,13 +52,13 @@ fn bench_bank_mitigation(c: &mut Criterion) {
                     bank.service_abo();
                 }
             }
-        })
-    });
-    c.bench_function("prac_bank_1k_act_pre", |b| {
+        });
+    }
+    {
         let cfg = MitigationConfig::prac(500);
         let mut bank = BankMitigation::new(&cfg, 64 * 1024, DetRng::from_seed(3));
         let mut row = 0u32;
-        b.iter(|| {
+        bench("prac_bank_1k_act_pre", 2_000, || {
             for _ in 0..1000 {
                 bank.on_activate(row, 0.0);
                 bank.on_precharge(row, true, 40.0);
@@ -51,22 +67,16 @@ fn bench_bank_mitigation(c: &mut Criterion) {
                     bank.service_abo();
                 }
             }
-        })
-    });
-}
-
-fn bench_llc(c: &mut Criterion) {
-    c.bench_function("llc_streaming_1k", |b| {
+        });
+    }
+    {
         let mut llc = Llc::paper_default();
         let mut a = 0u64;
-        b.iter(|| {
+        bench("llc_streaming_1k", 2_000, || {
             for _ in 0..1000 {
                 llc.access(PhysAddr::new(a), false);
                 a = a.wrapping_add(64);
             }
-        })
-    });
+        });
+    }
 }
-
-criterion_group!(benches, bench_mint, bench_bank_mitigation, bench_llc);
-criterion_main!(benches);

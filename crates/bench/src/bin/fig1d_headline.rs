@@ -16,7 +16,7 @@ fn mean_slowdown(
 ) -> f64 {
     let mut total = 0.0;
     for (name, base) in bases {
-        let run = run_workload(name, cfg, instrs);
+        let run = run_workload(name, cfg, instrs).expect("workload run");
         total += run.slowdown_vs(base);
     }
     total / bases.len() as f64
@@ -30,7 +30,7 @@ fn main() {
     let bases: Vec<(String, mopac_sim::RunResult)> = names
         .iter()
         .map(|n| {
-            let b = run_workload(n, MitigationConfig::baseline(), instrs);
+            let b = run_workload(n, MitigationConfig::baseline(), instrs).expect("baseline run");
             (n.clone(), b)
         })
         .collect();

@@ -23,11 +23,11 @@ fn main() {
     );
     let mut sums = [0.0f64; 3];
     for name in &names {
-        let base = run_workload(name, MitigationConfig::baseline(), instrs);
+        let base = run_workload(name, MitigationConfig::baseline(), instrs).expect("baseline run");
         let mut cells = vec![name.clone()];
         let mut alerts500 = 0;
         for (i, &t) in thresholds.iter().enumerate() {
-            let run = run_workload(name, MitigationConfig::prac(t), instrs);
+            let run = run_workload(name, MitigationConfig::prac(t), instrs).expect("PRAC run");
             let s = run.slowdown_vs(&base);
             sums[i] += s;
             cells.push(pct(s));

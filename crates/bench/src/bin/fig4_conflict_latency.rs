@@ -10,13 +10,13 @@ use mopac_dram::device::{DramConfig, DramDevice};
 fn conflict_latency(mit: MitigationConfig) -> (u64, u64) {
     let mut d = DramDevice::new(DramConfig::tiny(mit));
     // Row A open for a while; a read to row B arrives.
-    d.activate(0, 0, 0, 0, false);
+    d.activate(0, 0, 0, 0, false).expect("ACT A");
     let pre_at = d.earliest_precharge(0, 0).unwrap();
-    d.precharge(0, 0, pre_at);
+    d.precharge(0, 0, pre_at).expect("PRE A");
     let act_at = d.earliest_activate(0, 0).unwrap();
-    d.activate(0, 0, 1, act_at, false);
+    d.activate(0, 0, 1, act_at, false).expect("ACT B");
     let rd_at = d.earliest_column(0, 0, 1).unwrap();
-    let done = d.read(0, 0, rd_at);
+    let done = d.read(0, 0, rd_at).expect("RD B");
     let first_beat = done - d.timing_default().burst;
     (done - pre_at, first_beat - pre_at)
 }

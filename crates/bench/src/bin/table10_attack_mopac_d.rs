@@ -12,7 +12,7 @@ use mopac_types::geometry::{BankRef, DramGeometry};
 use mopac_workloads::attack::{AttackPattern, MultiBankRoundRobin, SrqFillAttack, TardinessAttack};
 
 fn simulate(mit: MitigationConfig, pattern: &mut dyn AttackPattern, cycles: u64) -> AttackResult {
-    run_attack(&AttackConfig::new(mit, cycles), pattern)
+    run_attack(&AttackConfig::new(mit, cycles), pattern).expect("attack run")
 }
 
 fn main() {

@@ -12,7 +12,7 @@ fn rate(cfg: MitigationConfig, names: &[String], instrs: u64) -> f64 {
     let mut insertions = 0u64;
     let mut acts = 0u64;
     for name in names {
-        let run = run_workload(name, cfg, instrs);
+        let run = run_workload(name, cfg, instrs).expect("workload run");
         insertions += run.mitigation.srq_insertions;
         acts += run.dram.activates;
         eprintln!("  done {name} ({cfg:?} T={})", cfg.t_rh);

@@ -22,7 +22,7 @@ fn policy_baselines(
             let mut base_cfg =
                 SystemConfig::paper_default(MitigationConfig::baseline(), instrs);
             base_cfg.mc.page_policy = policy;
-            run_workload_with(name, base_cfg)
+            run_workload_with(name, base_cfg).expect("baseline run")
         })
         .collect()
 }
@@ -38,7 +38,7 @@ fn mean_slowdown(
     for (name, base) in names.iter().zip(bases) {
         let mut cfg = SystemConfig::paper_default(mit, instrs);
         cfg.mc.page_policy = policy;
-        let run = run_workload_with(name, cfg);
+        let run = run_workload_with(name, cfg).expect("workload run");
         total += run.slowdown_vs(base);
     }
     total / names.len() as f64

@@ -31,7 +31,7 @@ fn hot_rows(name: &str, accesses_per_trefw: u64) -> (f64, f64) {
     let geom = DramGeometry::ddr5_32gb();
     let mapper = AddressMapper::new(geom, Mapping::paper_default());
     let cfg = SystemConfig::paper_default(MitigationConfig::baseline(), 0);
-    let mut traces = build_traces(name, &cfg);
+    let mut traces = build_traces(name, &cfg).expect("known workload");
     let mut open: HashMap<u32, std::collections::VecDeque<u32>> = HashMap::new();
     let mut acts: HashMap<(u32, u32), u32> = HashMap::new();
     // The shared LLC absorbs line reuse (hot keys of the Zipf workload)
@@ -75,7 +75,7 @@ fn main() {
         ],
     );
     for name in &names {
-        let run = run_workload(name, MitigationConfig::baseline(), instrs);
+        let run = run_workload(name, MitigationConfig::baseline(), instrs).expect("baseline run");
         let total_instrs = 8 * instrs;
         // Demand traffic only: subtract prefetch requests, add back the
         // demand reads the prefetcher absorbed.

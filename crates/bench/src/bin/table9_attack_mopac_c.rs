@@ -30,7 +30,8 @@ fn main() {
     let base = run_attack(
         &AttackConfig::new(MitigationConfig::baseline(), cycles),
         &mut base_pat,
-    );
+    )
+    .expect("baseline attack run");
     for (t, want) in paper {
         let params = mopac_c_params(t);
         let model = mitigation_attack_slowdown(&params, PAPER_ALPHA);
@@ -38,7 +39,8 @@ fn main() {
         let res = run_attack(
             &AttackConfig::new(MitigationConfig::mopac_c(t), cycles),
             &mut pat,
-        );
+        )
+        .expect("attack run");
         r.row(&[
             t.to_string(),
             params.attack_ath_star().to_string(),

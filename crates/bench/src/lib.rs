@@ -206,10 +206,11 @@ pub fn slowdown_matrix(
     let mut r = Report::new(experiment, title, &headers);
     let mut sums = vec![0.0f64; configs.len()];
     for name in &names {
-        let base = run_workload(name, mopac::config::MitigationConfig::baseline(), instrs);
+        let base = run_workload(name, mopac::config::MitigationConfig::baseline(), instrs)
+            .expect("baseline run");
         let mut cells = vec![name.clone()];
         for (i, (_, cfg)) in configs.iter().enumerate() {
-            let run = run_workload(name, *cfg, instrs);
+            let run = run_workload(name, *cfg, instrs).expect("workload run");
             let s = run.slowdown_vs(&base);
             sums[i] += s;
             cells.push(pct(s));
@@ -223,6 +224,72 @@ pub fn slowdown_matrix(
     }
     r.row(&mean);
     r
+}
+
+/// A CSV file written one row at a time, flushed after every row, so a
+/// campaign killed mid-flight (panic, OOM, ^C) keeps every completed
+/// experiment on disk. Lives in [`data_dir`] like [`Report::write_csv`].
+#[derive(Debug)]
+pub struct IncrementalCsv {
+    path: PathBuf,
+    file: fs::File,
+    columns: usize,
+}
+
+impl IncrementalCsv {
+    /// Creates (truncating) `<data_dir>/<experiment>.csv`, writes and
+    /// flushes the header row.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the directory or file cannot be created.
+    pub fn create(experiment: &str, headers: &[&str]) -> std::io::Result<Self> {
+        let dir = data_dir();
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{experiment}.csv"));
+        let file = fs::File::create(&path)?;
+        let mut me = Self {
+            path,
+            file,
+            columns: headers.len(),
+        };
+        let cells: Vec<String> = headers.iter().map(|h| (*h).to_string()).collect();
+        me.append(&cells)?;
+        Ok(me)
+    }
+
+    /// Appends one row and flushes it to disk immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on a column-count mismatch or a write failure.
+    pub fn append(&mut self, cells: &[String]) -> std::io::Result<()> {
+        use std::io::Write as _;
+        if cells.len() != self.columns {
+            return Err(std::io::Error::other(format!(
+                "row has {} cells, header has {}",
+                cells.len(),
+                self.columns
+            )));
+        }
+        let line = cells.iter().map(|c| csv_escape(c)).collect::<Vec<_>>().join(",");
+        writeln!(self.file, "{line}")?;
+        self.file.flush()
+    }
+
+    /// The file being written.
+    #[must_use]
+    pub fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') {
+        format!("\"{}\"", s.replace('"', "\"\"\""))
+    } else {
+        s.to_string()
+    }
 }
 
 /// Formats a fraction as a percentage with one decimal.

@@ -311,6 +311,14 @@ impl BankMitigation {
         self.chips[0].counters.get(row)
     }
 
+    /// Fault hook: flips one bit of `row`'s PRAC counter on chip 0 (a
+    /// counter-table soft error). The MOAT tracker is deliberately not
+    /// re-observed — hardware would not notice a silent bit flip either —
+    /// so an undercount can only be caught by the security oracle.
+    pub fn corrupt_counter(&mut self, row: u32, bit: u32) {
+        self.chips[0].counters.flip_bit(row, bit);
+    }
+
     /// Current SRQ occupancy per chip (empty for non-MoPAC-D designs).
     #[must_use]
     pub fn srq_occupancy(&self) -> Vec<usize> {

@@ -70,6 +70,19 @@ impl PracCounters {
         self.counts[row as usize] = 0;
     }
 
+    /// Flips one bit of the counter of `row` (fault injection: a soft
+    /// error in the in-row counter storage) and returns the new value.
+    /// Bits above 31 wrap onto the stored word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn flip_bit(&mut self, row: u32, bit: u32) -> u32 {
+        let c = &mut self.counts[row as usize];
+        *c ^= 1u32 << (bit % 32);
+        *c
+    }
+
     /// Iterates over `(row, count)` pairs with non-zero counts.
     pub fn iter_nonzero(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
         self.counts

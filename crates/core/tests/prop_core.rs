@@ -5,50 +5,59 @@ use mopac::checker::RowhammerChecker;
 use mopac::mint::MintSampler;
 use mopac::moat::MoatTracker;
 use mopac::srq::{Srq, SrqInsert};
+use mopac_types::check::prop_check;
+use mopac_types::prop_ensure;
 use mopac_types::rng::DetRng;
-use proptest::prelude::*;
 
-proptest! {
-    #[test]
-    fn srq_never_exceeds_capacity_and_never_duplicates(
-        cap in 1usize..32,
-        rows in prop::collection::vec(0u32..64, 0..200),
-    ) {
+#[test]
+fn srq_never_exceeds_capacity_and_never_duplicates() {
+    prop_check("srq_never_exceeds_capacity_and_never_duplicates", 128, |rng| {
+        let cap = 1 + rng.below(31) as usize;
+        let n = rng.below(200) as usize;
+        let rows: Vec<u32> = (0..n).map(|_| rng.below(64) as u32).collect();
         let mut q = Srq::new(cap);
         for &r in &rows {
             let _ = q.insert(r);
-            prop_assert!(q.len() <= cap);
+            prop_ensure!(q.len() <= cap, "len {} > cap {cap}", q.len());
         }
         let mut seen = std::collections::HashSet::new();
         for e in q.iter() {
-            prop_assert!(seen.insert(e.row), "duplicate row {}", e.row);
+            prop_ensure!(seen.insert(e.row), "duplicate row {}", e.row);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn srq_selection_accounting_is_conserved(
-        rows in prop::collection::vec(0u32..16, 1..100),
-    ) {
+#[test]
+fn srq_selection_accounting_is_conserved() {
+    prop_check("srq_selection_accounting_is_conserved", 128, |rng| {
         // Every accepted selection is represented as 1 + SCtr across
         // entries; overflows are the only losses.
+        let n = 1 + rng.below(99) as usize;
+        let rows: Vec<u32> = (0..n).map(|_| rng.below(16) as u32).collect();
         let mut q = Srq::new(8);
         let mut overflows = 0u64;
         for &r in &rows {
-            match q.insert(r) {
-                SrqInsert::Overflowed => overflows += 1,
-                _ => {}
+            if let SrqInsert::Overflowed = q.insert(r) {
+                overflows += 1;
             }
         }
         let represented: u64 = q.iter().map(|e| 1 + u64::from(e.sctr)).sum();
-        prop_assert_eq!(represented + overflows, rows.len() as u64);
-    }
+        prop_ensure!(
+            represented + overflows == rows.len() as u64,
+            "represented {represented} + overflows {overflows} != {}",
+            rows.len()
+        );
+        Ok(())
+    });
+}
 
-    #[test]
-    fn mint_selects_exactly_once_per_window(
-        window in 1u32..64,
-        seed in any::<u64>(),
-        total_windows in 1u32..50,
-    ) {
+#[test]
+fn mint_selects_exactly_once_per_window() {
+    prop_check("mint_selects_exactly_once_per_window", 128, |rng| {
+        let window = 1 + rng.below(63) as u32;
+        let seed = rng.next_u64();
+        let total_windows = 1 + rng.below(49) as u32;
         let mut s = MintSampler::new(window, DetRng::from_seed(seed));
         let mut selections = 0;
         for act in 0..window * total_windows {
@@ -56,13 +65,21 @@ proptest! {
                 selections += 1;
             }
         }
-        prop_assert_eq!(selections, total_windows);
-    }
+        prop_ensure!(
+            selections == total_windows,
+            "window {window}: {selections} selections over {total_windows} windows"
+        );
+        Ok(())
+    });
+}
 
-    #[test]
-    fn moat_always_tracks_the_maximum(
-        observations in prop::collection::vec((0u32..32, 1u32..1000), 1..100),
-    ) {
+#[test]
+fn moat_always_tracks_the_maximum() {
+    prop_check("moat_always_tracks_the_maximum", 128, |rng| {
+        let n = 1 + rng.below(99) as usize;
+        let observations: Vec<(u32, u32)> = (0..n)
+            .map(|_| (rng.below(32) as u32, 1 + rng.below(999) as u32))
+            .collect();
         let mut t = MoatTracker::new(10_000, 5_000);
         let mut best: Option<(u32, u32)> = None;
         for &(row, count) in &observations {
@@ -74,18 +91,27 @@ proptest! {
                 keep => keep,
             };
         }
-        let tracked = t.tracked().expect("observed at least once");
+        let Some(tracked) = t.tracked() else {
+            return Err("observed at least once but nothing tracked".into());
+        };
         // The tracked count can never be below the running maximum seen
         // for the tracked row; and alert fires iff count >= ATH.
-        prop_assert_eq!(tracked, best.unwrap());
-        prop_assert_eq!(t.alert_needed(), tracked.1 >= 10_000);
-    }
+        let expect = best.ok_or_else(|| "no observations".to_string())?;
+        prop_ensure!(tracked == expect, "tracked {tracked:?} != model {expect:?}");
+        prop_ensure!(
+            t.alert_needed() == (tracked.1 >= 10_000),
+            "alert_needed mismatch at {tracked:?}"
+        );
+        Ok(())
+    });
+}
 
-    #[test]
-    fn checker_never_flags_below_threshold(
-        acts in prop::collection::vec(0u32..16, 0..400),
-        t_rh in 100u32..10_000,
-    ) {
+#[test]
+fn checker_never_flags_below_threshold() {
+    prop_check("checker_never_flags_below_threshold", 128, |rng| {
+        let n = rng.below(400) as usize;
+        let acts: Vec<u32> = (0..n).map(|_| rng.below(16) as u32).collect();
+        let t_rh = 100 + rng.below(9_900) as u32;
         let mut ck = RowhammerChecker::new(16, t_rh);
         let mut per_row = [0u32; 16];
         for &r in &acts {
@@ -93,16 +119,21 @@ proptest! {
             per_row[r as usize] += 1;
         }
         if per_row.iter().all(|&c| c <= t_rh) {
-            prop_assert_eq!(ck.violations(), 0);
+            prop_ensure!(ck.violations() == 0, "{} violations below T_RH", ck.violations());
         }
-        prop_assert_eq!(ck.max_exposure(), per_row.iter().copied().max().unwrap_or(0));
-    }
+        prop_ensure!(
+            ck.max_exposure() == per_row.iter().copied().max().unwrap_or(0),
+            "max exposure mismatch"
+        );
+        Ok(())
+    });
+}
 
-    #[test]
-    fn checker_mitigation_clears_both_sides(
-        row in 2u32..14,
-        n in 1u32..500,
-    ) {
+#[test]
+fn checker_mitigation_clears_both_sides() {
+    prop_check("checker_mitigation_clears_both_sides", 128, |rng| {
+        let row = 2 + rng.below(12) as u32;
+        let n = 1 + rng.below(499) as u32;
         let mut ck = RowhammerChecker::new(16, 1_000_000);
         for _ in 0..n {
             ck.on_activate(row);
@@ -110,6 +141,11 @@ proptest! {
         ck.on_mitigate(row, 2);
         // After mitigation the only residual exposure is from the
         // victim-refresh activations themselves (1 each).
-        prop_assert!(ck.max_exposure() <= 1);
-    }
+        prop_ensure!(
+            ck.max_exposure() <= 1,
+            "residual exposure {} after mitigating row {row}",
+            ck.max_exposure()
+        );
+        Ok(())
+    });
 }

@@ -26,6 +26,12 @@ pub trait TraceSource {
 
     /// A short display name for reports.
     fn name(&self) -> &str;
+
+    /// Records corrupted on the way through (non-zero only for
+    /// fault-injection wrappers).
+    fn corrupted_records(&self) -> u64 {
+        0
+    }
 }
 
 /// A trivial trace that cycles through a fixed list of records (tests

@@ -150,11 +150,8 @@ impl Bank {
     }
 
     /// Issues a precharge of the given kind; returns the row-open time
-    /// in cycles.
-    ///
-    /// # Panics
-    ///
-    /// Panics (debug) if the bank is closed or tRAS is violated.
+    /// in cycles, or `None` if the bank was already closed (the caller
+    /// surfaces that as a timing-protocol error).
     pub fn precharge(
         &mut self,
         kind: PrechargeKind,
@@ -162,8 +159,8 @@ impl Bank {
         base: &TimingSet,
         prac: &TimingSet,
         ns_per_cycle: f64,
-    ) -> Cycle {
-        let open = self.open.take().expect("PRE to closed bank");
+    ) -> Option<Cycle> {
+        let open = self.open.take()?;
         debug_assert!(now >= self.pre_allowed, "PRE violates tRAS/tRTP/tWR");
         let t = match kind {
             PrechargeKind::Normal => base,
@@ -177,13 +174,23 @@ impl Bank {
             kind == PrechargeKind::CounterUpdate,
             open_cycles as f64 * ns_per_cycle,
         );
-        open_cycles
+        Some(open_cycles)
     }
 
     /// Blocks the bank until `until` (REF / RFM execution).
     pub fn block_until(&mut self, until: Cycle) {
         debug_assert!(self.open.is_none(), "REF/RFM with open row");
         self.act_allowed = self.act_allowed.max(until);
+    }
+
+    /// Fault hook: wedges the bank until `until`. An open bank cannot be
+    /// precharged (stuck-open row); a closed bank cannot be activated.
+    pub fn stick_until(&mut self, until: Cycle) {
+        if self.open.is_some() {
+            self.pre_allowed = self.pre_allowed.max(until);
+        } else {
+            self.act_allowed = self.act_allowed.max(until);
+        }
     }
 
     /// Access to the mitigation engine.
@@ -271,6 +278,6 @@ mod tests {
         let mut b = bank();
         b.activate(1, 0, false, &base, &prac);
         let open_cycles = b.precharge(PrechargeKind::Normal, 96, &base, &prac, 1.0 / 3.0);
-        assert_eq!(open_cycles, 96);
+        assert_eq!(open_cycles, Some(96));
     }
 }

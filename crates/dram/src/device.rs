@@ -13,6 +13,7 @@ use crate::timing::{AboTiming, TimingSet};
 use mopac::bank::AlertCause;
 use mopac::checker::Violation;
 use mopac::config::{MitigationConfig, MitigationKind};
+use mopac_types::error::{MopacError, MopacResult};
 use mopac_types::geometry::DramGeometry;
 use mopac_types::rng::DetRng;
 use mopac_types::time::{Cycle, MemClock};
@@ -85,6 +86,8 @@ pub struct DramStats {
     pub mitigations: u64,
     /// Deferred counter updates performed under ABO / REF.
     pub deferred_updates: u64,
+    /// Faults applied through the injection hooks.
+    pub injected_faults: u64,
 }
 
 impl DramStats {
@@ -130,6 +133,11 @@ pub struct DramDevice {
     clock: MemClock,
     subchannels: Vec<SubChannel>,
     stats: DramStats,
+    /// Fault hook: the next N RFM commands pay their stall but skip ABO
+    /// service (a dropped mitigation opportunity).
+    drop_rfms: u32,
+    /// Fault hook: extra stall cycles added to every RFM.
+    rfm_extra_stall: Cycle,
 }
 
 impl DramDevice {
@@ -157,11 +165,9 @@ impl DramDevice {
                         let checker = (cfg.enable_checker
                             && cfg.mitigation.kind != MitigationKind::None)
                             .then(|| {
-                                mopac::checker::RowhammerChecker::new(
-                                    geom.rows_per_bank,
-                                    u32::try_from(cfg.mitigation.t_rh.min(u64::from(u32::MAX)))
-                                        .expect("threshold fits"),
-                                )
+                                // The min() clamp guarantees the cast fits.
+                                let t_rh = cfg.mitigation.t_rh.min(u64::from(u32::MAX)) as u32;
+                                mopac::checker::RowhammerChecker::new(geom.rows_per_bank, t_rh)
                             });
                         Bank::new(mitigation, checker)
                     })
@@ -188,7 +194,23 @@ impl DramDevice {
             cfg,
             subchannels,
             stats: DramStats::default(),
+            drop_rfms: 0,
+            rfm_extra_stall: 0,
         }
+    }
+
+    /// Validates a (sub-channel, bank) pair, so command methods return a
+    /// typed error instead of an out-of-bounds panic.
+    fn check_bank(&self, sc: u32, bank: u32) -> MopacResult<()> {
+        let geom = &self.cfg.geometry;
+        if sc >= geom.subchannels || bank >= geom.banks_per_subchannel {
+            return Err(MopacError::config(format!(
+                "bank reference sc{sc}/bank{bank} outside geometry \
+                 ({} sub-channels x {} banks)",
+                geom.subchannels, geom.banks_per_subchannel
+            )));
+        }
+        Ok(())
     }
 
     /// The device configuration.
@@ -270,16 +292,35 @@ impl DramDevice {
     /// Issues an ACT. `update_selected` is MoPAC-C's coin flip; ignored
     /// (forced) for other designs.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics (debug) on timing violations.
-    pub fn activate(&mut self, sc: u32, bank: u32, row: u32, now: Cycle, update_selected: bool) {
+    /// Returns [`MopacError::TimingProtocol`] if the bank is open or the
+    /// ACT is issued before its timing gate, [`MopacError::Config`] for
+    /// an out-of-range bank reference.
+    pub fn activate(
+        &mut self,
+        sc: u32,
+        bank: u32,
+        row: u32,
+        now: Cycle,
+        update_selected: bool,
+    ) -> MopacResult<()> {
+        self.check_bank(sc, bank)?;
+        let earliest = self.earliest_activate(sc, bank);
+        if earliest.is_none_or(|e| now < e) {
+            return Err(MopacError::TimingProtocol {
+                command: "ACT",
+                subchannel: sc,
+                bank: Some(bank),
+                at: now,
+                earliest,
+            });
+        }
         let selected = match self.cfg.mitigation.kind {
             MitigationKind::Prac => true,
             MitigationKind::MopacC => update_selected,
             MitigationKind::None | MitigationKind::MopacD => false,
         };
-        debug_assert!(self.earliest_activate(sc, bank).is_some_and(|e| now >= e));
         let (base, prac) = (self.base, self.prac);
         let s = self.sub_mut(sc);
         s.banks[bank as usize].activate(row, now, selected, &base, &prac);
@@ -290,6 +331,7 @@ impl DramDevice {
         s.acts_since_alert += 1;
         self.stats.activates += 1;
         self.refresh_alert_line(sc, now);
+        Ok(())
     }
 
     /// Earliest cycle a read/write to `row` may issue (bank + bus).
@@ -303,32 +345,60 @@ impl DramDevice {
         Some(bank_ok.max(bus_ok).max(s.blocked_until))
     }
 
+    /// Checks a column command's timing gate against the open row.
+    fn check_column(
+        &self,
+        command: &'static str,
+        sc: u32,
+        bank: u32,
+        now: Cycle,
+    ) -> MopacResult<()> {
+        self.check_bank(sc, bank)?;
+        let earliest = self
+            .open_row(sc, bank)
+            .and_then(|o| self.earliest_column(sc, bank, o.row));
+        if earliest.is_none_or(|e| now < e) {
+            return Err(MopacError::TimingProtocol {
+                command,
+                subchannel: sc,
+                bank: Some(bank),
+                at: now,
+                earliest,
+            });
+        }
+        Ok(())
+    }
+
     /// Issues a read; returns the data-completion cycle.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics (debug) on timing violations.
-    pub fn read(&mut self, sc: u32, bank: u32, now: Cycle) -> Cycle {
+    /// Returns [`MopacError::TimingProtocol`] if no row is open or the
+    /// column gate is violated.
+    pub fn read(&mut self, sc: u32, bank: u32, now: Cycle) -> MopacResult<Cycle> {
+        self.check_column("RD", sc, bank, now)?;
         let t = *self.timing_default();
         let s = self.sub_mut(sc);
         let done = s.banks[bank as usize].read(now, &t);
         s.bus_busy_until = done;
         self.stats.reads += 1;
-        done
+        Ok(done)
     }
 
     /// Issues a write; returns the data-completion cycle.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics (debug) on timing violations.
-    pub fn write(&mut self, sc: u32, bank: u32, now: Cycle) -> Cycle {
+    /// Returns [`MopacError::TimingProtocol`] if no row is open or the
+    /// column gate is violated.
+    pub fn write(&mut self, sc: u32, bank: u32, now: Cycle) -> MopacResult<Cycle> {
+        self.check_column("WR", sc, bank, now)?;
         let t = *self.timing_default();
         let s = self.sub_mut(sc);
         let done = s.banks[bank as usize].write(now, &t);
         s.bus_busy_until = done;
         self.stats.writes += 1;
-        done
+        Ok(done)
     }
 
     /// Earliest cycle a PRE may issue.
@@ -346,10 +416,22 @@ impl DramDevice {
     /// and the bank's pending-update bit (PRAC always updates; MoPAC-C
     /// updates when the MC armed the bit at ACT).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics (debug) on timing violations.
-    pub fn precharge(&mut self, sc: u32, bank: u32, now: Cycle) {
+    /// Returns [`MopacError::TimingProtocol`] if the bank is closed or
+    /// the PRE is issued before its timing gate.
+    pub fn precharge(&mut self, sc: u32, bank: u32, now: Cycle) -> MopacResult<()> {
+        self.check_bank(sc, bank)?;
+        let earliest = self.earliest_precharge(sc, bank);
+        if earliest.is_none_or(|e| now < e) {
+            return Err(MopacError::TimingProtocol {
+                command: "PRE",
+                subchannel: sc,
+                bank: Some(bank),
+                at: now,
+                earliest,
+            });
+        }
         let kind = match self.cfg.mitigation.kind {
             MitigationKind::Prac => PrechargeKind::CounterUpdate,
             MitigationKind::MopacC if self.pending_update(sc, bank) => {
@@ -360,12 +442,22 @@ impl DramDevice {
         let (base, prac) = (self.base, self.prac);
         let ns_per_cycle = 1.0 / self.clock.freq_ghz();
         let s = self.sub_mut(sc);
-        s.banks[bank as usize].precharge(kind, now, &base, &prac, ns_per_cycle);
+        if s.banks[bank as usize]
+            .precharge(kind, now, &base, &prac, ns_per_cycle)
+            .is_none()
+        {
+            // The earliest_precharge gate above already rejects a closed
+            // bank, so this arm is unreachable; keep it typed anyway.
+            return Err(MopacError::internal(format!(
+                "PRE accepted on closed bank sc{sc}/bank{bank}"
+            )));
+        }
         match kind {
             PrechargeKind::Normal => self.stats.precharges += 1,
             PrechargeKind::CounterUpdate => self.stats.precharges_cu += 1,
         }
         self.refresh_alert_line(sc, now);
+        Ok(())
     }
 
     /// Earliest cycle a REF may issue (all banks must be precharged; the
@@ -384,10 +476,22 @@ impl DramDevice {
     /// bank, performs MoPAC-D drain-on-REF, and blocks the sub-channel
     /// for tRFC.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics (debug) if any bank still has an open row.
-    pub fn refresh(&mut self, sc: u32, now: Cycle) {
+    /// Returns [`MopacError::TimingProtocol`] if any bank still has an
+    /// open row or a bank's tRP has not elapsed.
+    pub fn refresh(&mut self, sc: u32, now: Cycle) -> MopacResult<()> {
+        self.check_bank(sc, 0)?;
+        let earliest = self.earliest_refresh(sc);
+        if earliest.is_none_or(|e| now < e) {
+            return Err(MopacError::TimingProtocol {
+                command: "REF",
+                subchannel: sc,
+                bank: None,
+                at: now,
+                earliest,
+            });
+        }
         let t_rfc = self.timing_default().t_rfc;
         let rows_per_group = self.cfg.geometry.rows_per_bank.div_ceil(REFRESH_GROUPS).max(1);
         let rows_per_bank = self.cfg.geometry.rows_per_bank;
@@ -408,16 +512,51 @@ impl DramDevice {
         self.stats.refreshes += 1;
         self.stats.deferred_updates += deferred;
         self.refresh_alert_line(sc, now);
+        Ok(())
     }
 
     /// Issues an RFM, servicing the pending ABO on every bank of the
     /// sub-channel; blocks the sub-channel for the ABO stall time.
     ///
-    /// # Panics
+    /// Under an active `inject_rfm_drop` fault the command pays its full
+    /// stall but performs no ABO service and leaves ALERT asserted; under
+    /// `inject_rfm_delay` the stall is lengthened.
     ///
-    /// Panics (debug) if any bank has an open row.
-    pub fn rfm(&mut self, sc: u32, now: Cycle) {
-        let stall = self.abo.stall;
+    /// # Errors
+    ///
+    /// Returns [`MopacError::TimingProtocol`] if any bank has an open
+    /// row.
+    pub fn rfm(&mut self, sc: u32, now: Cycle) -> MopacResult<()> {
+        self.check_bank(sc, 0)?;
+        let earliest = self.earliest_refresh(sc);
+        if earliest.is_none_or(|e| now < e) {
+            return Err(MopacError::TimingProtocol {
+                command: "RFM",
+                subchannel: sc,
+                bank: None,
+                at: now,
+                earliest,
+            });
+        }
+        let stall = self.abo.stall + self.rfm_extra_stall;
+        if self.drop_rfms > 0 {
+            // Dropped-RFM fault: the command occupies the bus and stalls
+            // the sub-channel but never reaches the mitigation engines.
+            self.drop_rfms -= 1;
+            self.stats.injected_faults += 1;
+            self.stats.rfms += 1;
+            let s = self.sub_mut(sc);
+            for b in &mut s.banks {
+                b.block_until(now + stall);
+            }
+            s.blocked_until = now + stall;
+            // ALERT stays asserted: the device never serviced the ABO.
+            // Allow a later RFM to retry without requiring a new ACT.
+            s.alert_since = None;
+            s.acts_since_alert = 1;
+            self.refresh_alert_line(sc, now);
+            return Ok(());
+        }
         let blast = self.cfg.mitigation.blast_radius;
         let s = self.sub_mut(sc);
         let mut mitigations = 0u64;
@@ -442,6 +581,80 @@ impl DramDevice {
         // A bank may *still* need service (e.g. more SRQ entries than one
         // ABO drains); it may re-assert after the next activation.
         self.refresh_alert_line(sc, now);
+        Ok(())
+    }
+
+    /// Fault hook: asserts ALERT on a sub-channel as if a bank demanded
+    /// service (an adversarial or glitching device).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MopacError::Config`] for an out-of-range sub-channel.
+    pub fn inject_alert(&mut self, sc: u32, now: Cycle) -> MopacResult<()> {
+        self.check_bank(sc, 0)?;
+        let s = self.sub_mut(sc);
+        if s.alert_since.is_none() {
+            s.alert_since = Some(now);
+            self.stats.alerts_mitigation += 1;
+            self.stats.injected_faults += 1;
+        }
+        Ok(())
+    }
+
+    /// Fault hook: the next `n` RFM commands are dropped (stall without
+    /// service).
+    pub fn inject_rfm_drop(&mut self, n: u32) {
+        self.drop_rfms = self.drop_rfms.saturating_add(n);
+    }
+
+    /// Fault hook: every subsequent RFM stalls `extra` cycles longer.
+    pub fn inject_rfm_delay(&mut self, extra: Cycle) {
+        self.rfm_extra_stall = extra;
+        if extra > 0 {
+            self.stats.injected_faults += 1;
+        }
+    }
+
+    /// Fault hook: wedges a bank until `until` (stuck-open row if the
+    /// bank is open, stuck-closed otherwise).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MopacError::Config`] for an out-of-range bank.
+    pub fn inject_stuck_bank(&mut self, sc: u32, bank: u32, until: Cycle) -> MopacResult<()> {
+        self.check_bank(sc, bank)?;
+        self.sub_mut(sc).banks[bank as usize].stick_until(until);
+        self.stats.injected_faults += 1;
+        Ok(())
+    }
+
+    /// Fault hook: flips `bit` of the PRAC counter for `row` in one chip
+    /// of the bank's mitigation engine (a counter-table soft error). The
+    /// security oracle is deliberately *not* told, so any resulting
+    /// undercount surfaces as an oracle violation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MopacError::Config`] for an out-of-range bank or row.
+    pub fn inject_counter_flip(
+        &mut self,
+        sc: u32,
+        bank: u32,
+        row: u32,
+        bit: u32,
+    ) -> MopacResult<()> {
+        self.check_bank(sc, bank)?;
+        if row >= self.cfg.geometry.rows_per_bank {
+            return Err(MopacError::config(format!(
+                "row {row} outside bank ({} rows)",
+                self.cfg.geometry.rows_per_bank
+            )));
+        }
+        self.sub_mut(sc).banks[bank as usize]
+            .mitigation_mut()
+            .corrupt_counter(row, bit);
+        self.stats.injected_faults += 1;
+        Ok(())
     }
 
     /// Total Rowhammer violations recorded by the oracle across all
@@ -529,13 +742,13 @@ mod tests {
         let mut prac_dev = device(MitigationConfig::prac(500));
         let latency = |d: &mut DramDevice| {
             // Open row 0, then service a conflicting read to row 1.
-            d.activate(0, 0, 0, 0, false);
+            d.activate(0, 0, 0, 0, false).unwrap();
             let pre_at = d.earliest_precharge(0, 0).unwrap();
-            d.precharge(0, 0, pre_at);
+            d.precharge(0, 0, pre_at).unwrap();
             let act_at = d.earliest_activate(0, 0).unwrap();
-            d.activate(0, 0, 1, act_at, false);
+            d.activate(0, 0, 1, act_at, false).unwrap();
             let rd_at = d.earliest_column(0, 0, 1).unwrap();
-            let done = d.read(0, 0, rd_at);
+            let done = d.read(0, 0, rd_at).unwrap();
             done - pre_at
         };
         let base_lat = latency(&mut base_dev);
@@ -557,7 +770,7 @@ mod tests {
         let mut now = 0;
         for b in 0..4 {
             now = d.earliest_activate(0, b).unwrap().max(now);
-            d.activate(0, b, 0, now, false);
+            d.activate(0, b, 0, now, false).unwrap();
             now += 1;
         }
         // Fifth ACT must wait for the FAW window.
@@ -572,16 +785,16 @@ mod tests {
         let mut acts = 0u64;
         while d.alert_since(0).is_none() {
             now = d.earliest_activate(0, 0).unwrap();
-            d.activate(0, 0, 10, now, false);
+            d.activate(0, 0, 10, now, false).unwrap();
             now = d.earliest_precharge(0, 0).unwrap();
-            d.precharge(0, 0, now);
+            d.precharge(0, 0, now).unwrap();
             acts += 1;
             assert!(acts <= 473, "no alert after {acts} ACTs");
         }
         assert_eq!(acts, 472);
         // Service it.
         let rfm_at = now + 540;
-        d.rfm(0, rfm_at);
+        d.rfm(0, rfm_at).unwrap();
         assert_eq!(d.stats().mitigations, 1);
         assert_eq!(d.alert_since(0), None);
         assert_eq!(d.violations(), 0);
@@ -593,7 +806,7 @@ mod tests {
     fn refresh_blocks_subchannel_and_advances_group() {
         let mut d = device(MitigationConfig::prac(500));
         let now = d.earliest_refresh(0).unwrap();
-        d.refresh(0, now);
+        d.refresh(0, now).unwrap();
         assert_eq!(d.stats().refreshes, 1);
         let next = d.earliest_activate(0, 0).unwrap();
         assert_eq!(next, now + d.timing_default().t_rfc);
@@ -611,14 +824,14 @@ mod tests {
         let mut row = 0u32;
         while d.alert_since(0).is_none() {
             now = d.earliest_activate(0, 0).unwrap();
-            d.activate(0, 0, row, now, false);
+            d.activate(0, 0, row, now, false).unwrap();
             now = d.earliest_precharge(0, 0).unwrap();
-            d.precharge(0, 0, now);
+            d.precharge(0, 0, now).unwrap();
             row = (row + 1) % 1024;
             assert!(row < 1000, "SRQ never filled");
         }
         assert_eq!(d.stats().alerts_srq_full, 1);
-        d.rfm(0, now + 540);
+        d.rfm(0, now + 540).unwrap();
         assert_eq!(d.stats().deferred_updates, 5);
         assert_eq!(d.alert_since(0), None);
     }
@@ -632,9 +845,9 @@ mod tests {
         let mut now;
         for _ in 0..600 {
             now = d.earliest_activate(0, 0).unwrap();
-            d.activate(0, 0, 10, now, false);
+            d.activate(0, 0, 10, now, false).unwrap();
             now = d.earliest_precharge(0, 0).unwrap();
-            d.precharge(0, 0, now);
+            d.precharge(0, 0, now).unwrap();
         }
         assert!(d.violations() > 0, "oracle missed an obvious overflow");
         let rec = d.violation_records();

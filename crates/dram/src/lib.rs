@@ -16,14 +16,28 @@
 //! ```
 //! use mopac_dram::device::{DramConfig, DramDevice};
 //! use mopac::config::MitigationConfig;
+//! use mopac_types::error::MopacResult;
 //!
-//! let mut dev = DramDevice::new(DramConfig::tiny(MitigationConfig::prac(500)));
-//! let at = dev.earliest_activate(0, 0).unwrap();
-//! dev.activate(0, 0, /*row=*/ 7, at, false);
-//! let rd = dev.earliest_column(0, 0, 7).unwrap();
-//! let data_done = dev.read(0, 0, rd);
-//! assert!(data_done > rd);
+//! fn demo() -> MopacResult<()> {
+//!     let mut dev = DramDevice::new(DramConfig::tiny(MitigationConfig::prac(500)));
+//!     let at = dev.earliest_activate(0, 0).ok_or_else(|| {
+//!         mopac_types::error::MopacError::internal("bank unexpectedly open")
+//!     })?;
+//!     dev.activate(0, 0, /*row=*/ 7, at, false)?;
+//!     let rd = dev.earliest_column(0, 0, 7).ok_or_else(|| {
+//!         mopac_types::error::MopacError::internal("row not open")
+//!     })?;
+//!     let data_done = dev.read(0, 0, rd)?;
+//!     assert!(data_done > rd);
+//!     Ok(())
+//! }
+//! demo().unwrap();
 //! ```
+
+// The robustness contract (see DESIGN.md): library code surfaces
+// failures as `MopacResult`, never by unwrapping. Tests are exempt
+// via clippy.toml (`allow-unwrap-in-tests`).
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod bank;
 pub mod device;

@@ -10,6 +10,7 @@ use crate::mapping::AddressMapper;
 use mopac::config::MitigationKind;
 use mopac_dram::device::DramDevice;
 use mopac_types::addr::{DecodedAddr, PhysAddr};
+use mopac_types::error::{MopacError, MopacResult};
 use mopac_types::rng::DetRng;
 use mopac_types::time::Cycle;
 use std::collections::VecDeque;
@@ -191,6 +192,11 @@ impl MemoryController {
         &self.dram
     }
 
+    /// Mutable access to the DRAM device (fault-injection hooks).
+    pub fn dram_mut(&mut self) -> &mut DramDevice {
+        &mut self.dram
+    }
+
     /// Controller statistics.
     #[must_use]
     pub fn stats(&self) -> McStats {
@@ -260,21 +266,35 @@ impl MemoryController {
     /// Advances one DRAM cycle: issues at most one command per
     /// sub-channel and appends finished reads to `completions` (the
     /// buffer is reused by the caller; it is not cleared here).
-    pub fn tick(&mut self, now: Cycle, completions: &mut Vec<Completion>) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MopacError::TimingProtocol`] from the device; in a
+    /// healthy run this never fires (the controller checks `earliest_*`
+    /// gates before issuing), so an error indicates a scheduler bug or
+    /// an injected fault surfacing.
+    pub fn tick(&mut self, now: Cycle, completions: &mut Vec<Completion>) -> MopacResult<()> {
         for sc in 0..self.subs.len() as u32 {
-            self.tick_subchannel(sc, now, completions);
+            self.tick_subchannel(sc, now, completions)?;
         }
+        Ok(())
     }
 
-    fn tick_subchannel(&mut self, sc: u32, now: Cycle, completions: &mut Vec<Completion>) {
+    fn tick_subchannel(
+        &mut self,
+        sc: u32,
+        now: Cycle,
+        completions: &mut Vec<Completion>,
+    ) -> MopacResult<()> {
         let had_work = {
             let s = &self.subs[sc as usize];
             !s.reads.is_empty() || !s.writes.is_empty()
         };
-        let issued = self.tick_subchannel_inner(sc, now, completions);
+        let issued = self.tick_subchannel_inner(sc, now, completions)?;
         if had_work && !issued {
             self.stats.idle_with_work += 1;
         }
+        Ok(())
     }
 
     fn tick_subchannel_inner(
@@ -282,57 +302,65 @@ impl MemoryController {
         sc: u32,
         now: Cycle,
         completions: &mut Vec<Completion>,
-    ) -> bool {
+    ) -> MopacResult<bool> {
         // 1. ABO: past the 180 ns window we must stall, close all open
         //    rows and issue the RFM.
         if let Some(asserted) = self.dram.alert_since(sc) {
             if now >= asserted + self.dram.abo_timing().normal_window {
                 self.stats.abo_stall_cycles += 1;
-                if self.close_one_open_bank(sc, now) {
-                    return true;
+                if self.close_one_open_bank(sc, now)? {
+                    return Ok(true);
                 }
-                if self.all_banks_closed(sc) && self.dram.earliest_refresh(sc).unwrap() <= now {
-                    self.dram.rfm(sc, now);
+                // `earliest_refresh` is `None` while any bank is open
+                // (e.g. a stuck-open fault): keep stalling until the
+                // close above succeeds, rather than unwrap-panicking.
+                if self.all_banks_closed(sc)
+                    && self.dram.earliest_refresh(sc).is_some_and(|e| e <= now)
+                {
+                    self.dram.rfm(sc, now)?;
                     self.stats.rfms_issued += 1;
-                    return true;
+                    return Ok(true);
                 }
-                return false;
+                return Ok(false);
             }
         }
         // 2. Refresh, when due.
         if now >= self.subs[sc as usize].next_ref {
             self.stats.refresh_mode_cycles += 1;
-            if self.close_one_open_bank(sc, now) {
-                return true;
+            if self.close_one_open_bank(sc, now)? {
+                return Ok(true);
             }
-            if self.all_banks_closed(sc) && self.dram.earliest_refresh(sc).unwrap() <= now {
+            // As above: no refresh slot exists while a bank is open.
+            if self.all_banks_closed(sc)
+                && self.dram.earliest_refresh(sc).is_some_and(|e| e <= now)
+            {
                 let t_refi = self.dram.timing_default().t_refi;
-                self.dram.refresh(sc, now);
+                self.dram.refresh(sc, now)?;
                 self.subs[sc as usize].next_ref += t_refi;
-                return true;
+                return Ok(true);
             }
-            return false;
+            return Ok(false);
         }
         // 3. Row-Press cap (MoPAC-C hardening): force-close rows open
         //    longer than 180 ns, ahead of any pending hits.
         if let Some(cap) = self.row_press_cap {
-            if self.close_overdue_bank(sc, now, cap, true) {
-                return true;
+            if self.close_overdue_bank(sc, now, cap, true)? {
+                return Ok(true);
             }
         }
         // 4. Strict close-page: a bank that has serviced its column
         //    command closes before anything else (auto-precharge
         //    semantics).
-        if self.cfg.page_policy == PagePolicy::Closed && self.close_used_bank(sc, now) {
-            return true;
+        if self.cfg.page_policy == PagePolicy::Closed && self.close_used_bank(sc, now)? {
+            return Ok(true);
         }
         // 5. FR-FCFS over the active queue.
-        if self.schedule_queue(sc, now, completions) {
-            return true;
+        if self.schedule_queue(sc, now, completions)? {
+            return Ok(true);
         }
         // 6. Idle housekeeping per page policy.
         match self.cfg.page_policy {
-            PagePolicy::Open => false,
+            PagePolicy::Open => Ok(false),
             PagePolicy::Closed | PagePolicy::ClosedIdle => {
                 self.close_unreferenced_bank(sc, now)
             }
@@ -345,7 +373,7 @@ impl MemoryController {
 
     /// Strict close-page: closes one bank whose open row has already
     /// serviced a column command.
-    fn close_used_bank(&mut self, sc: u32, now: Cycle) -> bool {
+    fn close_used_bank(&mut self, sc: u32, now: Cycle) -> MopacResult<bool> {
         let banks = self.dram.config().geometry.banks_per_subchannel;
         for b in 0..banks {
             if self.subs[sc as usize].cols_since_act[b as usize] >= 1
@@ -355,16 +383,21 @@ impl MemoryController {
                     .earliest_precharge(sc, b)
                     .is_some_and(|e| e <= now)
             {
-                self.dram.precharge(sc, b, now);
-                return true;
+                self.dram.precharge(sc, b, now)?;
+                return Ok(true);
             }
         }
-        false
+        Ok(false)
     }
 
     /// Picks the active queue (reads unless draining writes) and issues
     /// one command for it. Returns whether a command was issued.
-    fn schedule_queue(&mut self, sc: u32, now: Cycle, completions: &mut Vec<Completion>) -> bool {
+    fn schedule_queue(
+        &mut self,
+        sc: u32,
+        now: Cycle,
+        completions: &mut Vec<Completion>,
+    ) -> MopacResult<bool> {
         let s = &mut self.subs[sc as usize];
         // Write-drain hysteresis: start at 7/8 full (or when reads are
         // empty and writes exist), drain down to 1/8. Wide hysteresis
@@ -384,11 +417,11 @@ impl MemoryController {
         // would add conflicts).
         let use_writes = s.draining_writes;
         if use_writes {
-            self.issue_from(sc, now, true, false, completions)
-                || self.issue_from(sc, now, false, true, completions)
+            Ok(self.issue_from(sc, now, true, false, completions)?
+                || self.issue_from(sc, now, false, true, completions)?)
         } else {
-            self.issue_from(sc, now, false, false, completions)
-                || self.issue_from(sc, now, true, true, completions)
+            Ok(self.issue_from(sc, now, false, false, completions)?
+                || self.issue_from(sc, now, true, true, completions)?)
         }
     }
 
@@ -399,7 +432,7 @@ impl MemoryController {
         writes: bool,
         hits_only: bool,
         completions: &mut Vec<Completion>,
-    ) -> bool {
+    ) -> MopacResult<bool> {
         // Anti-starvation: if the oldest request is too old, act on it
         // first when possible (without serializing the rest: if its
         // needed command cannot issue this cycle, normal scheduling
@@ -410,12 +443,14 @@ impl MemoryController {
             q.front()
                 .is_some_and(|p| now.saturating_sub(p.arrival) > self.cfg.starvation_cycles)
         };
-        if starved {
-            let p = {
-                let s = &self.subs[sc as usize];
-                let q = if writes { &s.writes } else { &s.reads };
-                *q.front().expect("checked non-empty")
-            };
+        let starved_front = if starved {
+            let s = &self.subs[sc as usize];
+            let q = if writes { &s.writes } else { &s.reads };
+            q.front().copied()
+        } else {
+            None
+        };
+        if let Some(p) = starved_front {
             let bank = p.addr.bank.bank;
             match self.dram.open_row(sc, bank) {
                 Some(open) if open.row == p.addr.row => {
@@ -424,8 +459,8 @@ impl MemoryController {
                         .earliest_column(sc, bank, p.addr.row)
                         .is_some_and(|e| e <= now)
                     {
-                        self.issue_column(sc, now, writes, 0, completions);
-                        return true;
+                        self.issue_column(sc, now, writes, 0, completions)?;
+                        return Ok(true);
                     }
                 }
                 Some(_) => {
@@ -434,8 +469,8 @@ impl MemoryController {
                         .earliest_precharge(sc, bank)
                         .is_some_and(|e| e <= now)
                     {
-                        self.dram.precharge(sc, bank, now);
-                        return true;
+                        self.dram.precharge(sc, bank, now)?;
+                        return Ok(true);
                     }
                 }
                 None => {
@@ -444,8 +479,8 @@ impl MemoryController {
                         .earliest_activate(sc, bank)
                         .is_some_and(|e| e <= now)
                     {
-                        self.issue_activate(sc, bank, p.addr.row, now);
-                        return true;
+                        self.issue_activate(sc, bank, p.addr.row, now)?;
+                        return Ok(true);
                     }
                 }
             }
@@ -466,11 +501,11 @@ impl MemoryController {
             })
         };
         if let Some(idx) = hit_idx {
-            self.issue_column(sc, now, writes, idx, completions);
-            return true;
+            self.issue_column(sc, now, writes, idx, completions)?;
+            return Ok(true);
         }
         if hits_only {
-            return false;
+            return Ok(false);
         }
         // Phase (b): oldest request needing bank preparation.
         let prep = {
@@ -515,24 +550,25 @@ impl MemoryController {
         };
         match prep {
             Some((bank, Some(row))) => {
-                self.issue_activate(sc, bank, row, now);
-                true
+                self.issue_activate(sc, bank, row, now)?;
+                Ok(true)
             }
             Some((bank, None)) => {
-                self.dram.precharge(sc, bank, now);
-                true
+                self.dram.precharge(sc, bank, now)?;
+                Ok(true)
             }
-            None => false,
+            None => Ok(false),
         }
     }
 
     /// Issues an ACT, flipping the MoPAC-C selection coin.
-    fn issue_activate(&mut self, sc: u32, bank: u32, row: u32, now: Cycle) {
+    fn issue_activate(&mut self, sc: u32, bank: u32, row: u32, now: Cycle) -> MopacResult<()> {
         let selected = self.mopac_c && self.rng.bernoulli(self.coin_p);
-        self.dram.activate(sc, bank, row, now, selected);
+        self.dram.activate(sc, bank, row, now, selected)?;
         let s = &mut self.subs[sc as usize];
         s.last_use[bank as usize] = now;
         s.cols_since_act[bank as usize] = 0;
+        Ok(())
     }
 
     fn issue_column(
@@ -542,24 +578,29 @@ impl MemoryController {
         writes: bool,
         idx: usize,
         completions: &mut Vec<Completion>,
-    ) {
+    ) -> MopacResult<()> {
         let s = &mut self.subs[sc as usize];
         let q = if writes { &mut s.writes } else { &mut s.reads };
-        let p = q.remove(idx).expect("index valid");
+        let Some(p) = q.remove(idx) else {
+            return Err(MopacError::internal(format!(
+                "scheduler selected queue index {idx} past the end"
+            )));
+        };
         s.last_use[p.addr.bank.bank as usize] = now;
         s.cols_since_act[p.addr.bank.bank as usize] += 1;
         if writes {
-            let _ = self.dram.write(sc, p.addr.bank.bank, now);
+            let _ = self.dram.write(sc, p.addr.bank.bank, now)?;
         } else {
-            let done = self.dram.read(sc, p.addr.bank.bank, now);
+            let done = self.dram.read(sc, p.addr.bank.bank, now)?;
             self.stats.reads_done += 1;
-            self.stats.read_latency_sum += done - p.arrival;
+            self.stats.read_latency_sum += done.saturating_sub(p.arrival);
             completions.push(Completion { id: p.id, at: done });
         }
+        Ok(())
     }
 
     /// Closes one open bank if legal; returns whether a PRE was issued.
-    fn close_one_open_bank(&mut self, sc: u32, now: Cycle) -> bool {
+    fn close_one_open_bank(&mut self, sc: u32, now: Cycle) -> MopacResult<bool> {
         let banks = self.dram.config().geometry.banks_per_subchannel;
         for b in 0..banks {
             if self.dram.open_row(sc, b).is_some()
@@ -568,11 +609,11 @@ impl MemoryController {
                     .earliest_precharge(sc, b)
                     .is_some_and(|e| e <= now)
             {
-                self.dram.precharge(sc, b, now);
-                return true;
+                self.dram.precharge(sc, b, now)?;
+                return Ok(true);
             }
         }
-        false
+        Ok(false)
     }
 
     fn all_banks_closed(&self, sc: u32) -> bool {
@@ -582,7 +623,13 @@ impl MemoryController {
 
     /// Closes one bank whose row has been open (`force`) or idle since
     /// last use (`!force`) for at least `cap` cycles.
-    fn close_overdue_bank(&mut self, sc: u32, now: Cycle, cap: Cycle, force: bool) -> bool {
+    fn close_overdue_bank(
+        &mut self,
+        sc: u32,
+        now: Cycle,
+        cap: Cycle,
+        force: bool,
+    ) -> MopacResult<bool> {
         let banks = self.dram.config().geometry.banks_per_subchannel;
         for b in 0..banks {
             let Some(open) = self.dram.open_row(sc, b) else {
@@ -599,15 +646,15 @@ impl MemoryController {
                     .earliest_precharge(sc, b)
                     .is_some_and(|e| e <= now)
             {
-                self.dram.precharge(sc, b, now);
-                return true;
+                self.dram.precharge(sc, b, now)?;
+                return Ok(true);
             }
         }
-        false
+        Ok(false)
     }
 
     /// Close-page policy: closes one open bank with no queued hits.
-    fn close_unreferenced_bank(&mut self, sc: u32, now: Cycle) -> bool {
+    fn close_unreferenced_bank(&mut self, sc: u32, now: Cycle) -> MopacResult<bool> {
         let banks = self.dram.config().geometry.banks_per_subchannel;
         for b in 0..banks {
             let Some(open) = self.dram.open_row(sc, b) else {
@@ -625,11 +672,11 @@ impl MemoryController {
                     .earliest_precharge(sc, b)
                     .is_some_and(|e| e <= now)
             {
-                self.dram.precharge(sc, b, now);
-                return true;
+                self.dram.precharge(sc, b, now)?;
+                return Ok(true);
             }
         }
-        false
+        Ok(false)
     }
 }
 
@@ -654,7 +701,7 @@ mod tests {
         let mut done = Vec::new();
         let end = now + limit;
         while done.len() < expect && now < end {
-            mc.tick(now, &mut done);
+            mc.tick(now, &mut done).unwrap();
             now += 1;
         }
         (done, now)
@@ -694,7 +741,7 @@ mod tests {
         let mut mc = controller(MitigationConfig::baseline());
         let mut done = Vec::new();
         for now in 0..40_000 {
-            mc.tick(now, &mut done);
+            mc.tick(now, &mut done).unwrap();
         }
         // 40000 cycles / 11700 per REF = 3 refreshes per sub-channel.
         assert_eq!(mc.dram().stats().refreshes, 6);
@@ -711,10 +758,10 @@ mod tests {
         while mc.dram().stats().rfms == 0 {
             if mc.queued() == 0 {
                 id += 1;
-                let row = if id % 2 == 0 { 0 } else { (id % 900 + 1) as u32 };
+                let row = if id.is_multiple_of(2) { 0 } else { (id % 900 + 1) as u32 };
                 mc.enqueue(read(id, 0, row), now);
             }
-            mc.tick(now, &mut done);
+            mc.tick(now, &mut done).unwrap();
             now += 1;
             assert!(now < 2_000_000, "no RFM after {now} cycles");
         }
@@ -734,7 +781,7 @@ mod tests {
                 // Random-ish row per request: every access a row miss.
                 mc.enqueue(read(id, (id % 4) as u32, (id * 37 % 701) as u32), now);
             }
-            mc.tick(now, &mut done);
+            mc.tick(now, &mut done).unwrap();
             now += 1;
         }
         let st = mc.dram().stats();
@@ -757,7 +804,7 @@ mod tests {
         // Allow some cycles for the idle close (tRTP after the read).
         let mut done = Vec::new();
         for t in now..now + 200 {
-            mc.tick(t, &mut done);
+            mc.tick(t, &mut done).unwrap();
         }
         assert!(mc.dram().open_row(0, 0).is_none(), "row left open");
     }
@@ -777,7 +824,7 @@ mod tests {
         }
         let mut done = Vec::new();
         for now in 0..100_000 {
-            mc.tick(now, &mut done);
+            mc.tick(now, &mut done).unwrap();
             if mc.queued() == 0 {
                 break;
             }

@@ -26,6 +26,11 @@
 //! assert_eq!(done.len(), 1);
 //! ```
 
+// The robustness contract (see DESIGN.md): library code surfaces
+// failures as `MopacResult`, never by unwrapping. Tests are exempt
+// via clippy.toml (`allow-unwrap-in-tests`).
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod controller;
 pub mod mapping;
 

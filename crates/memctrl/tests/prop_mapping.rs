@@ -3,8 +3,9 @@
 
 use mopac_memctrl::mapping::{AddressMapper, Mapping};
 use mopac_types::addr::PhysAddr;
+use mopac_types::check::prop_check;
 use mopac_types::geometry::DramGeometry;
-use proptest::prelude::*;
+use mopac_types::prop_ensure;
 
 fn mappings() -> Vec<Mapping> {
     vec![
@@ -15,32 +16,45 @@ fn mappings() -> Vec<Mapping> {
     ]
 }
 
-proptest! {
-    #[test]
-    fn decode_encode_round_trip(line in 0u64..(32u64 << 30) / 64) {
+#[test]
+fn decode_encode_round_trip() {
+    prop_check("decode_encode_round_trip", 256, |rng| {
+        let line = rng.below((32u64 << 30) / 64);
         let geom = DramGeometry::ddr5_32gb();
         for mapping in mappings() {
             let m = AddressMapper::new(geom, mapping);
             let addr = PhysAddr::from_line_index(line, 64);
             let d = m.decode(addr);
-            prop_assert!(d.row < geom.rows_per_bank);
-            prop_assert!(d.col < geom.lines_per_row());
-            prop_assert!(d.bank.subchannel < geom.subchannels);
-            prop_assert!(d.bank.bank < geom.banks_per_subchannel);
-            prop_assert_eq!(m.encode(d), addr, "{:?}", mapping);
+            prop_ensure!(d.row < geom.rows_per_bank, "row out of range: {:?}", mapping);
+            prop_ensure!(d.col < geom.lines_per_row(), "col out of range: {:?}", mapping);
+            prop_ensure!(d.bank.subchannel < geom.subchannels, "subch out of range");
+            prop_ensure!(d.bank.bank < geom.banks_per_subchannel, "bank out of range");
+            prop_ensure!(
+                m.encode(d) == addr,
+                "round trip failed for line {line} under {:?}",
+                mapping
+            );
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn distinct_lines_map_to_distinct_coordinates(
-        a in 0u64..(1u64 << 29),
-        b in 0u64..(1u64 << 29),
-    ) {
-        prop_assume!(a != b);
+#[test]
+fn distinct_lines_map_to_distinct_coordinates() {
+    prop_check("distinct_lines_map_to_distinct_coordinates", 256, |rng| {
+        let a = rng.below(1 << 29);
+        let b = rng.below(1 << 29);
+        if a == b {
+            return Ok(());
+        }
         let geom = DramGeometry::ddr5_32gb();
         let m = AddressMapper::new(geom, Mapping::paper_default());
         let da = m.decode(PhysAddr::from_line_index(a, 64));
         let db = m.decode(PhysAddr::from_line_index(b, 64));
-        prop_assert_ne!((da.bank, da.row, da.col), (db.bank, db.row, db.col));
-    }
+        prop_ensure!(
+            (da.bank, da.row, da.col) != (db.bank, db.row, db.col),
+            "lines {a} and {b} collided"
+        );
+        Ok(())
+    });
 }

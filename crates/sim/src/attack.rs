@@ -8,6 +8,7 @@
 use mopac::config::MitigationConfig;
 use mopac_dram::device::{DramConfig, DramDevice, DramStats};
 use mopac_memctrl::controller::{AccessKind, McConfig, MemRequest, MemoryController, PagePolicy};
+use mopac_types::error::MopacResult;
 use mopac_types::geometry::DramGeometry;
 use mopac_types::time::Cycle;
 use mopac_workloads::attack::AttackPattern;
@@ -83,7 +84,13 @@ impl AttackResult {
 }
 
 /// Runs `pattern` against the configured mitigation at maximum rate.
-pub fn run_attack(cfg: &AttackConfig, pattern: &mut dyn AttackPattern) -> AttackResult {
+///
+/// # Errors
+///
+/// Propagates [`mopac_types::MopacError::TimingProtocol`] if the
+/// controller drives the device into an illegal sequence (never in a
+/// healthy configuration).
+pub fn run_attack(cfg: &AttackConfig, pattern: &mut dyn AttackPattern) -> MopacResult<AttackResult> {
     let dram = DramDevice::new(DramConfig {
         geometry: cfg.geometry,
         mitigation: cfg.mitigation,
@@ -121,14 +128,14 @@ pub fn run_attack(cfg: &AttackConfig, pattern: &mut dyn AttackPattern) -> Attack
             id += 1;
         }
         done.clear();
-        mc.tick(now, &mut done);
+        mc.tick(now, &mut done)?;
     }
-    AttackResult {
+    Ok(AttackResult {
         activations: mc.dram().stats().activates,
         cycles: cfg.cycles,
         dram: mc.dram().stats(),
         violations: mc.dram().violations(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -148,7 +155,7 @@ mod tests {
     fn double_sided_on_prac_never_violates() {
         let cfg = tiny(MitigationConfig::prac(500), 400_000);
         let mut p = DoubleSidedHammer::new(BankRef::new(0, 0), 100);
-        let r = run_attack(&cfg, &mut p);
+        let r = run_attack(&cfg, &mut p).unwrap();
         assert_eq!(r.violations, 0);
         assert!(r.dram.alerts() > 0, "attack never triggered ALERT");
         assert!(r.dram.mitigations > 0);
@@ -160,7 +167,7 @@ mod tests {
         let broken = MitigationConfig::prac(500).with_alert_threshold(50_000);
         let cfg = tiny(broken, 400_000);
         let mut p = DoubleSidedHammer::new(BankRef::new(0, 0), 100);
-        let r = run_attack(&cfg, &mut p);
+        let r = run_attack(&cfg, &mut p).unwrap();
         assert!(r.violations > 0, "oracle should have caught the attack");
     }
 
@@ -171,7 +178,7 @@ mod tests {
             .with_drain_on_ref(0);
         let cfg = tiny(mit, 300_000);
         let mut p = SrqFillAttack::new(BankRef::new(0, 0), 512);
-        let r = run_attack(&cfg, &mut p);
+        let r = run_attack(&cfg, &mut p).unwrap();
         assert_eq!(r.violations, 0);
         assert!(r.dram.alerts_srq_full > 0);
         // Expected pace: one ALERT per ~(drained 5) / p = 40 ACTs, with
@@ -184,10 +191,10 @@ mod tests {
     fn throughput_loss_positive_under_alerts() {
         let base_cfg = tiny(MitigationConfig::baseline(), 150_000);
         let mut p0 = DoubleSidedHammer::new(BankRef::new(0, 0), 100);
-        let base = run_attack(&base_cfg, &mut p0);
+        let base = run_attack(&base_cfg, &mut p0).unwrap();
         let cfg = tiny(MitigationConfig::mopac_c(500), 150_000);
         let mut p1 = DoubleSidedHammer::new(BankRef::new(0, 0), 100);
-        let hit = run_attack(&cfg, &mut p1);
+        let hit = run_attack(&cfg, &mut p1).unwrap();
         assert!(hit.throughput_loss_vs(&base) > 0.0);
     }
 }

@@ -1,0 +1,441 @@
+//! Deterministic fault injection for robustness testing.
+//!
+//! A [`FaultPlan`] is a seed plus a list of [`FaultSpec`]s — *what* goes
+//! wrong and *when* (in DRAM cycles). The [`System`](crate::system::System)
+//! expands the plan into a [`FaultInjector`] and applies due events at
+//! the top of every cycle, before the memory controller ticks, so a run
+//! with the same plan, seed and traces is exactly reproducible.
+//!
+//! Faults model the failure modes a PRAC/ABO memory system is exposed
+//! to: spurious or storming ALERT assertions, RFMs that the device drops
+//! or services late, soft errors in the in-DRAM activation counters,
+//! rows wedged open past their timing window, and corrupted trace
+//! inputs. Injection never aborts the simulation — consequences surface
+//! as structured statistics ([`mopac_dram::DramStats::injected_faults`],
+//! oracle violation counts) or as typed [`MopacError`]s from the run.
+//!
+//! # Examples
+//!
+//! ```
+//! use mopac_sim::fault::{FaultKind, FaultPlan};
+//!
+//! let plan = FaultPlan::new(0xFA_07)
+//!     .with(10_000, FaultKind::AlertStorm { subchannel: 0, period: 600, count: 8 })
+//!     .with(50_000, FaultKind::DropRfm { count: 2 });
+//! assert_eq!(plan.faults().len(), 2);
+//! ```
+
+use mopac_cpu::trace::{TraceRecord, TraceSource};
+use mopac_memctrl::controller::MemoryController;
+use mopac_types::addr::PhysAddr;
+use mopac_types::error::{MopacError, MopacResult};
+use mopac_types::rng::DetRng;
+use mopac_types::time::Cycle;
+
+/// One kind of injectable fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Assert the ALERT line on `subchannel` `count` times, `period`
+    /// cycles apart, regardless of any counter crossing a threshold
+    /// (a glitching open-drain ALERT_n pin).
+    AlertStorm {
+        /// Sub-channel whose ALERT line glitches.
+        subchannel: u32,
+        /// Cycles between consecutive spurious assertions.
+        period: Cycle,
+        /// Number of assertions.
+        count: u32,
+    },
+    /// The device silently swallows the next `count` RFM commands: the
+    /// bus transaction happens (banks stall) but no mitigation work is
+    /// performed and ALERT re-asserts.
+    DropRfm {
+        /// How many future RFMs to drop.
+        count: u32,
+    },
+    /// Every subsequent RFM takes `extra_cycles` longer than tRFM
+    /// (a slow mitigation engine); cumulative across events.
+    DelayRfm {
+        /// Extra stall cycles added to each RFM.
+        extra_cycles: Cycle,
+    },
+    /// Flip bit `bit` of the PRAC counter of a uniformly random row in
+    /// (`subchannel`, `bank`) — a soft error in the in-row counter
+    /// storage. The row is drawn from the plan's deterministic RNG.
+    CounterBitFlip {
+        /// Target sub-channel.
+        subchannel: u32,
+        /// Target bank.
+        bank: u32,
+        /// Bit index to flip (wraps above 31).
+        bit: u32,
+    },
+    /// Wedge (`subchannel`, `bank`) for `duration` cycles: an open row
+    /// cannot be precharged (stuck-open), a closed bank cannot be
+    /// activated.
+    StuckBank {
+        /// Target sub-channel.
+        subchannel: u32,
+        /// Target bank.
+        bank: u32,
+        /// Cycles the bank stays wedged from the event cycle.
+        duration: Cycle,
+    },
+    /// Corrupt trace records fed to every core: each record's address
+    /// has random line-index bits XORed in with probability `rate`.
+    /// Applied from the first record (the event cycle is ignored —
+    /// traces have no cycle clock) by wrapping the trace sources.
+    TraceCorruption {
+        /// Per-record corruption probability in `[0, 1]`.
+        rate: f64,
+    },
+}
+
+impl FaultKind {
+    /// Short human label for reports.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::AlertStorm { .. } => "alert-storm",
+            FaultKind::DropRfm { .. } => "drop-rfm",
+            FaultKind::DelayRfm { .. } => "delay-rfm",
+            FaultKind::CounterBitFlip { .. } => "counter-bitflip",
+            FaultKind::StuckBank { .. } => "stuck-bank",
+            FaultKind::TraceCorruption { .. } => "trace-corruption",
+        }
+    }
+}
+
+/// A fault scheduled at a specific cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// DRAM cycle at which the fault fires.
+    pub at: Cycle,
+    /// What goes wrong.
+    pub kind: FaultKind,
+}
+
+/// A deterministic, seed-driven fault schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    faults: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// An empty plan drawing randomness (bit-flip rows) from `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Adds a fault at cycle `at` (builder style).
+    #[must_use]
+    pub fn with(mut self, at: Cycle, kind: FaultKind) -> Self {
+        self.faults.push(FaultSpec { at, kind });
+        self
+    }
+
+    /// The plan's RNG seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The scheduled faults, in insertion order.
+    #[must_use]
+    pub fn faults(&self) -> &[FaultSpec] {
+        &self.faults
+    }
+
+    /// The trace-corruption rate, if the plan includes one (the maximum
+    /// across `TraceCorruption` entries).
+    #[must_use]
+    pub fn trace_corruption_rate(&self) -> Option<f64> {
+        self.faults
+            .iter()
+            .filter_map(|f| match f.kind {
+                FaultKind::TraceCorruption { rate } => Some(rate),
+                _ => None,
+            })
+            .reduce(f64::max)
+    }
+}
+
+/// Expanded, cycle-ordered injector state built from a [`FaultPlan`].
+#[derive(Debug)]
+pub struct FaultInjector {
+    /// Remaining events, ascending by cycle; popped from the front.
+    events: Vec<FaultSpec>,
+    next_idx: usize,
+    rng: DetRng,
+    applied: u64,
+}
+
+impl FaultInjector {
+    /// Expands `plan` into a cycle-ordered event list (an `AlertStorm`
+    /// becomes `count` single assertions; `TraceCorruption` is handled
+    /// at trace-construction time and skipped here).
+    #[must_use]
+    pub fn new(plan: &FaultPlan) -> Self {
+        let mut events = Vec::new();
+        for f in plan.faults() {
+            match f.kind {
+                FaultKind::AlertStorm {
+                    subchannel,
+                    period,
+                    count,
+                } => {
+                    for i in 0..count {
+                        events.push(FaultSpec {
+                            at: f.at + Cycle::from(i) * period,
+                            kind: FaultKind::AlertStorm {
+                                subchannel,
+                                period,
+                                count: 1,
+                            },
+                        });
+                    }
+                }
+                FaultKind::TraceCorruption { .. } => {}
+                _ => events.push(*f),
+            }
+        }
+        events.sort_by_key(|e| e.at);
+        Self {
+            events,
+            next_idx: 0,
+            rng: DetRng::from_seed(plan.seed()).fork(0xFA17),
+            applied: 0,
+        }
+    }
+
+    /// Number of events applied so far.
+    #[must_use]
+    pub fn applied(&self) -> u64 {
+        self.applied
+    }
+
+    /// Whether all scheduled events have fired.
+    #[must_use]
+    pub fn exhausted(&self) -> bool {
+        self.next_idx >= self.events.len()
+    }
+
+    /// Applies every event due at or before `now` to the controller's
+    /// device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MopacError::Config`] if an event targets a sub-channel
+    /// or bank outside the device geometry.
+    pub fn apply(&mut self, now: Cycle, mc: &mut MemoryController) -> MopacResult<()> {
+        while let Some(ev) = self.events.get(self.next_idx) {
+            if ev.at > now {
+                break;
+            }
+            let ev = *ev;
+            self.next_idx += 1;
+            self.applied += 1;
+            match ev.kind {
+                FaultKind::AlertStorm { subchannel, .. } => {
+                    mc.dram_mut().inject_alert(subchannel, now)?;
+                }
+                FaultKind::DropRfm { count } => {
+                    mc.dram_mut().inject_rfm_drop(count);
+                }
+                FaultKind::DelayRfm { extra_cycles } => {
+                    mc.dram_mut().inject_rfm_delay(extra_cycles);
+                }
+                FaultKind::CounterBitFlip {
+                    subchannel,
+                    bank,
+                    bit,
+                } => {
+                    let rows = mc.dram().config().geometry.rows_per_bank;
+                    let row = self.rng.below(u64::from(rows.max(1))) as u32;
+                    mc.dram_mut().inject_counter_flip(subchannel, bank, row, bit)?;
+                }
+                FaultKind::StuckBank {
+                    subchannel,
+                    bank,
+                    duration,
+                } => {
+                    mc.dram_mut()
+                        .inject_stuck_bank(subchannel, bank, now + duration)?;
+                }
+                FaultKind::TraceCorruption { .. } => {
+                    return Err(MopacError::internal(
+                        "TraceCorruption events are expanded at trace construction",
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A [`TraceSource`] wrapper that corrupts records on the way through:
+/// with probability `rate` per record, random bits are XORed into the
+/// line index (the address mapper decodes modulo the device capacity,
+/// so a corrupted address is still a *valid* address — it just lands on
+/// the wrong row/bank, exactly like a flipped address bus bit).
+pub struct CorruptingTrace {
+    inner: Box<dyn TraceSource>,
+    rate: f64,
+    line_bytes: u32,
+    rng: DetRng,
+    corrupted: u64,
+}
+
+impl CorruptingTrace {
+    /// Wraps `inner`, corrupting each record with probability `rate`.
+    /// `stream` decorrelates the per-core RNGs of a shared plan seed.
+    #[must_use]
+    pub fn new(inner: Box<dyn TraceSource>, rate: f64, line_bytes: u32, seed: u64, stream: u64) -> Self {
+        Self {
+            inner,
+            rate,
+            line_bytes,
+            rng: DetRng::from_seed(seed).fork(0xC0_44 ^ stream),
+            corrupted: 0,
+        }
+    }
+
+    /// Records corrupted so far.
+    #[must_use]
+    pub fn corrupted(&self) -> u64 {
+        self.corrupted
+    }
+}
+
+impl TraceSource for CorruptingTrace {
+    fn next_record(&mut self) -> TraceRecord {
+        let mut rec = self.inner.next_record();
+        if self.rng.bernoulli(self.rate) {
+            let line = rec.addr.line_index(self.line_bytes) ^ self.rng.next_u64();
+            rec.addr = PhysAddr::from_line_index(line, self.line_bytes);
+            self.corrupted += 1;
+        }
+        rec
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn corrupted_records(&self) -> u64 {
+        self.corrupted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mopac::config::MitigationConfig;
+    use mopac_dram::device::{DramConfig, DramDevice};
+    use mopac_memctrl::controller::McConfig;
+
+    fn tiny_mc() -> MemoryController {
+        let dram = DramDevice::new(DramConfig::tiny(MitigationConfig::prac(500)));
+        MemoryController::new(dram, McConfig::default())
+    }
+
+    #[test]
+    fn storm_expands_to_count_events() {
+        let plan = FaultPlan::new(1).with(
+            100,
+            FaultKind::AlertStorm {
+                subchannel: 0,
+                period: 50,
+                count: 4,
+            },
+        );
+        let mut inj = FaultInjector::new(&plan);
+        let mut mc = tiny_mc();
+        inj.apply(99, &mut mc).unwrap();
+        assert_eq!(inj.applied(), 0);
+        inj.apply(100 + 3 * 50, &mut mc).unwrap();
+        assert_eq!(inj.applied(), 4);
+        assert!(inj.exhausted());
+        assert!(mc.dram().stats().injected_faults >= 1);
+    }
+
+    #[test]
+    fn bitflip_row_is_deterministic_per_seed() {
+        let plan = FaultPlan::new(7).with(
+            0,
+            FaultKind::CounterBitFlip {
+                subchannel: 0,
+                bank: 0,
+                bit: 3,
+            },
+        );
+        let mut a = tiny_mc();
+        let mut b = tiny_mc();
+        FaultInjector::new(&plan).apply(0, &mut a).unwrap();
+        FaultInjector::new(&plan).apply(0, &mut b).unwrap();
+        assert_eq!(a.dram().stats().injected_faults, 1);
+        assert_eq!(
+            a.dram().stats().injected_faults,
+            b.dram().stats().injected_faults
+        );
+    }
+
+    #[test]
+    fn out_of_range_target_is_a_config_error() {
+        let plan = FaultPlan::new(1).with(
+            0,
+            FaultKind::StuckBank {
+                subchannel: 99,
+                bank: 0,
+                duration: 10,
+            },
+        );
+        let mut mc = tiny_mc();
+        let err = FaultInjector::new(&plan).apply(0, &mut mc).unwrap_err();
+        assert!(matches!(err, MopacError::Config { .. }), "{err}");
+    }
+
+    #[test]
+    fn corrupting_trace_flips_some_addresses() {
+        use mopac_cpu::trace::ReplayTrace;
+        let records: Vec<TraceRecord> = (0..512u64)
+            .map(|i| TraceRecord {
+                gap: 1,
+                addr: PhysAddr::new(i * 64),
+                is_write: false,
+            })
+            .collect();
+        let inner = Box::new(ReplayTrace::new("unit", records.clone()));
+        let mut t = CorruptingTrace::new(inner, 0.25, 64, 9, 0);
+        let mut changed = 0;
+        for r in &records {
+            if t.next_record().addr != r.addr {
+                changed += 1;
+            }
+        }
+        assert_eq!(changed, t.corrupted());
+        assert!((50..200).contains(&changed), "corrupted {changed}/512");
+        // Zero rate is the identity.
+        let inner = Box::new(ReplayTrace::new("unit", records.clone()));
+        let mut t = CorruptingTrace::new(inner, 0.0, 64, 9, 0);
+        assert!(records.iter().all(|r| t.next_record().addr == r.addr));
+    }
+
+    #[test]
+    fn trace_corruption_rate_takes_max() {
+        let plan = FaultPlan::new(1)
+            .with(0, FaultKind::TraceCorruption { rate: 0.1 })
+            .with(0, FaultKind::TraceCorruption { rate: 0.4 });
+        assert_eq!(plan.trace_corruption_rate(), Some(0.4));
+        // And the injector ignores them entirely.
+        let mut inj = FaultInjector::new(&plan);
+        let mut mc = tiny_mc();
+        inj.apply(u64::MAX, &mut mc).unwrap();
+        assert_eq!(inj.applied(), 0);
+    }
+}

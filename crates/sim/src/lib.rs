@@ -7,21 +7,38 @@
 //! weighted-speedup metric ([`experiment`]), and a maximum-rate attack
 //! driver for the security and performance-attack studies ([`attack`]).
 //!
+//! Robustness infrastructure rides alongside: deterministic fault
+//! injection ([`fault`]) and a panic-isolated, timeout-guarded
+//! experiment runner ([`runner`]).
+//!
 //! # Examples
 //!
 //! ```no_run
 //! use mopac::config::MitigationConfig;
 //! use mopac_sim::experiment::run_workload;
+//! use mopac_types::MopacResult;
 //!
-//! let base = run_workload("xz", MitigationConfig::baseline(), 100_000);
-//! let prac = run_workload("xz", MitigationConfig::prac(500), 100_000);
-//! println!("PRAC slowdown on xz: {:.1}%", prac.slowdown_vs(&base) * 100.0);
+//! fn headline() -> MopacResult<()> {
+//!     let base = run_workload("xz", MitigationConfig::baseline(), 100_000)?;
+//!     let prac = run_workload("xz", MitigationConfig::prac(500), 100_000)?;
+//!     println!("PRAC slowdown on xz: {:.1}%", prac.slowdown_vs(&base) * 100.0);
+//!     Ok(())
+//! }
 //! ```
+
+// The robustness contract (see DESIGN.md): library code surfaces
+// failures as `MopacResult`, never by unwrapping. Tests are exempt
+// via clippy.toml (`allow-unwrap-in-tests`).
+#![warn(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod attack;
 pub mod experiment;
+pub mod fault;
+pub mod runner;
 pub mod system;
 
 pub use attack::{run_attack, AttackConfig, AttackResult};
 pub use experiment::{mean_slowdown, run_workload, slowdown_sweep};
+pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultSpec};
+pub use runner::{IsolatedRunner, RunReport, RunStatus};
 pub use system::{RunResult, System, SystemConfig};

@@ -2,6 +2,7 @@
 //! the memory controller and the DRAM device, advanced in lockstep on
 //! the DRAM clock.
 
+use crate::fault::{CorruptingTrace, FaultInjector, FaultPlan};
 use mopac::config::MitigationConfig;
 use mopac_cpu::core::{Core, CoreParams};
 use mopac_cpu::llc::{CacheAccess, Llc};
@@ -11,6 +12,7 @@ use mopac_dram::device::{DramConfig, DramDevice, DramStats};
 use mopac_memctrl::controller::{AccessKind, Completion, McConfig, MemRequest, MemoryController};
 use mopac_memctrl::mapping::{AddressMapper, Mapping};
 use mopac_types::addr::PhysAddr;
+use mopac_types::error::{MopacError, MopacResult};
 use mopac_types::geometry::DramGeometry;
 use mopac_types::time::Cycle;
 use std::collections::{HashMap, VecDeque};
@@ -41,6 +43,11 @@ pub struct SystemConfig {
     pub prefetch_distance: u64,
     /// Stream trackers per core.
     pub prefetch_trackers: usize,
+    /// Livelock watchdog: error out if no core retires an instruction
+    /// for this many consecutive cycles (0 disables the watchdog).
+    pub livelock_window: Cycle,
+    /// Optional deterministic fault schedule applied during the run.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl SystemConfig {
@@ -60,6 +67,8 @@ impl SystemConfig {
             max_cycles: 2_000_000_000,
             prefetch_distance: 16,
             prefetch_trackers: 8,
+            livelock_window: 10_000_000,
+            fault_plan: None,
         }
     }
 }
@@ -103,6 +112,10 @@ pub struct RunResult {
     pub avg_read_latency: f64,
     /// Prefetcher counters.
     pub prefetch: PrefetchStats,
+    /// Fault-injection events applied during the run.
+    pub faults_applied: u64,
+    /// Trace records corrupted by an injected `TraceCorruption` fault.
+    pub trace_corruptions: u64,
 }
 
 impl RunResult {
@@ -136,6 +149,30 @@ impl RunResult {
             0.0
         } else {
             1.0 - self.dram.activates.min(cols) as f64 / cols as f64
+        }
+    }
+
+    /// Turns oracle escapes into a structured diagnostic: `Ok(())` when
+    /// the run saw no Rowhammer-checker violations, otherwise
+    /// [`MopacError::OracleViolation`] carrying the count. Fault
+    /// campaigns report this instead of asserting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MopacError::OracleViolation`] if any row crossed the
+    /// Rowhammer threshold without mitigation.
+    pub fn check_oracle(&self) -> MopacResult<()> {
+        if self.violations == 0 {
+            Ok(())
+        } else {
+            Err(MopacError::OracleViolation {
+                violations: self.violations,
+                detail: format!(
+                    "{} row(s) crossed the Rowhammer threshold unmitigated \
+                     ({} fault event(s) were injected)",
+                    self.violations, self.faults_applied
+                ),
+            })
         }
     }
 
@@ -180,17 +217,39 @@ pub struct System {
     scratch: Vec<Completion>,
     now: Cycle,
     pf_stats: PrefetchStats,
+    injector: Option<FaultInjector>,
 }
 
 impl System {
     /// Builds a system running one trace per core.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `traces` is empty.
-    #[must_use]
-    pub fn new(cfg: SystemConfig, traces: Vec<Box<dyn TraceSource>>) -> Self {
-        assert!(!traces.is_empty(), "need at least one core trace");
+    /// Returns [`MopacError::Config`] if `traces` is empty.
+    pub fn new(cfg: SystemConfig, traces: Vec<Box<dyn TraceSource>>) -> MopacResult<Self> {
+        if traces.is_empty() {
+            return Err(MopacError::config("need at least one core trace"));
+        }
+        let injector = cfg.fault_plan.as_ref().map(FaultInjector::new);
+        let corruption = cfg
+            .fault_plan
+            .as_ref()
+            .and_then(FaultPlan::trace_corruption_rate);
+        let traces: Vec<Box<dyn TraceSource>> = match corruption {
+            None => traces,
+            Some(rate) => {
+                let seed = cfg.fault_plan.as_ref().map_or(0, FaultPlan::seed);
+                let line_bytes = cfg.geometry.line_bytes;
+                traces
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, t)| {
+                        Box::new(CorruptingTrace::new(t, rate, line_bytes, seed, i as u64))
+                            as Box<dyn TraceSource>
+                    })
+                    .collect()
+            }
+        };
         let mapper = AddressMapper::new(cfg.geometry, cfg.mapping);
         let dram = DramDevice::new(DramConfig {
             geometry: cfg.geometry,
@@ -218,7 +277,7 @@ impl System {
             })
             .collect();
         let llc = cfg.use_llc.then(Llc::paper_default);
-        Self {
+        Ok(Self {
             cfg,
             mapper,
             mc,
@@ -228,62 +287,88 @@ impl System {
             scratch: Vec::new(),
             now: 0,
             pf_stats: PrefetchStats::default(),
-        }
+            injector,
+        })
     }
 
     /// Like [`System::run`] but also returns the memory controller's
     /// statistics (diagnostics and reporting).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the cycle cap is hit before all cores finish.
-    pub fn run_with_mc_stats(self) -> (RunResult, mopac_memctrl::controller::McStats) {
+    /// See [`System::run`].
+    pub fn run_with_mc_stats(
+        self,
+    ) -> MopacResult<(RunResult, mopac_memctrl::controller::McStats)> {
         let mut me = self;
-        let result = me.run_inner();
+        let result = me.run_inner()?;
         let stats = me.mc.stats();
-        (result, stats)
+        Ok((result, stats))
     }
 
     /// Runs to completion (all cores reach the instruction budget) and
     /// returns the results.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the cycle cap is hit before all cores finish.
-    pub fn run(mut self) -> RunResult {
+    /// - [`MopacError::CycleCapExceeded`] if `max_cycles` elapses first.
+    /// - [`MopacError::Livelock`] if the watchdog sees no retired
+    ///   instruction for `livelock_window` consecutive cycles.
+    /// - [`MopacError::TimingProtocol`] if an (injected or internal)
+    ///   fault drives the device into an illegal command sequence.
+    pub fn run(mut self) -> MopacResult<RunResult> {
         self.run_inner()
     }
 
-    fn run_inner(&mut self) -> RunResult {
+    fn run_inner(&mut self) -> MopacResult<RunResult> {
         let budget = self.cfg.instrs_per_core;
         let n_cores = self.drivers.len();
         let mut finished = 0usize;
+        let mut last_retired = 0u64;
+        let mut last_progress_at: Cycle = 0;
         while finished < n_cores {
-            self.step();
+            self.step()?;
             finished = self
                 .drivers
                 .iter_mut()
                 .map(|d| usize::from(d.core.check_finished(budget, self.now)))
                 .sum();
-            assert!(
-                self.now < self.cfg.max_cycles,
-                "cycle cap {} hit with {finished}/{n_cores} cores finished",
-                self.cfg.max_cycles
-            );
+            if self.cfg.livelock_window > 0 {
+                let retired: u64 = self.drivers.iter().map(|d| d.core.retired()).sum();
+                if retired > last_retired {
+                    last_retired = retired;
+                    last_progress_at = self.now;
+                } else if self.now - last_progress_at >= self.cfg.livelock_window {
+                    return Err(MopacError::Livelock {
+                        cycle: self.now,
+                        stalled_for: self.now - last_progress_at,
+                        retired,
+                    });
+                }
+            }
+            if self.now >= self.cfg.max_cycles {
+                return Err(MopacError::CycleCapExceeded {
+                    cap: self.cfg.max_cycles,
+                    finished_cores: finished,
+                    total_cores: n_cores,
+                });
+            }
         }
         let cores = self
             .drivers
             .iter()
             .map(|d| {
-                let finish = d.core.finished_at().expect("finished");
-                CoreResult {
+                let finish = d.core.finished_at().ok_or_else(|| {
+                    MopacError::internal("core counted finished without a finish cycle")
+                })?;
+                Ok(CoreResult {
                     instructions: budget,
                     finish_cycle: finish,
                     ipc: budget as f64 / finish.max(1) as f64,
-                }
+                })
             })
-            .collect();
-        RunResult {
+            .collect::<MopacResult<Vec<_>>>()?;
+        Ok(RunResult {
             cores,
             cycles: self.now,
             dram: self.mc.dram().stats(),
@@ -291,13 +376,23 @@ impl System {
             violations: self.mc.dram().violations(),
             avg_read_latency: self.mc.stats().avg_read_latency(),
             prefetch: self.pf_stats,
-        }
+            faults_applied: self.injector.as_ref().map_or(0, FaultInjector::applied),
+            trace_corruptions: self
+                .drivers
+                .iter()
+                .map(|d| d.trace.corrupted_records())
+                .sum(),
+        })
     }
 
     /// Test/diagnostic hook: advances one cycle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`System::run`]'s per-cycle errors.
     #[doc(hidden)]
-    pub fn debug_step(&mut self) {
-        self.step();
+    pub fn debug_step(&mut self) -> MopacResult<()> {
+        self.step()
     }
 
     /// Test/diagnostic hook: per-core retired instruction counts.
@@ -322,11 +417,15 @@ impl System {
     }
 
     /// Advances one DRAM cycle.
-    fn step(&mut self) {
+    fn step(&mut self) -> MopacResult<()> {
         let now = self.now;
+        // Scheduled faults fire before the controller sees the cycle.
+        if let Some(inj) = self.injector.as_mut() {
+            inj.apply(now, &mut self.mc)?;
+        }
         // Memory controller issues commands; reads may complete.
         self.scratch.clear();
-        self.mc.tick(now, &mut self.scratch);
+        self.mc.tick(now, &mut self.scratch)?;
         for c in self.scratch.drain(..) {
             // Insert keeping ascending completion order.
             let pos = self.inflight.partition_point(|x| x.at <= c.at);
@@ -334,7 +433,9 @@ impl System {
         }
         // Deliver due completions (demand loads and prefetches).
         while self.inflight.front().is_some_and(|c| c.at <= now) {
-            let c = self.inflight.pop_front().expect("nonempty");
+            let Some(c) = self.inflight.pop_front() else {
+                break;
+            };
             let d = &mut self.drivers[(c.id >> 48) as usize];
             if let Some(line) = d.pf_by_id.remove(&c.id) {
                 if let Some(entry) = d.pf_lines.get_mut(&line) {
@@ -360,6 +461,7 @@ impl System {
             d.core.retire();
         }
         self.now += 1;
+        Ok(())
     }
 
     /// Feeds the prefetcher with a demand line and issues any candidate
@@ -578,8 +680,8 @@ mod tests {
     #[test]
     fn single_core_completes() {
         let cfg = tiny_cfg(MitigationConfig::baseline(), 20_000);
-        let sys = System::new(cfg, vec![stream_trace(64, 20)]);
-        let r = sys.run();
+        let sys = System::new(cfg, vec![stream_trace(64, 20)]).unwrap();
+        let r = sys.run().unwrap();
         assert_eq!(r.cores.len(), 1);
         assert!(r.cores[0].ipc > 0.1, "ipc {}", r.cores[0].ipc);
         assert!(r.dram.reads > 0);
@@ -599,8 +701,8 @@ mod tests {
                 .collect();
             Box::new(ReplayTrace::new("conflict", records)) as Box<dyn TraceSource>
         };
-        let base = System::new(tiny_cfg(MitigationConfig::baseline(), 30_000), vec![mk()]).run();
-        let prac = System::new(tiny_cfg(MitigationConfig::prac(500), 30_000), vec![mk()]).run();
+        let base = System::new(tiny_cfg(MitigationConfig::baseline(), 30_000), vec![mk()]).unwrap().run().unwrap();
+        let prac = System::new(tiny_cfg(MitigationConfig::prac(500), 30_000), vec![mk()]).unwrap().run().unwrap();
         let slow = prac.slowdown_vs(&base);
         assert!(slow > 0.02, "PRAC slowdown only {slow}");
     }
@@ -609,7 +711,7 @@ mod tests {
     fn eight_core_rate_mode_runs() {
         let cfg = tiny_cfg(MitigationConfig::baseline(), 5_000);
         let traces = (0..8).map(|_| stream_trace(64, 10)).collect();
-        let r = System::new(cfg, traces).run();
+        let r = System::new(cfg, traces).unwrap().run().unwrap();
         assert_eq!(r.cores.len(), 8);
         assert!(r.cycles > 0);
     }
@@ -631,8 +733,9 @@ mod tests {
         let sys = System::new(
             cfg,
             vec![Box::new(ReplayTrace::new("resident", records)) as Box<dyn TraceSource>],
-        );
-        let r = sys.run();
+        )
+        .unwrap();
+        let r = sys.run().unwrap();
         assert!(r.dram.reads <= 64, "reads {}", r.dram.reads);
     }
 
@@ -640,7 +743,7 @@ mod tests {
     fn weighted_speedup_of_identical_runs_is_one() {
         let mk = || {
             let cfg = tiny_cfg(MitigationConfig::baseline(), 10_000);
-            System::new(cfg, vec![stream_trace(64, 10)]).run()
+            System::new(cfg, vec![stream_trace(64, 10)]).unwrap().run().unwrap()
         };
         let a = mk();
         let b = mk();

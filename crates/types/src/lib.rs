@@ -20,6 +20,8 @@
 //! ```
 
 pub mod addr;
+pub mod check;
+pub mod error;
 pub mod geometry;
 pub mod jedec;
 pub mod rng;
@@ -27,6 +29,7 @@ pub mod stats;
 pub mod time;
 
 pub use addr::{DecodedAddr, PhysAddr};
+pub use error::{MopacError, MopacResult};
 pub use geometry::{BankRef, DramGeometry};
 pub use rng::DetRng;
 pub use time::{Cycle, MemClock};

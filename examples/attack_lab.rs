@@ -46,7 +46,7 @@ fn main() {
     );
     for (name, cfg) in configs {
         for mut pattern in patterns() {
-            let res = run_attack(&AttackConfig::new(cfg, cycles), pattern.as_mut());
+            let res = run_attack(&AttackConfig::new(cfg, cycles), pattern.as_mut()).unwrap();
             println!(
                 "{:<28} {:<14} {:>9} {:>7} {:>7} {:>11}",
                 name,

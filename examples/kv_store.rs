@@ -17,8 +17,8 @@ use mopac_sim::system::{System, SystemConfig};
 fn run(mit: MitigationConfig, instrs: u64) -> mopac_sim::system::RunResult {
     let mut cfg = SystemConfig::paper_default(mit, instrs);
     cfg.use_llc = true;
-    let traces = build_traces("masstree", &cfg);
-    System::new(cfg, traces).run()
+    let traces = build_traces("masstree", &cfg).unwrap();
+    System::new(cfg, traces).unwrap().run().unwrap()
 }
 
 fn main() {

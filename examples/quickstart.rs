@@ -35,14 +35,14 @@ fn main() {
     );
 
     println!("\nSimulating '{workload}' ({instrs} instructions/core, 8 cores)...");
-    let base = run_workload(&workload, MitigationConfig::baseline(), instrs);
+    let base = run_workload(&workload, MitigationConfig::baseline(), instrs).unwrap();
     for (name, cfg) in [
         ("PRAC+MOAT", MitigationConfig::prac(t_rh)),
         ("MoPAC-C", MitigationConfig::mopac_c(t_rh)),
         ("MoPAC-D", MitigationConfig::mopac_d(t_rh)),
         ("MoPAC-D+NUP", MitigationConfig::mopac_d_nup(t_rh)),
     ] {
-        let run = run_workload(&workload, cfg, instrs);
+        let run = run_workload(&workload, cfg, instrs).unwrap();
         println!(
             "  {name:12} slowdown {:+5.1}%   (ALERTs {}, mitigations {}, counter-updates {})",
             run.slowdown_vs(&base) * 100.0,

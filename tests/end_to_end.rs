@@ -10,10 +10,10 @@ const INSTRS: u64 = 60_000;
 #[test]
 fn mitigation_cost_ordering_on_latency_bound_workload() {
     // xz: lowest RBHR in Table 4, most PRAC-sensitive.
-    let base = run_workload("xz", MitigationConfig::baseline(), INSTRS);
-    let prac = run_workload("xz", MitigationConfig::prac(500), INSTRS);
-    let mc = run_workload("xz", MitigationConfig::mopac_c(500), INSTRS);
-    let md = run_workload("xz", MitigationConfig::mopac_d(500), INSTRS);
+    let base = run_workload("xz", MitigationConfig::baseline(), INSTRS).unwrap();
+    let prac = run_workload("xz", MitigationConfig::prac(500), INSTRS).unwrap();
+    let mc = run_workload("xz", MitigationConfig::mopac_c(500), INSTRS).unwrap();
+    let md = run_workload("xz", MitigationConfig::mopac_d(500), INSTRS).unwrap();
     let s_prac = prac.slowdown_vs(&base);
     let s_mc = mc.slowdown_vs(&base);
     let s_md = md.slowdown_vs(&base);
@@ -25,8 +25,8 @@ fn mitigation_cost_ordering_on_latency_bound_workload() {
 
 #[test]
 fn streams_are_insensitive_to_prac() {
-    let base = run_workload("copy", MitigationConfig::baseline(), INSTRS);
-    let prac = run_workload("copy", MitigationConfig::prac(500), INSTRS);
+    let base = run_workload("copy", MitigationConfig::baseline(), INSTRS).unwrap();
+    let prac = run_workload("copy", MitigationConfig::prac(500), INSTRS).unwrap();
     let s = prac.slowdown_vs(&base);
     // Paper: ~1%. Our write-drain turnaround model keeps a few percent
     // of residual sensitivity (see EXPERIMENTS.md); assert it stays far
@@ -39,9 +39,9 @@ fn streams_are_insensitive_to_prac() {
 
 #[test]
 fn mopac_c_overhead_grows_as_threshold_drops() {
-    let base = run_workload("mcf", MitigationConfig::baseline(), INSTRS);
-    let s1000 = run_workload("mcf", MitigationConfig::mopac_c(1000), INSTRS).slowdown_vs(&base);
-    let s250 = run_workload("mcf", MitigationConfig::mopac_c(250), INSTRS).slowdown_vs(&base);
+    let base = run_workload("mcf", MitigationConfig::baseline(), INSTRS).unwrap();
+    let s1000 = run_workload("mcf", MitigationConfig::mopac_c(1000), INSTRS).unwrap().slowdown_vs(&base);
+    let s250 = run_workload("mcf", MitigationConfig::mopac_c(250), INSTRS).unwrap().slowdown_vs(&base);
     assert!(
         s250 > s1000,
         "lower threshold must cost more: {s250} vs {s1000}"
@@ -50,8 +50,8 @@ fn mopac_c_overhead_grows_as_threshold_drops() {
 
 #[test]
 fn identical_seeds_are_deterministic() {
-    let a = run_workload("omnetpp", MitigationConfig::mopac_d(500), 20_000);
-    let b = run_workload("omnetpp", MitigationConfig::mopac_d(500), 20_000);
+    let a = run_workload("omnetpp", MitigationConfig::mopac_d(500), 20_000).unwrap();
+    let b = run_workload("omnetpp", MitigationConfig::mopac_d(500), 20_000).unwrap();
     assert_eq!(a.cycles, b.cycles);
     assert_eq!(a.dram, b.dram);
     for (x, y) in a.cores.iter().zip(&b.cores) {
@@ -61,7 +61,7 @@ fn identical_seeds_are_deterministic() {
 
 #[test]
 fn mixes_run_heterogeneous_cores() {
-    let r = run_workload("mix1", MitigationConfig::baseline(), 30_000);
+    let r = run_workload("mix1", MitigationConfig::baseline(), 30_000).unwrap();
     assert_eq!(r.cores.len(), 8);
     // Heterogeneous workloads finish at different times.
     let first = r.cores[0].finish_cycle;
@@ -75,9 +75,9 @@ fn mixes_run_heterogeneous_cores() {
 fn drain_on_ref_reduces_alert_rate() {
     let no_drain = {
         let cfg = MitigationConfig::mopac_d(250).with_drain_on_ref(0);
-        run_workload("parest", cfg, INSTRS)
+        run_workload("parest", cfg, INSTRS).unwrap()
     };
-    let with_drain = run_workload("parest", MitigationConfig::mopac_d(250), INSTRS);
+    let with_drain = run_workload("parest", MitigationConfig::mopac_d(250), INSTRS).unwrap();
     assert!(
         with_drain.dram.alerts() <= no_drain.dram.alerts(),
         "drain-on-REF should not increase alerts: {} vs {}",
@@ -88,8 +88,8 @@ fn drain_on_ref_reduces_alert_rate() {
 
 #[test]
 fn nup_halves_srq_insertions() {
-    let uni = run_workload("bwaves", MitigationConfig::mopac_d(500), INSTRS);
-    let nup = run_workload("bwaves", MitigationConfig::mopac_d_nup(500), INSTRS);
+    let uni = run_workload("bwaves", MitigationConfig::mopac_d(500), INSTRS).unwrap();
+    let nup = run_workload("bwaves", MitigationConfig::mopac_d_nup(500), INSTRS).unwrap();
     let rate_uni = uni.mitigation.srq_insertions as f64 / uni.dram.activates as f64;
     let rate_nup = nup.mitigation.srq_insertions as f64 / nup.dram.activates as f64;
     let ratio = rate_nup / rate_uni;
@@ -103,8 +103,8 @@ fn nup_halves_srq_insertions() {
 fn checker_stays_clean_during_benign_runs() {
     let mut cfg = SystemConfig::paper_default(MitigationConfig::mopac_d(500), 40_000);
     cfg.enable_checker = true;
-    let traces = build_traces("parest", &cfg);
-    let r = System::new(cfg, traces).run();
+    let traces = build_traces("parest", &cfg).unwrap();
+    let r = System::new(cfg, traces).unwrap().run().unwrap();
     assert_eq!(r.violations, 0);
 }
 
@@ -112,9 +112,15 @@ fn checker_stays_clean_during_benign_runs() {
 fn llc_path_reduces_dram_traffic() {
     let mut with_llc = SystemConfig::paper_default(MitigationConfig::baseline(), 40_000);
     with_llc.use_llc = true;
-    let r_llc = System::new(with_llc.clone(), build_traces("masstree", &with_llc)).run();
+    let r_llc = System::new(with_llc.clone(), build_traces("masstree", &with_llc).unwrap())
+        .unwrap()
+        .run()
+        .unwrap();
     let without = SystemConfig::paper_default(MitigationConfig::baseline(), 40_000);
-    let r_raw = System::new(without.clone(), build_traces("masstree", &without)).run();
+    let r_raw = System::new(without.clone(), build_traces("masstree", &without).unwrap())
+        .unwrap()
+        .run()
+        .unwrap();
     assert!(
         r_llc.dram.reads < r_raw.dram.reads,
         "LLC should filter hot rows of the Zipf workload: {} vs {}",
@@ -125,7 +131,7 @@ fn llc_path_reduces_dram_traffic() {
 
 #[test]
 fn rate_mode_cores_see_similar_ipc() {
-    let r = run_workload("lbm", MitigationConfig::baseline(), 30_000);
+    let r = run_workload("lbm", MitigationConfig::baseline(), 30_000).unwrap();
     let min = r.cores.iter().map(|c| c.ipc).fold(f64::MAX, f64::min);
     let max = r.cores.iter().map(|c| c.ipc).fold(0.0, f64::max);
     assert!(

@@ -1,0 +1,216 @@
+//! Fault-injection integration suite: the system must degrade
+//! gracefully — never panic, never let the oracle record an escape on a
+//! secure configuration — while scheduled faults hammer the ALERT/RFM
+//! machinery, and the livelock watchdog must convert a genuinely starved
+//! configuration into a typed error instead of an endless spin.
+
+use mopac::config::MitigationConfig;
+use mopac_cpu::trace::{ReplayTrace, TraceRecord, TraceSource};
+use mopac_sim::experiment::build_traces;
+use mopac_sim::fault::{FaultKind, FaultPlan};
+use mopac_sim::system::{System, SystemConfig};
+use mopac_types::addr::PhysAddr;
+use mopac_types::error::MopacError;
+use mopac_types::geometry::DramGeometry;
+
+fn tiny_cfg(mit: MitigationConfig, instrs: u64) -> SystemConfig {
+    let mut cfg = SystemConfig::paper_default(mit, instrs);
+    cfg.geometry = DramGeometry::tiny();
+    cfg.enable_checker = true;
+    cfg
+}
+
+/// The headline robustness scenario from the issue: an ALERT storm
+/// against MoPAC-D completes the run without a panic and with zero
+/// Rowhammer-checker escapes.
+#[test]
+fn alert_storm_on_mopac_d_completes_without_escapes() {
+    let mut cfg = tiny_cfg(MitigationConfig::mopac_d(500), 20_000);
+    cfg.fault_plan = Some(FaultPlan::new(0xBEEF).with(
+        1_000,
+        FaultKind::AlertStorm {
+            subchannel: 0,
+            period: 1_100,
+            count: 25,
+        },
+    ));
+    let traces = build_traces("xz", &cfg).unwrap();
+    let r = System::new(cfg, traces).unwrap().run().unwrap();
+    assert_eq!(r.violations, 0, "oracle escapes under ALERT storm");
+    r.check_oracle().unwrap();
+    assert_eq!(r.faults_applied, 25, "every storm pulse applied");
+    // Pulses arriving while ALERT is still asserted merge into the
+    // pending assertion (open-drain line), so slightly fewer distinct
+    // alerts than pulses is expected.
+    assert!(r.dram.alerts() >= 20, "alerts {}", r.dram.alerts());
+    assert!(r.dram.rfms >= 20, "spurious ALERTs must be serviced");
+}
+
+/// Dropped RFMs re-assert ALERT; the controller re-issues until the
+/// device services them. No panic, no escape, forward progress.
+#[test]
+fn dropped_rfms_recover_via_reissue() {
+    let mut cfg = tiny_cfg(MitigationConfig::prac(500), 15_000);
+    cfg.fault_plan = Some(
+        FaultPlan::new(0xD0)
+            .with(500, FaultKind::DropRfm { count: 2 })
+            .with(
+                1_000,
+                FaultKind::AlertStorm {
+                    subchannel: 0,
+                    period: 3_000,
+                    count: 4,
+                },
+            ),
+    );
+    let traces = build_traces("xz", &cfg).unwrap();
+    let r = System::new(cfg, traces).unwrap().run().unwrap();
+    assert_eq!(r.violations, 0);
+    // Each storm pulse costs one RFM bus transaction; the first two are
+    // swallowed by the drop fault (counted in injected_faults alongside
+    // the 4 pulses) and, being spurious, leave no bank needing service.
+    assert!(r.dram.rfms >= 4, "rfms {}", r.dram.rfms);
+    assert!(
+        r.dram.injected_faults >= 6,
+        "injected {}",
+        r.dram.injected_faults
+    );
+}
+
+/// A stuck-open bank plus delayed RFMs: timing gates stretch but the
+/// run still completes and stays secure.
+#[test]
+fn stuck_bank_and_slow_rfms_degrade_gracefully() {
+    let mut cfg = tiny_cfg(MitigationConfig::mopac_c(500), 15_000);
+    cfg.fault_plan = Some(
+        FaultPlan::new(0x51)
+            .with(0, FaultKind::DelayRfm { extra_cycles: 300 })
+            .with(
+                2_000,
+                FaultKind::StuckBank {
+                    subchannel: 0,
+                    bank: 1,
+                    duration: 20_000,
+                },
+            )
+            .with(
+                2_500,
+                FaultKind::AlertStorm {
+                    subchannel: 0,
+                    period: 2_500,
+                    count: 3,
+                },
+            ),
+    );
+    let traces = build_traces("xz", &cfg).unwrap();
+    let r = System::new(cfg, traces).unwrap().run().unwrap();
+    assert_eq!(r.violations, 0);
+    assert!(r.faults_applied >= 5);
+}
+
+/// Counter bit-flips silently corrupt mitigation state; the run must
+/// still finish and the consequence is observable only through the
+/// structured oracle diagnostic, never an abort.
+#[test]
+fn counter_bitflips_surface_through_oracle_not_abort() {
+    let mut cfg = tiny_cfg(MitigationConfig::prac(500), 15_000);
+    let mut plan = FaultPlan::new(0xB17);
+    for i in 0..16u64 {
+        plan = plan.with(
+            500 + i * 500,
+            FaultKind::CounterBitFlip {
+                subchannel: 0,
+                bank: (i % 4) as u32,
+                bit: 8,
+            },
+        );
+    }
+    cfg.fault_plan = Some(plan);
+    let traces = build_traces("xz", &cfg).unwrap();
+    let r = System::new(cfg, traces).unwrap().run().unwrap();
+    assert_eq!(r.faults_applied, 16);
+    // Whatever the oracle observed, it is carried as data.
+    match r.check_oracle() {
+        Ok(()) => {}
+        Err(MopacError::OracleViolation { violations, .. }) => {
+            assert_eq!(violations, r.violations);
+        }
+        Err(other) => panic!("unexpected error {other}"),
+    }
+}
+
+/// Trace corruption scrambles addresses but the run completes and the
+/// corruption count is reported.
+#[test]
+fn trace_corruption_reported_in_result() {
+    let mut cfg = tiny_cfg(MitigationConfig::baseline(), 15_000);
+    cfg.fault_plan =
+        Some(FaultPlan::new(0xC0).with(0, FaultKind::TraceCorruption { rate: 0.05 }));
+    let traces = build_traces("xz", &cfg).unwrap();
+    let r = System::new(cfg, traces).unwrap().run().unwrap();
+    assert!(r.trace_corruptions > 0, "no records corrupted at 5%");
+    assert_eq!(r.violations, 0);
+}
+
+/// The livelock watchdog: a configuration that can never make progress
+/// (a bank wedged longer than the watchdog window, single in-order
+/// stream into that bank) must surface `MopacError::Livelock` rather
+/// than spin to the cycle cap.
+#[test]
+fn livelock_watchdog_fires_on_starved_configuration() {
+    let mut cfg = tiny_cfg(MitigationConfig::baseline(), 1_000_000);
+    cfg.prefetch_distance = 0;
+    cfg.livelock_window = 20_000;
+    cfg.max_cycles = 50_000_000;
+    // Wedge bank 0 of sub-channel 0 essentially forever.
+    cfg.fault_plan = Some(FaultPlan::new(0x11).with(
+        100,
+        FaultKind::StuckBank {
+            subchannel: 0,
+            bank: 0,
+            duration: 40_000_000,
+        },
+    ));
+    // A single-address stream: every access lands in the wedged bank.
+    let records: Vec<TraceRecord> = vec![TraceRecord {
+        gap: 0,
+        addr: PhysAddr::new(0),
+        is_write: false,
+    }];
+    let trace = Box::new(ReplayTrace::new("starved", records)) as Box<dyn TraceSource>;
+    let err = System::new(cfg, vec![trace]).unwrap().run().unwrap_err();
+    let MopacError::Livelock {
+        cycle,
+        stalled_for,
+        retired,
+    } = err
+    else {
+        panic!("expected Livelock, got {err}");
+    };
+    assert!(stalled_for >= 20_000);
+    assert!(cycle < 1_000_000, "watchdog too slow: fired at {cycle}");
+    let _ = retired;
+}
+
+/// Disabling the watchdog (window 0) falls through to the cycle cap,
+/// which is also a typed error, not a panic.
+#[test]
+fn cycle_cap_is_a_typed_error() {
+    let mut cfg = tiny_cfg(MitigationConfig::baseline(), u64::MAX);
+    cfg.livelock_window = 0;
+    cfg.max_cycles = 30_000;
+    let traces = build_traces("xz", &cfg).unwrap();
+    let err = System::new(cfg, traces).unwrap().run().unwrap_err();
+    assert!(
+        matches!(err, MopacError::CycleCapExceeded { cap: 30_000, .. }),
+        "{err}"
+    );
+}
+
+/// An empty trace set is a config error at construction, not a panic.
+#[test]
+fn empty_traces_rejected_at_construction() {
+    let cfg = tiny_cfg(MitigationConfig::baseline(), 1_000);
+    let err = System::new(cfg, Vec::new()).err().expect("must fail");
+    assert!(matches!(err, MopacError::Config { .. }), "{err}");
+}

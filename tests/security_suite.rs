@@ -20,7 +20,7 @@ fn attack_tiny(mit: MitigationConfig, pattern: &mut dyn AttackPattern) -> mopac_
         geometry: DramGeometry::tiny(),
         ..AttackConfig::new(mit, CYCLES)
     };
-    run_attack(&cfg, pattern)
+    run_attack(&cfg, pattern).unwrap()
 }
 
 #[test]

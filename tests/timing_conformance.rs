@@ -17,7 +17,7 @@ fn act_to_column_respects_trcd() {
         (MitigationConfig::prac(500), TimingSet::ddr5_prac()),
     ] {
         let mut d = device(mit);
-        d.activate(0, 0, 5, 0, false);
+        d.activate(0, 0, 5, 0, false).unwrap();
         assert_eq!(d.earliest_column(0, 0, 5), Some(t.t_rcd));
     }
 }
@@ -29,7 +29,7 @@ fn act_to_pre_respects_tras() {
         (MitigationConfig::prac(500), TimingSet::ddr5_prac()),
     ] {
         let mut d = device(mit);
-        d.activate(0, 0, 5, 0, false);
+        d.activate(0, 0, 5, 0, false).unwrap();
         assert_eq!(d.earliest_precharge(0, 0), Some(t.t_ras));
     }
 }
@@ -38,13 +38,13 @@ fn act_to_pre_respects_tras() {
 fn pre_to_act_respects_trp_per_kind() {
     // Base timing set.
     let mut d = device(MitigationConfig::baseline());
-    d.activate(0, 0, 5, 0, false);
-    d.precharge(0, 0, 96);
+    d.activate(0, 0, 5, 0, false).unwrap();
+    d.precharge(0, 0, 96).unwrap();
     assert_eq!(d.earliest_activate(0, 0), Some(96 + 42));
     // PRAC set: tRP = 108.
     let mut d = device(MitigationConfig::prac(500));
-    d.activate(0, 0, 5, 0, false);
-    d.precharge(0, 0, 48);
+    d.activate(0, 0, 5, 0, false).unwrap();
+    d.precharge(0, 0, 48).unwrap();
     assert_eq!(d.earliest_activate(0, 0), Some(48 + 108));
 }
 
@@ -56,9 +56,9 @@ fn full_row_cycle_matches_trc() {
         (MitigationConfig::prac(500), TimingSet::ddr5_prac()),
     ] {
         let mut d = device(mit);
-        d.activate(0, 0, 1, 0, false);
+        d.activate(0, 0, 1, 0, false).unwrap();
         let pre = d.earliest_precharge(0, 0).unwrap();
-        d.precharge(0, 0, pre);
+        d.precharge(0, 0, pre).unwrap();
         assert_eq!(d.earliest_activate(0, 0), Some(t.t_rc));
     }
 }
@@ -69,27 +69,27 @@ fn mopac_c_mixes_timing_sets_per_precharge() {
     let prac = TimingSet::ddr5_prac();
     let mut d = device(MitigationConfig::mopac_c(500));
     // Unselected ACT: base timings.
-    d.activate(0, 0, 1, 0, false);
+    d.activate(0, 0, 1, 0, false).unwrap();
     assert_eq!(d.earliest_precharge(0, 0), Some(base.t_ras));
     let pre = base.t_ras;
-    d.precharge(0, 0, pre);
+    d.precharge(0, 0, pre).unwrap();
     assert_eq!(d.earliest_activate(0, 0), Some(pre + base.t_rp));
     // Selected ACT: PRAC tRAS (shorter) and PREcu's tRP (longer).
     let act2 = pre + base.t_rp;
-    d.activate(0, 0, 2, act2, true);
+    d.activate(0, 0, 2, act2, true).unwrap();
     assert!(d.pending_update(0, 0));
     assert_eq!(d.earliest_precharge(0, 0), Some(act2 + prac.t_ras));
     let pre2 = act2 + prac.t_ras;
-    d.precharge(0, 0, pre2);
+    d.precharge(0, 0, pre2).unwrap();
     assert_eq!(d.earliest_activate(0, 0), Some(pre2 + prac.t_rp));
 }
 
 #[test]
 fn read_to_read_respects_tccd_and_bus() {
     let mut d = device(MitigationConfig::baseline());
-    d.activate(0, 0, 1, 0, false);
+    d.activate(0, 0, 1, 0, false).unwrap();
     let rd1 = d.earliest_column(0, 0, 1).unwrap();
-    d.read(0, 0, rd1);
+    d.read(0, 0, rd1).unwrap();
     let rd2 = d.earliest_column(0, 0, 1).unwrap();
     assert_eq!(rd2, rd1 + 8); // tCCD = burst occupancy
 }
@@ -98,9 +98,9 @@ fn read_to_read_respects_tccd_and_bus() {
 fn write_recovery_blocks_precharge() {
     let t = TimingSet::ddr5_base();
     let mut d = device(MitigationConfig::baseline());
-    d.activate(0, 0, 1, 0, false);
+    d.activate(0, 0, 1, 0, false).unwrap();
     let wr = d.earliest_column(0, 0, 1).unwrap();
-    let data_end = d.write(0, 0, wr);
+    let data_end = d.write(0, 0, wr).unwrap();
     assert_eq!(d.earliest_precharge(0, 0), Some(data_end + t.t_wr));
 }
 
@@ -108,7 +108,7 @@ fn write_recovery_blocks_precharge() {
 fn trrd_spaces_activations_across_banks() {
     let t = TimingSet::ddr5_base();
     let mut d = device(MitigationConfig::baseline());
-    d.activate(0, 0, 1, 0, false);
+    d.activate(0, 0, 1, 0, false).unwrap();
     let next = d.earliest_activate(0, 1).unwrap();
     assert_eq!(next, t.t_rrd);
 }
@@ -117,10 +117,10 @@ fn trrd_spaces_activations_across_banks() {
 fn refresh_blocks_for_trfc_and_cycles_groups() {
     let t = TimingSet::ddr5_base();
     let mut d = device(MitigationConfig::baseline());
-    d.refresh(0, 0);
+    d.refresh(0, 0).unwrap();
     assert_eq!(d.earliest_activate(0, 0), Some(t.t_rfc));
     // Second refresh covers the next group; issue after tRFC.
-    d.refresh(0, t.t_rfc);
+    d.refresh(0, t.t_rfc).unwrap();
     assert_eq!(d.stats().refreshes, 2);
 }
 
@@ -131,12 +131,12 @@ fn abo_stall_blocks_subchannel_for_350ns() {
     let mut now = 0;
     while d.alert_since(0).is_none() {
         now = d.earliest_activate(0, 0).unwrap();
-        d.activate(0, 0, 7, now, false);
+        d.activate(0, 0, 7, now, false).unwrap();
         now = d.earliest_precharge(0, 0).unwrap();
-        d.precharge(0, 0, now);
+        d.precharge(0, 0, now).unwrap();
     }
     let rfm_at = now + 540;
-    d.rfm(0, rfm_at);
+    d.rfm(0, rfm_at).unwrap();
     assert_eq!(d.earliest_activate(0, 0), Some(rfm_at + 1050));
     // The other sub-channel is unaffected (ABO is sub-channel scoped).
     assert!(d.earliest_activate(1, 0).unwrap() < rfm_at);
@@ -145,10 +145,10 @@ fn abo_stall_blocks_subchannel_for_350ns() {
 #[test]
 fn data_bus_serializes_bursts_across_banks() {
     let mut d = device(MitigationConfig::baseline());
-    d.activate(0, 0, 1, 0, false);
-    d.activate(0, 1, 1, 8, false);
+    d.activate(0, 0, 1, 0, false).unwrap();
+    d.activate(0, 1, 1, 8, false).unwrap();
     let rd0 = d.earliest_column(0, 0, 1).unwrap();
-    let done0 = d.read(0, 0, rd0);
+    let done0 = d.read(0, 0, rd0).unwrap();
     // Bank 1's read cannot overlap the bus: earliest data start is
     // done0, so earliest command is done0 - CL.
     let rd1 = d.earliest_column(0, 1, 1).unwrap();
