@@ -22,6 +22,22 @@ fi
 step "cargo test -q (tier-1)"
 cargo test -q
 
+if [[ $fast -eq 0 ]]; then
+  # Kernel-equivalence gate: the event-driven time-skipping kernel must
+  # produce bit-identical results to the lockstep reference across
+  # mitigations, page policies, and fault plans. Run in release so the
+  # matrix finishes quickly; the debug run above already covers it at
+  # -O0 with debug assertions.
+  step "kernel equivalence suite (release)"
+  cargo test -q -p mopac-sim --test kernel_equivalence --release
+
+  # Throughput trend line: simulated cycles/sec for both kernels on an
+  # idle-heavy and a saturated workload; writes BENCH_kernel.json at
+  # the workspace root.
+  step "kernel throughput bench"
+  cargo bench --bench kernel_throughput
+fi
+
 # Lint gate. The robustness contract: the simulation libraries
 # (mopac-dram, mopac-memctrl, mopac-sim) carry no unwrap/expect in
 # non-test code — misuse must surface as MopacResult. Those crates opt

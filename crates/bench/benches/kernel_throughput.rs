@@ -1,0 +1,150 @@
+//! Kernel throughput: simulated cycles per wall-clock second for the
+//! lockstep and event-driven kernels, on the two workload shapes that
+//! bracket the design space.
+//!
+//! - `idle_heavy`: a single low-MPKI core whose huge inter-request gaps
+//!   leave the machine idle most of the time. This is the event
+//!   kernel's best case — it should win by well over 5x.
+//! - `saturated_attack`: back-to-back same-bank row conflicts keep the
+//!   controller busy nearly every cycle, so there is nothing to skip.
+//!   The event kernel must not regress here (its wake computation only
+//!   runs on zero-progress cycles).
+//!
+//! Results print as a table and land in workspace-root
+//! `BENCH_kernel.json` for the CI trend line.
+
+use mopac::config::MitigationConfig;
+use mopac_cpu::trace::{ReplayTrace, TraceRecord, TraceSource};
+use mopac_sim::system::{KernelMode, System, SystemConfig};
+use mopac_types::addr::PhysAddr;
+use mopac_types::geometry::DramGeometry;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn config(instrs: u64, kernel: KernelMode) -> SystemConfig {
+    let mut cfg = SystemConfig::paper_default(MitigationConfig::prac(500), instrs);
+    cfg.geometry = DramGeometry::tiny();
+    cfg.kernel = kernel;
+    cfg
+}
+
+/// One distant line every 4000 instructions: the core spends almost
+/// all its time retiring from the ROB with the memory system idle.
+fn idle_heavy_trace() -> Box<dyn TraceSource> {
+    let records = (0..64u64)
+        .map(|i| TraceRecord {
+            gap: 4_000,
+            addr: PhysAddr::new(i * 64 * 131), // distinct lines, spread
+            is_write: false,
+        })
+        .collect();
+    Box::new(ReplayTrace::new("idle_heavy", records))
+}
+
+/// Ping-pong between two rows of one bank with no gaps: every access
+/// is a row conflict, the queues stay full and the bus stays busy.
+fn saturated_trace() -> Box<dyn TraceSource> {
+    let geom = DramGeometry::tiny();
+    let row_bytes = u64::from(geom.row_bytes);
+    let records = (0..64u64)
+        .map(|i| TraceRecord {
+            gap: 0,
+            addr: PhysAddr::new((i % 2) * row_bytes * 64 + (i / 2) * 64),
+            is_write: false,
+        })
+        .collect();
+    Box::new(ReplayTrace::new("saturated_attack", records))
+}
+
+struct Sample {
+    workload: &'static str,
+    kernel: &'static str,
+    cycles: u64,
+    secs: f64,
+}
+
+impl Sample {
+    fn cps(&self) -> f64 {
+        self.cycles as f64 / self.secs
+    }
+}
+
+fn run(
+    workload: &'static str,
+    kernel: KernelMode,
+    instrs: u64,
+    trace: fn() -> Box<dyn TraceSource>,
+) -> Sample {
+    // Warm-up run to fault in code and allocator state.
+    System::new(config(instrs / 4, kernel), vec![trace()])
+        .expect("system")
+        .run()
+        .expect("warm-up run");
+    // Best of three: wall-clock on a shared machine is noisy and the
+    // minimum is the least contaminated estimate of the true cost.
+    let mut cycles = 0;
+    let mut secs = f64::INFINITY;
+    for _ in 0..3 {
+        let sys = System::new(config(instrs, kernel), vec![trace()]).expect("system");
+        let t0 = Instant::now();
+        let result = sys.run().expect("timed run");
+        let elapsed = t0.elapsed().as_secs_f64();
+        cycles = result.cycles;
+        if elapsed < secs {
+            secs = elapsed;
+        }
+    }
+    Sample {
+        workload,
+        kernel: match kernel {
+            KernelMode::Lockstep => "lockstep",
+            KernelMode::EventDriven => "event",
+        },
+        cycles,
+        secs,
+    }
+}
+
+fn main() {
+    let samples = [
+        run("idle_heavy", KernelMode::Lockstep, 400_000, idle_heavy_trace),
+        run("idle_heavy", KernelMode::EventDriven, 400_000, idle_heavy_trace),
+        run("saturated_attack", KernelMode::Lockstep, 200_000, saturated_trace),
+        run("saturated_attack", KernelMode::EventDriven, 200_000, saturated_trace),
+    ];
+    let mut json = String::from("{\n");
+    for (i, s) in samples.iter().enumerate() {
+        println!(
+            "{:<18} {:<9} {:>12} cycles in {:>7.3}s = {:>12.0} cycles/s",
+            s.workload,
+            s.kernel,
+            s.cycles,
+            s.secs,
+            s.cps()
+        );
+        let _ = write!(
+            json,
+            "  \"{}/{}\": {{\"cycles\": {}, \"secs\": {:.6}, \"cycles_per_sec\": {:.0}}}",
+            s.workload,
+            s.kernel,
+            s.cycles,
+            s.secs,
+            s.cps()
+        );
+        json.push_str(if i + 1 < samples.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("}\n");
+    for pair in samples.chunks(2) {
+        let speedup = pair[1].cps() / pair[0].cps();
+        println!("{:<18} event/lockstep speedup: {speedup:.2}x", pair[0].workload);
+    }
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map_or_else(
+            || std::path::PathBuf::from("BENCH_kernel.json"),
+            |root| root.join("BENCH_kernel.json"),
+        );
+    std::fs::write(&path, json).expect("write BENCH_kernel.json");
+    println!("wrote {}", path.display());
+}

@@ -1,235 +1,73 @@
 //! Fault-injection campaign: sweep a matrix of injected fault kinds
 //! against the mitigations under test and report graceful degradation.
 //!
-//! For every (mitigation × fault) cell the campaign runs a short
-//! workload with the fault schedule active, inside the panic-isolated
-//! [`IsolatedRunner`] (wall-clock timeout, livelock watchdog, one retry
-//! with a bumped seed). Results — including typed failures — append to
-//! `EXPERIMENTS-data/fault_campaign.csv` *incrementally*, one flushed
-//! row per finished cell, so a crash mid-campaign loses nothing that
-//! already ran.
+//! The cell matrix and row schema live in [`mopac_sim::campaign`]; this
+//! binary wires them to the deterministic parallel driver
+//! ([`mopac_sim::ParallelCampaign`]): cells fan out across worker
+//! threads, each inside the panic-isolated `IsolatedRunner` (wall-clock
+//! timeout, livelock watchdog, one retry with a bumped seed), and rows
+//! commit to `EXPERIMENTS-data/fault_campaign.csv` *incrementally in
+//! submission order* — one flushed row per finished cell — so a crash
+//! mid-campaign loses nothing that already ran, and the CSV bytes are
+//! identical at any thread count.
 //!
 //! Knobs:
 //! - `MOPAC_FAULT_INSTRS`: per-core instructions per cell (default 40k).
 //! - `MOPAC_FAULT_TIMEOUT_SECS`: per-attempt wall-clock budget (default 300).
+//! - `MOPAC_THREADS`: worker threads (default: available parallelism).
 //! - `MOPAC_INJECT_PANIC=<mitigation>/<fault>`: deliberately panic in
 //!   that cell, demonstrating that isolation keeps the rest of the
 //!   matrix alive and persisted.
 
-use mopac::config::MitigationConfig;
 use mopac_bench::{IncrementalCsv, Report};
-use mopac_sim::experiment::build_traces;
-use mopac_sim::fault::{FaultKind, FaultPlan};
-use mopac_sim::runner::{IsolatedRunner, RunStatus};
-use mopac_sim::system::{RunResult, System, SystemConfig};
-use mopac_types::geometry::DramGeometry;
+use mopac_sim::campaign::{
+    fault_cells, run_fault_campaign, FaultCampaignSpec, FAULT_CAMPAIGN_HEADERS,
+};
+use mopac_sim::runner::RunStatus;
 use std::time::Duration;
 
-/// The fault schedules under test (≥5 kinds).
-fn fault_matrix() -> Vec<(&'static str, FaultPlan)> {
-    vec![
-        (
-            "alert-storm",
-            FaultPlan::new(0xFA01).with(
-                2_000,
-                FaultKind::AlertStorm {
-                    subchannel: 0,
-                    period: 1_100,
-                    count: 20,
-                },
-            ),
-        ),
-        (
-            // Pair the drop with spurious ALERTs so RFMs are actually
-            // issued (and swallowed): the MC must recover via re-issue.
-            "drop-rfm",
-            FaultPlan::new(0xFA02)
-                .with(1_000, FaultKind::DropRfm { count: 3 })
-                .with(
-                    2_000,
-                    FaultKind::AlertStorm {
-                        subchannel: 0,
-                        period: 2_000,
-                        count: 6,
-                    },
-                ),
-        ),
-        (
-            "delay-rfm",
-            FaultPlan::new(0xFA03)
-                .with(0, FaultKind::DelayRfm { extra_cycles: 200 })
-                .with(
-                    2_000,
-                    FaultKind::AlertStorm {
-                        subchannel: 0,
-                        period: 2_000,
-                        count: 6,
-                    },
-                ),
-        ),
-        ("counter-bitflip", {
-            let mut plan = FaultPlan::new(0xFA04);
-            for i in 0..8u64 {
-                plan = plan.with(
-                    1_000 + i * 1_000,
-                    FaultKind::CounterBitFlip {
-                        subchannel: 0,
-                        bank: (i % 4) as u32,
-                        bit: 9,
-                    },
-                );
-            }
-            plan
-        }),
-        (
-            "stuck-bank",
-            FaultPlan::new(0xFA05).with(
-                3_000,
-                FaultKind::StuckBank {
-                    subchannel: 0,
-                    bank: 1,
-                    duration: 10_000,
-                },
-            ),
-        ),
-        (
-            "trace-corruption",
-            FaultPlan::new(0xFA06).with(0, FaultKind::TraceCorruption { rate: 0.01 }),
-        ),
-    ]
-}
-
-/// The mitigations under test (≥3).
-fn mitigations() -> Vec<(&'static str, MitigationConfig)> {
-    vec![
-        ("prac", MitigationConfig::prac(500)),
-        ("mopac-c", MitigationConfig::mopac_c(500)),
-        ("mopac-d", MitigationConfig::mopac_d(500)),
-    ]
-}
-
-fn cell_instrs() -> u64 {
-    std::env::var("MOPAC_FAULT_INSTRS")
+fn spec_from_env() -> FaultCampaignSpec {
+    let mut spec = FaultCampaignSpec::default();
+    if let Some(instrs) = std::env::var("MOPAC_FAULT_INSTRS")
         .ok()
         .and_then(|v| v.parse().ok())
-        .unwrap_or(40_000)
-}
-
-fn cell_timeout() -> Duration {
-    let secs = std::env::var("MOPAC_FAULT_TIMEOUT_SECS")
+    {
+        spec.instrs = instrs;
+    }
+    if let Some(secs) = std::env::var("MOPAC_FAULT_TIMEOUT_SECS")
         .ok()
         .and_then(|v| v.parse().ok())
-        .unwrap_or(300);
-    Duration::from_secs(secs)
-}
-
-/// One isolated cell run: workload `xz` on the tiny geometry with the
-/// checker on and the fault plan active. `attempt` bumps the seed so a
-/// retried cell does not replay the identical failure.
-fn run_cell(mit: MitigationConfig, plan: &FaultPlan, attempt: u32) -> mopac_types::MopacResult<RunResult> {
-    let mut cfg = SystemConfig::paper_default(mit, cell_instrs());
-    cfg.geometry = DramGeometry::tiny();
-    cfg.enable_checker = true;
-    cfg.seed = 0x5151 + u64::from(attempt);
-    cfg.livelock_window = 2_000_000;
-    cfg.fault_plan = Some(plan.clone());
-    let traces = build_traces("xz", &cfg)?;
-    System::new(cfg, traces)?.run()
+    {
+        spec.timeout = Duration::from_secs(secs);
+    }
+    spec.inject_panic = std::env::var("MOPAC_INJECT_PANIC").ok();
+    spec
 }
 
 fn main() {
-    let headers = [
-        "mitigation",
-        "fault",
-        "status",
-        "attempts",
-        "violations",
-        "faults_applied",
-        "trace_corruptions",
-        "alerts",
-        "rfms",
-        "cycles",
-        "detail",
-    ];
-    let mut csv = IncrementalCsv::create("fault_campaign", &headers)
+    let mut csv = IncrementalCsv::create("fault_campaign", &FAULT_CAMPAIGN_HEADERS)
         .expect("create fault_campaign.csv");
     let mut table = Report::new(
         "fault_campaign_summary",
         "Fault-injection campaign: graceful degradation per (mitigation x fault)",
-        &headers,
+        &FAULT_CAMPAIGN_HEADERS,
     );
-    let runner = IsolatedRunner::with_timeout(cell_timeout());
-    let inject_panic = std::env::var("MOPAC_INJECT_PANIC").ok();
+    let spec = spec_from_env();
     let mut escapes = 0u64;
     let mut not_done = 0u64;
-
-    for (mname, mit) in mitigations() {
-        for (fname, plan) in fault_matrix() {
-            let cell = format!("{mname}/{fname}");
-            let plan_for_cell = plan.clone();
-            let boom = inject_panic.as_deref() == Some(cell.as_str());
-            let report = runner.run(&cell, move |attempt| {
-                assert!(
-                    !boom,
-                    "MOPAC_INJECT_PANIC: simulated crash in cell (attempt {attempt})"
-                );
-                run_cell(mit, &plan_for_cell, attempt)
-            });
-            let status = match report.status {
-                RunStatus::Done => "done",
-                RunStatus::Failed => "failed",
-                RunStatus::Panicked => "panicked",
-                RunStatus::TimedOut => "timed-out",
-            };
-            let (violations, faults, corruptions, alerts, rfms, cycles) = report
-                .value
-                .as_ref()
-                .map_or((0, 0, 0, 0, 0, 0), |r| {
-                    (
-                        r.violations,
-                        r.faults_applied,
-                        r.trace_corruptions,
-                        r.dram.alerts(),
-                        r.dram.rfms,
-                        r.cycles,
-                    )
-                });
-            // Oracle escapes become a structured note, never an abort.
-            let detail = report.value.as_ref().map_or_else(
-                || {
-                    report
-                        .error
-                        .as_ref()
-                        .map_or(String::new(), std::string::ToString::to_string)
-                },
-                |r| r.check_oracle().err().map_or(String::new(), |e| e.to_string()),
-            );
-            if report.status != RunStatus::Done {
-                not_done += 1;
-            }
-            escapes += violations;
-            let row: Vec<String> = vec![
-                mname.to_string(),
-                fname.to_string(),
-                status.to_string(),
-                report.attempts.to_string(),
-                violations.to_string(),
-                faults.to_string(),
-                corruptions.to_string(),
-                alerts.to_string(),
-                rfms.to_string(),
-                cycles.to_string(),
-                detail,
-            ];
-            csv.append(&row).expect("append campaign row");
-            table.row(&row);
-            eprintln!("  [{status}] {cell}");
+    run_fault_campaign(&spec, |outcome| {
+        if outcome.status != RunStatus::Done {
+            not_done += 1;
         }
-    }
+        escapes += outcome.violations;
+        csv.append(&outcome.row).expect("append campaign row");
+        table.row(&outcome.row);
+        eprintln!("  [{}] {}", outcome.row[2], outcome.label);
+    });
     println!("{}", table.to_table());
     println!(
         "campaign complete: {} cells, {} not-done, {} oracle escapes; rows persisted to {}",
-        mitigations().len() * fault_matrix().len(),
+        fault_cells().len(),
         not_done,
         escapes,
         csv.path().display()

@@ -1,13 +1,25 @@
 //! Runs the full experiment suite — every table and figure — by
-//! invoking the sibling experiment binaries in order. CSVs land in
+//! invoking the sibling experiment binaries. CSVs land in
 //! `EXPERIMENTS-data/`.
+//!
+//! The binaries fan out across worker threads via the deterministic
+//! parallel campaign driver ([`mopac_sim::ParallelCampaign`]): each
+//! binary's output is captured and replayed on stdout in presentation
+//! order, so the console log reads exactly like the old sequential
+//! runner while the wall-clock time is bounded by the slowest
+//! experiment, not the sum.
 //!
 //! Budget knobs: `MOPAC_INSTRS` (per-core instructions, default 250k),
 //! `MOPAC_ATTACK_CYCLES`, `MOPAC_WORKLOADS` (comma list to restrict the
-//! sweeps).
+//! sweeps), `MOPAC_THREADS` (worker threads, default: available
+//! parallelism), `MOPAC_RUN_ALL_TIMEOUT_SECS` (per-binary budget,
+//! default 3600).
 
+use mopac_sim::campaign::ParallelCampaign;
+use mopac_sim::runner::{IsolatedRunner, RunReport};
+use mopac_types::error::MopacError;
 use std::process::Command;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Experiment binaries in presentation order: analytical first
 /// (seconds), then simulations (minutes).
@@ -39,34 +51,80 @@ const EXPERIMENTS: &[&str] = &[
     "fig1d_headline",
 ];
 
+/// Captured run of one experiment binary.
+struct ExperimentRun {
+    success: bool,
+    stdout: Vec<u8>,
+    stderr: Vec<u8>,
+    secs: f32,
+}
+
+fn timeout() -> Duration {
+    let secs = std::env::var("MOPAC_RUN_ALL_TIMEOUT_SECS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3600);
+    Duration::from_secs(secs)
+}
+
 fn main() {
     let me = std::env::current_exe().expect("own path");
     let dir = me.parent().expect("bin dir").to_path_buf();
     let started = Instant::now();
     let mut failures = Vec::new();
-    for name in EXPERIMENTS {
-        let exe = dir.join(name);
-        if !exe.exists() {
-            eprintln!("!! {name}: binary not found at {}", exe.display());
-            failures.push(*name);
-            continue;
-        }
-        println!("\n########## {name} ##########");
-        let t0 = Instant::now();
-        match Command::new(&exe).status() {
-            Ok(st) if st.success() => {
-                println!("({name} finished in {:.1}s)", t0.elapsed().as_secs_f32());
+    let campaign = ParallelCampaign::new(0)
+        .with_runner(IsolatedRunner::with_timeout(timeout()));
+    println!(
+        "== run_all: {} experiments across {} worker threads ==",
+        EXPERIMENTS.len(),
+        campaign.threads()
+    );
+    campaign.run(
+        EXPERIMENTS,
+        |name| (*name).to_string(),
+        move |name, _seed, _attempt| {
+            let exe = dir.join(name);
+            if !exe.exists() {
+                return Err(MopacError::config(format!(
+                    "binary not found at {}",
+                    exe.display()
+                )));
             }
-            Ok(st) => {
-                eprintln!("!! {name} exited with {st}");
-                failures.push(*name);
+            let t0 = Instant::now();
+            let out = Command::new(&exe).output().map_err(|e| {
+                MopacError::internal(format!("{name} failed to launch: {e}"))
+            })?;
+            Ok(ExperimentRun {
+                success: out.status.success(),
+                stdout: out.stdout,
+                stderr: out.stderr,
+                secs: t0.elapsed().as_secs_f32(),
+            })
+        },
+        |idx, report: RunReport<ExperimentRun>| {
+            let name = EXPERIMENTS[idx];
+            println!("\n########## {name} ##########");
+            match (report.value, report.error) {
+                (Some(run), _) => {
+                    print!("{}", String::from_utf8_lossy(&run.stdout));
+                    eprint!("{}", String::from_utf8_lossy(&run.stderr));
+                    if run.success {
+                        println!("({name} finished in {:.1}s)", run.secs);
+                    } else {
+                        eprintln!("!! {name} exited with failure");
+                        failures.push(name);
+                    }
+                }
+                (None, err) => {
+                    eprintln!(
+                        "!! {name}: {}",
+                        err.map_or_else(|| "no outcome".to_string(), |e| e.to_string())
+                    );
+                    failures.push(name);
+                }
             }
-            Err(e) => {
-                eprintln!("!! {name} failed to launch: {e}");
-                failures.push(*name);
-            }
-        }
-    }
+        },
+    );
     println!(
         "\n== run_all complete in {:.1} min; {} experiments, {} failures ==",
         started.elapsed().as_secs_f32() / 60.0,

@@ -121,6 +121,15 @@ impl McStats {
     }
 }
 
+/// Minimum of two optional cycles, treating `None` as "no constraint".
+fn min_opt(a: Option<Cycle>, b: Option<Cycle>) -> Option<Cycle> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct Pending {
     id: u64,
@@ -265,7 +274,9 @@ impl MemoryController {
 
     /// Advances one DRAM cycle: issues at most one command per
     /// sub-channel and appends finished reads to `completions` (the
-    /// buffer is reused by the caller; it is not cleared here).
+    /// buffer is reused by the caller; it is not cleared here). Returns
+    /// the number of commands issued this cycle, which the event-driven
+    /// kernel uses as its progress signal.
     ///
     /// # Errors
     ///
@@ -273,11 +284,12 @@ impl MemoryController {
     /// healthy run this never fires (the controller checks `earliest_*`
     /// gates before issuing), so an error indicates a scheduler bug or
     /// an injected fault surfacing.
-    pub fn tick(&mut self, now: Cycle, completions: &mut Vec<Completion>) -> MopacResult<()> {
+    pub fn tick(&mut self, now: Cycle, completions: &mut Vec<Completion>) -> MopacResult<u32> {
+        let mut issued = 0;
         for sc in 0..self.subs.len() as u32 {
-            self.tick_subchannel(sc, now, completions)?;
+            issued += u32::from(self.tick_subchannel(sc, now, completions)?);
         }
-        Ok(())
+        Ok(issued)
     }
 
     fn tick_subchannel(
@@ -285,7 +297,7 @@ impl MemoryController {
         sc: u32,
         now: Cycle,
         completions: &mut Vec<Completion>,
-    ) -> MopacResult<()> {
+    ) -> MopacResult<bool> {
         let had_work = {
             let s = &self.subs[sc as usize];
             !s.reads.is_empty() || !s.writes.is_empty()
@@ -294,7 +306,227 @@ impl MemoryController {
         if had_work && !issued {
             self.stats.idle_with_work += 1;
         }
-        Ok(())
+        Ok(issued)
+    }
+
+    /// Earliest cycle *strictly after* `now` at which a tick could
+    /// issue a command or change scheduling mode, assuming no new
+    /// requests arrive in between (arrivals are the caller's wake
+    /// sources: completion deliveries and core fetches). This is the
+    /// controller's half of the event-driven kernel contract; the
+    /// enumeration mirrors [`MemoryController::tick`]'s decision tree
+    /// over both queues plus the refresh/ALERT deadlines, and merges
+    /// the device's own gate releases ([`DramDevice::next_wake`]) as a
+    /// conservative floor.
+    ///
+    /// The returned cycle may be *early* (a wake at which the tick
+    /// still does nothing is merely a wasted cycle); it is never late:
+    /// the mode deadlines (`next_ref`, ALERT recovery) are always
+    /// candidates, so a caller skipping to the wake never jumps over a
+    /// scheduling-mode boundary — the invariant
+    /// [`MemoryController::note_idle_cycles`] relies on.
+    #[must_use]
+    pub fn next_wake(&self, now: Cycle) -> Option<Cycle> {
+        (0..self.subs.len() as u32)
+            .filter_map(|sc| self.next_wake_subchannel(sc, now))
+            .min()
+    }
+
+    fn next_wake_subchannel(&self, sc: u32, now: Cycle) -> Option<Cycle> {
+        let s = &self.subs[sc as usize];
+        let device = self.dram.next_wake(sc, now);
+        // A candidate at or before `now` means the model thinks the
+        // controller could already act; clamp to the very next cycle so
+        // a stale candidate degrades to lockstep instead of stalling.
+        let clamp = |c: Cycle| c.max(now + 1);
+        // ABO stall mode: only bank closes and the final RFM can happen.
+        if let Some(asserted) = self.dram.alert_since(sc) {
+            let deadline = asserted + self.dram.abo_timing().normal_window;
+            if now >= deadline {
+                return min_opt(self.drain_wake(sc).map(clamp), device);
+            }
+        }
+        // Refresh drain mode.
+        if now >= s.next_ref {
+            return min_opt(self.drain_wake(sc).map(clamp), device);
+        }
+        // Normal mode: the refresh deadline is always pending (and the
+        // ALERT deadline was merged via the device wake above).
+        let mut wake = min_opt(Some(clamp(s.next_ref)), device);
+        let banks = self.dram.config().geometry.banks_per_subchannel;
+        // Row-Press force close.
+        if let Some(cap) = self.row_press_cap {
+            for b in 0..banks {
+                if let Some(open) = self.dram.open_row(sc, b) {
+                    if let Some(ep) = self.dram.earliest_precharge(sc, b) {
+                        wake = min_opt(wake, Some(clamp(ep.max(open.opened_at + cap))));
+                    }
+                }
+            }
+        }
+        // Strict close-page: a used bank closes as soon as tRTP allows.
+        if self.cfg.page_policy == PagePolicy::Closed {
+            for b in 0..banks {
+                if s.cols_since_act[b as usize] >= 1 && self.dram.open_row(sc, b).is_some() {
+                    if let Some(ep) = self.dram.earliest_precharge(sc, b) {
+                        wake = min_opt(wake, Some(clamp(ep)));
+                    }
+                }
+            }
+        }
+        // Queue candidates, mirroring schedule_queue's hysteresis: the
+        // preferred queue issues anything, the off queue hits only.
+        let cap_w = self.cfg.write_queue_capacity;
+        let start = s.writes.len() >= cap_w * 7 / 8
+            || (s.reads.is_empty() && !s.writes.is_empty());
+        let draining = if s.draining_writes {
+            s.writes.len() > cap_w / 8 || start
+        } else {
+            start
+        };
+        let (pref, off) = if draining {
+            (&s.writes, &s.reads)
+        } else {
+            (&s.reads, &s.writes)
+        };
+        wake = min_opt(wake, self.queue_wake(sc, s, pref, false).map(clamp));
+        wake = min_opt(wake, self.queue_wake(sc, s, off, true).map(clamp));
+        // Idle housekeeping per page policy.
+        match self.cfg.page_policy {
+            PagePolicy::Open => {}
+            PagePolicy::Closed | PagePolicy::ClosedIdle => {
+                for b in 0..banks {
+                    let Some(open) = self.dram.open_row(sc, b) else {
+                        continue;
+                    };
+                    let wanted = s
+                        .reads
+                        .iter()
+                        .chain(s.writes.iter())
+                        .any(|p| p.addr.bank.bank == b && p.addr.row == open.row);
+                    if !wanted {
+                        if let Some(ep) = self.dram.earliest_precharge(sc, b) {
+                            wake = min_opt(wake, Some(clamp(ep)));
+                        }
+                    }
+                }
+            }
+            PagePolicy::TimeoutNs(ns) => {
+                let cap = (ns * 3.0) as Cycle;
+                for b in 0..banks {
+                    let Some(open) = self.dram.open_row(sc, b) else {
+                        continue;
+                    };
+                    let anchor = s.last_use[b as usize].max(open.opened_at);
+                    if let Some(ep) = self.dram.earliest_precharge(sc, b) {
+                        wake = min_opt(wake, Some(clamp(ep.max(anchor + cap))));
+                    }
+                }
+            }
+        }
+        wake
+    }
+
+    /// Wake candidates for one queue: the command each request is
+    /// waiting for, at the cycle its device gate releases.
+    fn queue_wake(
+        &self,
+        sc: u32,
+        s: &SubState,
+        q: &VecDeque<Pending>,
+        hits_only: bool,
+    ) -> Option<Cycle> {
+        let closed_policy = self.cfg.page_policy == PagePolicy::Closed;
+        let mut wake: Option<Cycle> = None;
+        for p in q {
+            let bank = p.addr.bank.bank;
+            let cand = match self.dram.open_row(sc, bank) {
+                Some(open) if open.row == p.addr.row => {
+                    if closed_policy && s.cols_since_act[bank as usize] >= 1 {
+                        // Already served its one column; the close-page
+                        // PRE candidate covers progress for this bank.
+                        None
+                    } else {
+                        self.dram.earliest_column(sc, bank, p.addr.row)
+                    }
+                }
+                Some(open) => {
+                    if hits_only {
+                        None
+                    } else {
+                        // Conflict: close, unless queued hits still want
+                        // the open row.
+                        let has_hits = q
+                            .iter()
+                            .any(|o| o.addr.bank.bank == bank && o.addr.row == open.row);
+                        (!has_hits)
+                            .then(|| self.dram.earliest_precharge(sc, bank))
+                            .flatten()
+                    }
+                }
+                None => {
+                    if hits_only {
+                        None
+                    } else {
+                        self.dram.earliest_activate(sc, bank)
+                    }
+                }
+            };
+            wake = min_opt(wake, cand);
+        }
+        wake
+    }
+
+    /// Wake candidates while draining for REF/RFM: the next legal PRE
+    /// on an open bank, or — once every bank is closed — the cycle the
+    /// REF/RFM itself becomes legal.
+    fn drain_wake(&self, sc: u32) -> Option<Cycle> {
+        let banks = self.dram.config().geometry.banks_per_subchannel;
+        let mut any_open = false;
+        let mut wake: Option<Cycle> = None;
+        for b in 0..banks {
+            if self.dram.open_row(sc, b).is_some() {
+                any_open = true;
+                wake = min_opt(wake, self.dram.earliest_precharge(sc, b));
+            }
+        }
+        if any_open {
+            wake
+        } else {
+            self.dram.earliest_refresh(sc)
+        }
+    }
+
+    /// Bulk stat compensation for cycles an event-driven kernel skipped:
+    /// accounts the per-cycle counters (`abo_stall_cycles`,
+    /// `refresh_mode_cycles`, `idle_with_work`) exactly as `cycles`
+    /// consecutive no-op ticks starting at `from` would have.
+    ///
+    /// The caller guarantees no tick in `[from, from + cycles)` would
+    /// have issued a command or crossed a mode deadline (which
+    /// [`MemoryController::next_wake`] enforces by always including the
+    /// deadlines as candidates), so each sub-channel's mode — and hence
+    /// which counter ticks — is constant across the region.
+    pub fn note_idle_cycles(&mut self, from: Cycle, cycles: u64) {
+        if cycles == 0 {
+            return;
+        }
+        for sc in 0..self.subs.len() {
+            let s = &self.subs[sc];
+            let had_work = !s.reads.is_empty() || !s.writes.is_empty();
+            let abo_stalled = self
+                .dram
+                .alert_since(sc as u32)
+                .is_some_and(|a| from >= a + self.dram.abo_timing().normal_window);
+            if abo_stalled {
+                self.stats.abo_stall_cycles += cycles;
+            } else if from >= s.next_ref {
+                self.stats.refresh_mode_cycles += cycles;
+            }
+            if had_work {
+                self.stats.idle_with_work += cycles;
+            }
+        }
     }
 
     fn tick_subchannel_inner(
@@ -401,14 +633,17 @@ impl MemoryController {
         let s = &mut self.subs[sc as usize];
         // Write-drain hysteresis: start at 7/8 full (or when reads are
         // empty and writes exist), drain down to 1/8. Wide hysteresis
-        // amortizes the expensive read/write turnaround.
+        // amortizes the expensive read/write turnaround. The stop
+        // condition yields to an active start condition so the
+        // transition is idempotent under repeated ticks with unchanged
+        // queues — the event-driven kernel's licence to skip them.
+        let start = s.writes.len() >= self.cfg.write_queue_capacity * 7 / 8
+            || (s.reads.is_empty() && !s.writes.is_empty());
         if s.draining_writes {
-            if s.writes.len() <= self.cfg.write_queue_capacity / 8 {
+            if s.writes.len() <= self.cfg.write_queue_capacity / 8 && !start {
                 s.draining_writes = false;
             }
-        } else if s.writes.len() >= self.cfg.write_queue_capacity * 7 / 8
-            || (s.reads.is_empty() && !s.writes.is_empty())
-        {
+        } else if start {
             s.draining_writes = true;
         }
         // Work-conserving: if the preferred queue cannot issue this

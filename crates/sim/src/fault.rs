@@ -225,6 +225,13 @@ impl FaultInjector {
         self.next_idx >= self.events.len()
     }
 
+    /// The cycle of the next scheduled event, if any remain — an event-
+    /// driven kernel must not skip past it.
+    #[must_use]
+    pub fn next_due(&self) -> Option<Cycle> {
+        self.events.get(self.next_idx).map(|e| e.at)
+    }
+
     /// Applies every event due at or before `now` to the controller's
     /// device.
     ///

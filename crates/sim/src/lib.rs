@@ -32,13 +32,18 @@
 #![warn(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod attack;
+pub mod campaign;
 pub mod experiment;
 pub mod fault;
 pub mod runner;
 pub mod system;
 
 pub use attack::{run_attack, AttackConfig, AttackResult};
+pub use campaign::{
+    run_fault_campaign, run_fault_campaign_cells, FaultCampaignSpec, FaultCellOutcome,
+    ParallelCampaign,
+};
 pub use experiment::{mean_slowdown, run_workload, slowdown_sweep};
 pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultSpec};
 pub use runner::{IsolatedRunner, RunReport, RunStatus};
-pub use system::{RunResult, System, SystemConfig};
+pub use system::{KernelMode, RunResult, System, SystemConfig};

@@ -1,6 +1,17 @@
 //! The full-system simulator: 8 trace-driven cores, optional shared LLC,
-//! the memory controller and the DRAM device, advanced in lockstep on
-//! the DRAM clock.
+//! the memory controller and the DRAM device, advanced on the DRAM
+//! clock by one of two kernels:
+//!
+//! * [`KernelMode::EventDriven`] (the default) ticks normally while
+//!   anything is happening, but when a cycle makes *zero* progress (no
+//!   fault event, no DRAM command, no completion delivery, no fetch, no
+//!   retire) it jumps `now` straight to the earliest external wake —
+//!   the minimum of the fault injector's next event, the earliest
+//!   in-flight completion, and [`MemoryController::next_wake`] — and
+//!   compensates the per-cycle statistics in bulk. Skipped cycles are
+//!   provably no-ops, so the results are bit-identical to lockstep.
+//! * [`KernelMode::Lockstep`] ticks every DRAM cycle; it is the golden
+//!   reference the equivalence suite checks the fast kernel against.
 
 use crate::fault::{CorruptingTrace, FaultInjector, FaultPlan};
 use mopac::config::MitigationConfig;
@@ -15,7 +26,18 @@ use mopac_types::addr::PhysAddr;
 use mopac_types::error::{MopacError, MopacResult};
 use mopac_types::geometry::DramGeometry;
 use mopac_types::time::Cycle;
-use std::collections::{HashMap, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// How the system advances time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelMode {
+    /// Skip provably idle cycles by jumping to the next wake point.
+    #[default]
+    EventDriven,
+    /// Tick every DRAM cycle (the golden reference kernel).
+    Lockstep,
+}
 
 /// System-level configuration.
 #[derive(Debug, Clone)]
@@ -48,6 +70,9 @@ pub struct SystemConfig {
     pub livelock_window: Cycle,
     /// Optional deterministic fault schedule applied during the run.
     pub fault_plan: Option<FaultPlan>,
+    /// Simulation kernel (event-driven by default; lockstep is the
+    /// golden reference).
+    pub kernel: KernelMode,
 }
 
 impl SystemConfig {
@@ -69,6 +94,7 @@ impl SystemConfig {
             prefetch_trackers: 8,
             livelock_window: 10_000_000,
             fault_plan: None,
+            kernel: KernelMode::EventDriven,
         }
     }
 }
@@ -95,8 +121,10 @@ pub struct PrefetchStats {
     pub late_hits: u64,
 }
 
-/// Results of one simulation run.
-#[derive(Debug, Clone)]
+/// Results of one simulation run. `PartialEq` is exact (including the
+/// `f64` fields): the kernel-equivalence suite asserts the event-driven
+/// and lockstep kernels produce bit-identical results.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     /// Per-core outcomes.
     pub cores: Vec<CoreResult>,
@@ -192,6 +220,68 @@ struct PfEntry {
     rob_waiter: Option<u64>,
 }
 
+/// Min-heap entry for an in-flight completion: ordered by completion
+/// cycle with a monotonic sequence tiebreak, so same-cycle completions
+/// deliver in issue order — exactly the order the previous sorted-Vec
+/// insert (`partition_point` on `at <= c.at`) preserved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct InflightEntry {
+    at: Cycle,
+    seq: u64,
+    completion: Completion,
+}
+
+impl Ord for InflightEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // `seq` is unique per entry, so this total order never reports
+        // two distinct entries equal.
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl PartialOrd for InflightEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// In-flight read completions, keyed on completion cycle. Replaces the
+/// O(n) sorted-Vec insert with an O(log n) binary heap.
+#[derive(Debug, Default)]
+struct InflightHeap {
+    heap: BinaryHeap<Reverse<InflightEntry>>,
+    seq: u64,
+}
+
+impl InflightHeap {
+    fn push(&mut self, c: Completion) {
+        self.heap.push(Reverse(InflightEntry {
+            at: c.at,
+            seq: self.seq,
+            completion: c,
+        }));
+        self.seq += 1;
+    }
+
+    /// The earliest completion cycle, if any reads are in flight.
+    fn peek_at(&self) -> Option<Cycle> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Pops the earliest completion if it is due at or before `now`.
+    fn pop_due(&mut self, now: Cycle) -> Option<Completion> {
+        if self.heap.peek().is_some_and(|Reverse(e)| e.at <= now) {
+            self.heap.pop().map(|Reverse(e)| e.completion)
+        } else {
+            None
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
 struct CoreDriver {
     core: Core,
     trace: Box<dyn TraceSource>,
@@ -206,6 +296,67 @@ struct CoreDriver {
     pf_by_id: HashMap<u64, u64>,
 }
 
+impl CoreDriver {
+    /// The driver's next wake cycle: `Some(now + 1)` while the core can
+    /// still fetch or retire on its own next cycle, `None` once it is
+    /// blocked on an external event — a completion delivery or memory-
+    /// controller queue space — which only the system-level wake sources
+    /// (in-flight completions, MC commands) can provide. A step that
+    /// made zero progress must leave every driver returning `None`;
+    /// the event kernel debug-asserts this before skipping.
+    fn next_wake(
+        &self,
+        now: Cycle,
+        mapper: &AddressMapper,
+        mc: &MemoryController,
+        line_bytes: u32,
+    ) -> Option<Cycle> {
+        if self.core.retire_ready() {
+            return Some(now + 1);
+        }
+        if self.gap_left > 0 {
+            return (self.core.rob_free() > 0).then_some(now + 1);
+        }
+        if let Some((addr, is_write)) = self.pending {
+            if self.core.rob_free() == 0 {
+                return None;
+            }
+            if !is_write {
+                // A ready prefetched line absorbs the read; an in-flight
+                // one without a waiter registers a late hit. Both count
+                // as fetch progress.
+                if let Some(e) = self.pf_lines.get(&addr.line_index(line_bytes)) {
+                    if e.ready || e.rob_waiter.is_none() {
+                        return Some(now + 1);
+                    }
+                }
+            }
+            let decoded = mapper.decode(addr);
+            let kind = if is_write {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            return mc
+                .can_accept(decoded.bank.subchannel, kind)
+                .then_some(now + 1);
+        }
+        // No gap and nothing pending: a fresh trace record is always
+        // available (traces are infinite), so the next fetch makes
+        // progress unconditionally.
+        Some(now + 1)
+    }
+}
+
+/// Minimum of two optional cycles, treating `None` as "no constraint".
+fn min_opt(a: Option<Cycle>, b: Option<Cycle>) -> Option<Cycle> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
 /// The assembled system.
 pub struct System {
     cfg: SystemConfig,
@@ -213,11 +364,13 @@ pub struct System {
     mc: MemoryController,
     llc: Option<Llc>,
     drivers: Vec<CoreDriver>,
-    inflight: VecDeque<Completion>,
+    inflight: InflightHeap,
     scratch: Vec<Completion>,
     now: Cycle,
     pf_stats: PrefetchStats,
     injector: Option<FaultInjector>,
+    /// Progress-source bitmask of the last step (diagnostics only).
+    dbg_sources: u32,
 }
 
 impl System {
@@ -283,11 +436,12 @@ impl System {
             mc,
             llc,
             drivers,
-            inflight: VecDeque::new(),
+            inflight: InflightHeap::default(),
             scratch: Vec::new(),
             now: 0,
             pf_stats: PrefetchStats::default(),
             injector,
+            dbg_sources: 0,
         })
     }
 
@@ -323,11 +477,55 @@ impl System {
     fn run_inner(&mut self) -> MopacResult<RunResult> {
         let budget = self.cfg.instrs_per_core;
         let n_cores = self.drivers.len();
+        let event_driven = self.cfg.kernel == KernelMode::EventDriven;
+        // Diagnostic mode (`MOPAC_PARANOID_SKIP=1`): instead of jumping
+        // over a skip region, tick through it and panic on the first
+        // cycle that makes progress — i.e. on any wake the event kernel
+        // would have computed too late. Used by the equivalence suite's
+        // failure triage; costs lockstep speed.
+        let paranoid = event_driven
+            && std::env::var("MOPAC_PARANOID_SKIP").is_ok_and(|v| v == "1");
+        let mut pending_skip: Option<Cycle> = None;
+        // Consecutive zero-progress steps. The wake computation
+        // (`skip_target`) scans both sub-channel queues, which costs
+        // more than a lockstep tick; under a saturated bus most stalls
+        // last one or two cycles, so attempting a jump on the first
+        // stalled cycle is a net loss. Deferring the attempt until the
+        // second consecutive stall keeps saturated workloads at
+        // lockstep speed — the deferred cycles are genuine `step`s, so
+        // equivalence is unaffected — while idle regions still pay only
+        // one extra tick before the jump.
+        let mut stall_streak = 0u32;
         let mut finished = 0usize;
         let mut last_retired = 0u64;
         let mut last_progress_at: Cycle = 0;
+        let trace_kernel = std::env::var("MOPAC_TRACE_KERNEL").is_ok_and(|v| v == "1");
         while finished < n_cores {
-            self.step()?;
+            let progress = self.step()?;
+            if trace_kernel && progress {
+                let retired: u64 = self.drivers.iter().map(|d| d.core.retired()).sum();
+                let credit: f64 = self.drivers.iter().map(|d| d.fetch_credit).sum();
+                eprintln!(
+                    "K {} s={:02b} r={retired} q={} i={} fc={credit:.3}",
+                    self.now - 1,
+                    self.dbg_sources,
+                    self.mc.queued(),
+                    self.inflight.len(),
+                );
+            }
+            if let Some(t) = pending_skip {
+                assert!(
+                    !(progress && self.now - 1 < t),
+                    "late wake: progress at cycle {} inside skip region ending at {t} \
+                     (queued {}, inflight {})",
+                    self.now - 1,
+                    self.mc.queued(),
+                    self.inflight.len(),
+                );
+                if self.now >= t {
+                    pending_skip = None;
+                }
+            }
             finished = self
                 .drivers
                 .iter_mut()
@@ -352,6 +550,68 @@ impl System {
                     finished_cores: finished,
                     total_cores: n_cores,
                 });
+            }
+            // Quiescent fast-forward: while every driver is deep inside
+            // an instruction gap, the machine's only per-cycle work is
+            // driver arithmetic (fetch credit, ROB pushes, retirement).
+            // Run those cycles through a tight loop that skips the
+            // controller tick, the completion heap, and the fault
+            // injector — all provably idle until the earliest external
+            // wake — instead of full `step`s.
+            if event_driven && !paranoid && progress && finished < n_cores {
+                let bound = self.quiescent_bound();
+                if bound >= 16 {
+                    let prev = self.now - 1;
+                    let mut wake = self.mc.next_wake(prev);
+                    if let Some(inj) = self.injector.as_ref() {
+                        wake = min_opt(wake, inj.next_due());
+                    }
+                    wake = min_opt(wake, self.inflight.peek_at());
+                    let end = wake
+                        .map_or(self.now + bound, |w| w.min(self.now + bound))
+                        .max(self.now);
+                    if end > self.now + 8 {
+                        self.fast_forward_gaps(
+                            end,
+                            budget,
+                            &mut finished,
+                            &mut last_retired,
+                            &mut last_progress_at,
+                        )?;
+                        continue;
+                    }
+                }
+            }
+            stall_streak = if progress { 0 } else { stall_streak + 1 };
+            if event_driven && !progress && stall_streak >= 2 {
+                if let Some(target) = self.skip_target(last_progress_at) {
+                    if paranoid {
+                        pending_skip = Some(target);
+                        continue;
+                    }
+                    self.skip_to(target);
+                    // Re-run the guards: the jump is clamped to the
+                    // watchdog and cycle-cap deadlines, so landing on
+                    // one must trip it at exactly the cycle — and with
+                    // exactly the fields — the lockstep kernel would
+                    // have reported.
+                    if self.cfg.livelock_window > 0
+                        && self.now - last_progress_at >= self.cfg.livelock_window
+                    {
+                        return Err(MopacError::Livelock {
+                            cycle: self.now,
+                            stalled_for: self.now - last_progress_at,
+                            retired: last_retired,
+                        });
+                    }
+                    if self.now >= self.cfg.max_cycles {
+                        return Err(MopacError::CycleCapExceeded {
+                            cap: self.cfg.max_cycles,
+                            finished_cores: finished,
+                            total_cores: n_cores,
+                        });
+                    }
+                }
             }
         }
         let cores = self
@@ -392,7 +652,7 @@ impl System {
     /// Propagates [`System::run`]'s per-cycle errors.
     #[doc(hidden)]
     pub fn debug_step(&mut self) -> MopacResult<()> {
-        self.step()
+        self.step().map(|_| ())
     }
 
     /// Test/diagnostic hook: per-core retired instruction counts.
@@ -416,26 +676,39 @@ impl System {
         self.inflight.len()
     }
 
-    /// Advances one DRAM cycle.
-    fn step(&mut self) -> MopacResult<()> {
+    /// Advances one DRAM cycle. Returns whether the cycle made any
+    /// progress: a fault event fired, the controller issued a command,
+    /// a completion was delivered, a core fetched, or a core retired.
+    /// A `false` return is the event kernel's licence to skip: every
+    /// state change left in the machine is idempotent under further
+    /// ticks, so the cycle would replay identically until an external
+    /// wake.
+    fn step(&mut self) -> MopacResult<bool> {
         let now = self.now;
+        let mut progress = false;
+        self.dbg_sources = 0;
         // Scheduled faults fire before the controller sees the cycle.
         if let Some(inj) = self.injector.as_mut() {
+            let before = inj.applied();
             inj.apply(now, &mut self.mc)?;
+            progress |= inj.applied() != before;
+        }
+        if progress {
+            self.dbg_sources |= 1;
         }
         // Memory controller issues commands; reads may complete.
         self.scratch.clear();
-        self.mc.tick(now, &mut self.scratch)?;
+        if self.mc.tick(now, &mut self.scratch)? > 0 {
+            progress = true;
+            self.dbg_sources |= 2;
+        }
         for c in self.scratch.drain(..) {
-            // Insert keeping ascending completion order.
-            let pos = self.inflight.partition_point(|x| x.at <= c.at);
-            self.inflight.insert(pos, c);
+            self.inflight.push(c);
         }
         // Deliver due completions (demand loads and prefetches).
-        while self.inflight.front().is_some_and(|c| c.at <= now) {
-            let Some(c) = self.inflight.pop_front() else {
-                break;
-            };
+        while let Some(c) = self.inflight.pop_due(now) {
+            progress = true;
+            self.dbg_sources |= 4;
             let d = &mut self.drivers[(c.id >> 48) as usize];
             if let Some(line) = d.pf_by_id.remove(&c.id) {
                 if let Some(entry) = d.pf_lines.get_mut(&line) {
@@ -455,13 +728,280 @@ impl System {
         let n = self.drivers.len();
         let start = (now as usize) % n;
         for k in 0..n {
-            self.fetch_core((start + k) % n, now);
+            if self.fetch_core((start + k) % n, now) {
+                progress = true;
+                self.dbg_sources |= 8;
+            }
         }
         for d in &mut self.drivers {
-            d.core.retire();
+            if d.core.retire() > 0 {
+                progress = true;
+                self.dbg_sources |= 16;
+            }
         }
         self.now += 1;
+        Ok(progress)
+    }
+
+    /// The cycle the event kernel jumps to after a zero-progress step:
+    /// the earliest external wake among the fault injector's next
+    /// event, the earliest in-flight completion, and the memory
+    /// controller's [`MemoryController::next_wake`] — clamped to the
+    /// livelock-watchdog and cycle-cap deadlines so those guards fire
+    /// at exactly the cycle lockstep would have reached. Returns `None`
+    /// when the wake is the very next cycle (nothing to skip).
+    fn skip_target(&self, last_progress_at: Cycle) -> Option<Cycle> {
+        // `step` already bumped `now`; the zero-progress tick happened
+        // at `now - 1`, and the wake sources speak in "strictly after
+        // the cycle I last saw" terms.
+        let prev = self.now - 1;
+        let mut wake = self.mc.next_wake(prev);
+        // A zero-progress step must leave every driver blocked on an
+        // external event; merging the driver wakes anyway means a
+        // progress-detection bug degrades to lockstep for a cycle
+        // instead of skipping state changes.
+        let line_bytes = self.cfg.geometry.line_bytes;
+        for d in &self.drivers {
+            if let Some(w) = d.next_wake(prev, &self.mapper, &self.mc, line_bytes) {
+                debug_assert!(false, "zero-progress step left a runnable core");
+                wake = min_opt(wake, Some(w));
+            }
+        }
+        if let Some(inj) = self.injector.as_ref() {
+            wake = min_opt(wake, inj.next_due());
+        }
+        wake = min_opt(wake, self.inflight.peek_at());
+        let mut target = wake?.max(self.now);
+        if self.cfg.livelock_window > 0 {
+            target = target.min(last_progress_at + self.cfg.livelock_window);
+        }
+        target = target.min(self.cfg.max_cycles);
+        (target > self.now).then_some(target)
+    }
+
+    /// Upper bound on cycles that can be fast-forwarded through the
+    /// driver-only loop: every driver must stay in its gap-push phase
+    /// (`gap_left` cannot reach zero, so no trace record is pulled and
+    /// the memory controller sees no new request). Two independently
+    /// safe bounds on instructions issued, taken at their max: a cycle
+    /// pushes at most 64 (the fetch-credit cap), and over `k` cycles at
+    /// most `64 + k*r` issue (worst-case initial credit plus accrual at
+    /// the retire rate `r`). Returns 0 when any driver is already
+    /// touching the memory system.
+    fn quiescent_bound(&self) -> Cycle {
+        let r = CoreParams::paper_default().retire_per_dram_cycle;
+        let mut bound = Cycle::MAX;
+        for d in &self.drivers {
+            if d.gap_left <= 64 {
+                return 0;
+            }
+            let g = u64::from(d.gap_left);
+            let by_cap = (g - 1) / 64;
+            let by_accrual = ((g - 65) as f64 / r) as u64;
+            bound = bound.min(by_cap.max(by_accrual));
+        }
+        bound
+    }
+
+    /// Runs cycles `[self.now, end)` through a driver-only loop that is
+    /// cycle-for-cycle identical to [`System::step`] restricted to the
+    /// gap-push phase: fetch-credit accrual, ROB pushes, retirement,
+    /// and the finish/livelock/cycle-cap guards in the same order the
+    /// main loop applies them. The caller guarantees (via
+    /// [`System::quiescent_bound`] and the external wake sources) that
+    /// the skipped subsystems are no-ops across the region: the
+    /// controller's next action lies at or beyond `end`
+    /// ([`MemoryController::next_wake`]), no completion is due and no
+    /// fault fires before `end`, and no driver pulls a trace record.
+    /// The controller's per-cycle idle statistics are compensated in
+    /// bulk afterwards ([`MemoryController::note_idle_cycles`]).
+    fn fast_forward_gaps(
+        &mut self,
+        end: Cycle,
+        budget: u64,
+        finished: &mut usize,
+        last_retired: &mut u64,
+        last_progress_at: &mut Cycle,
+    ) -> MopacResult<()> {
+        let start = self.now;
+        let n_cores = self.drivers.len();
+        let r = CoreParams::paper_default().retire_per_dram_cycle;
+        // Bulk sub-regions: when every core is either plain (ROB holds
+        // only instruction runs — [`Core::run_plain`]) or head-stalled
+        // on an outstanding load ([`Core::run_stalled_fetch`]), a whole
+        // stretch of cycles is scalar arithmetic, one call per core.
+        // The per-cycle guards collapse: a plain core retires at least
+        // one instruction per cycle (`r >= 1`, non-empty gap), so with
+        // any plain core present the livelock watchdog resets each
+        // cycle and ends the region at `last_progress_at = now`; with
+        // every core stalled nothing retires, so the region is clamped
+        // to the watchdog deadline and the error is emitted at the
+        // exact cycle the per-cycle check would have fired. The region
+        // is also clamped so the run cannot terminate inside it — below
+        // the cycle cap, and shorter than any unfinished plain core's
+        // minimum cycles to finish (at most 16 instructions retire per
+        // cycle, conservatively; stalled cores retire nothing).
+        //
+        // Eligibility changes as cores retire (a short instruction run
+        // in front of an outstanding load drains within a few cycles),
+        // so after an ineligible probe the per-cycle loop only runs a
+        // small chunk before probing again.
+        const RECHECK: u32 = 8;
+        let mut chunk_left = 0u32;
+        while self.now < end {
+            if chunk_left == 0 {
+                chunk_left = RECHECK;
+                if r >= 1.0
+                    && self
+                        .drivers
+                        .iter()
+                        .all(|d| d.core.is_plain() || d.core.head_stalled())
+                {
+                    let bstart = self.now;
+                    let any_plain = self.drivers.iter().any(|d| d.core.is_plain());
+                    let mut cycles =
+                        (end - bstart).min(self.cfg.max_cycles.saturating_sub(bstart));
+                    if any_plain {
+                        for d in &self.drivers {
+                            if d.core.is_plain() {
+                                let remaining = budget.saturating_sub(d.core.retired());
+                                if remaining > 0 {
+                                    cycles = cycles.min(remaining / 16);
+                                }
+                            }
+                        }
+                    } else if self.cfg.livelock_window > 0 {
+                        let deadline = *last_progress_at + self.cfg.livelock_window;
+                        cycles = cycles.min(deadline.saturating_sub(bstart));
+                    }
+                    if cycles >= 16 {
+                        for d in &mut self.drivers {
+                            if d.core.is_plain() {
+                                d.core.run_plain(
+                                    cycles,
+                                    &mut d.gap_left,
+                                    &mut d.fetch_credit,
+                                    budget,
+                                    bstart,
+                                );
+                            } else {
+                                d.core.run_stalled_fetch(
+                                    cycles,
+                                    &mut d.gap_left,
+                                    &mut d.fetch_credit,
+                                );
+                            }
+                        }
+                        self.now = bstart + cycles;
+                        *finished = self
+                            .drivers
+                            .iter_mut()
+                            .map(|d| usize::from(d.core.check_finished(budget, self.now)))
+                            .sum();
+                        if self.cfg.livelock_window > 0 {
+                            if any_plain {
+                                *last_retired =
+                                    self.drivers.iter().map(|d| d.core.retired()).sum();
+                                *last_progress_at = self.now;
+                            } else if self.now - *last_progress_at >= self.cfg.livelock_window {
+                                self.mc.note_idle_cycles(start, self.now - start);
+                                return Err(MopacError::Livelock {
+                                    cycle: self.now,
+                                    stalled_for: self.now - *last_progress_at,
+                                    retired: *last_retired,
+                                });
+                            }
+                        }
+                        if self.now >= self.cfg.max_cycles {
+                            self.mc.note_idle_cycles(start, self.now - start);
+                            return Err(MopacError::CycleCapExceeded {
+                                cap: self.cfg.max_cycles,
+                                finished_cores: *finished,
+                                total_cores: n_cores,
+                            });
+                        }
+                        continue;
+                    }
+                }
+            }
+            chunk_left -= 1;
+            for d in &mut self.drivers {
+                d.fetch_credit = (d.fetch_credit + r).min(64.0);
+                loop {
+                    if d.fetch_credit < 1.0 {
+                        break;
+                    }
+                    let free = d.core.rob_free() as u32;
+                    let n = d.gap_left.min(d.fetch_credit as u32).min(free);
+                    if n == 0 {
+                        break;
+                    }
+                    d.core.push_instrs(n);
+                    d.gap_left -= n;
+                    d.fetch_credit -= f64::from(n);
+                }
+                d.core.retire();
+            }
+            self.now += 1;
+            *finished = self
+                .drivers
+                .iter_mut()
+                .map(|d| usize::from(d.core.check_finished(budget, self.now)))
+                .sum();
+            if self.cfg.livelock_window > 0 {
+                let retired: u64 = self.drivers.iter().map(|d| d.core.retired()).sum();
+                if retired > *last_retired {
+                    *last_retired = retired;
+                    *last_progress_at = self.now;
+                } else if self.now - *last_progress_at >= self.cfg.livelock_window {
+                    self.mc.note_idle_cycles(start, self.now - start);
+                    return Err(MopacError::Livelock {
+                        cycle: self.now,
+                        stalled_for: self.now - *last_progress_at,
+                        retired,
+                    });
+                }
+            }
+            if self.now >= self.cfg.max_cycles {
+                self.mc.note_idle_cycles(start, self.now - start);
+                return Err(MopacError::CycleCapExceeded {
+                    cap: self.cfg.max_cycles,
+                    finished_cores: *finished,
+                    total_cores: n_cores,
+                });
+            }
+            if *finished >= n_cores {
+                break;
+            }
+        }
+        self.mc.note_idle_cycles(start, self.now - start);
         Ok(())
+    }
+
+    /// Jumps `now` to `target`, reproducing in bulk exactly what
+    /// `target - now` zero-progress lockstep cycles would have done:
+    /// per-cycle controller statistics
+    /// ([`MemoryController::note_idle_cycles`]), per-core fetch-credit
+    /// accumulation (the per-cycle `min(credit + r, 64)` fold, iterated
+    /// until it saturates — at most `ceil(64 / r)` steps — because
+    /// floating-point addition is not associative and a closed form
+    /// would drift), and per-core stall accounting
+    /// ([`Core::skip_idle`]).
+    fn skip_to(&mut self, target: Cycle) {
+        let skipped = target - self.now;
+        self.mc.note_idle_cycles(self.now, skipped);
+        let r = CoreParams::paper_default().retire_per_dram_cycle;
+        for d in &mut self.drivers {
+            for _ in 0..skipped {
+                let next = (d.fetch_credit + r).min(64.0);
+                if next == d.fetch_credit {
+                    break;
+                }
+                d.fetch_credit = next;
+            }
+            d.core.skip_idle(skipped);
+        }
+        self.now = target;
     }
 
     /// Feeds the prefetcher with a demand line and issues any candidate
@@ -512,7 +1052,11 @@ impl System {
         }
     }
 
-    fn fetch_core(&mut self, idx: usize, now: Cycle) {
+    /// Fetches for one core; returns whether any fetch progress was
+    /// made (instructions pushed, a request issued or absorbed, or a
+    /// trace record pulled).
+    fn fetch_core(&mut self, idx: usize, now: Cycle) -> bool {
+        let mut progress = false;
         let d = &mut self.drivers[idx];
         d.fetch_credit =
             (d.fetch_credit + CoreParams::paper_default().retire_per_dram_cycle).min(64.0);
@@ -526,6 +1070,7 @@ impl System {
                 if n == 0 {
                     break;
                 }
+                progress = true;
                 d.core.push_instrs(n);
                 d.gap_left -= n;
                 d.fetch_credit -= f64::from(n);
@@ -540,6 +1085,7 @@ impl System {
                 if !is_write {
                     match d.pf_lines.get_mut(&line) {
                         Some(e) if e.ready => {
+                            progress = true;
                             d.pf_lines.remove(&line);
                             self.pf_stats.hits += 1;
                             d.core.push_instrs(1);
@@ -557,6 +1103,7 @@ impl System {
                             continue;
                         }
                         Some(e) if e.rob_waiter.is_none() => {
+                            progress = true;
                             let id = ((idx as u64) << 48) | d.seq;
                             d.seq += 1;
                             e.rob_waiter = Some(id);
@@ -588,6 +1135,7 @@ impl System {
                 if !self.mc.can_accept(sc, kind) {
                     break;
                 }
+                progress = true;
                 let id = ((idx as u64) << 48) | d.seq;
                 d.seq += 1;
                 let ok = self.mc.enqueue(
@@ -620,6 +1168,7 @@ impl System {
                 continue;
             }
             // Pull the next trace record (through the LLC if enabled).
+            progress = true;
             let rec = d.trace.next_record();
             d.gap_left = rec.gap;
             match self.llc.as_mut() {
@@ -652,6 +1201,7 @@ impl System {
                 },
             }
         }
+        progress
     }
 }
 

@@ -1,0 +1,222 @@
+//! Golden-equivalence suite: the event-driven time-skipping kernel must
+//! produce *bit-identical* results to the lockstep reference kernel —
+//! every `RunResult` field (including exact `f64` comparisons), the
+//! controller statistics, and the typed errors from the livelock
+//! watchdog and the cycle cap — across the mitigation × page-policy
+//! matrix and under injected faults.
+//!
+//! Skipped cycles are provably no-ops (see DESIGN.md §8), so any
+//! divergence here is a kernel bug, not acceptable noise.
+
+use mopac::config::MitigationConfig;
+use mopac_cpu::trace::{ReplayTrace, TraceRecord, TraceSource};
+use mopac_memctrl::controller::PagePolicy;
+use mopac_sim::experiment::build_traces;
+use mopac_sim::fault::{FaultKind, FaultPlan};
+use mopac_sim::system::{KernelMode, System, SystemConfig};
+use mopac_types::addr::PhysAddr;
+use mopac_types::error::MopacError;
+use mopac_types::geometry::DramGeometry;
+
+fn tiny_cfg(mit: MitigationConfig, instrs: u64) -> SystemConfig {
+    let mut cfg = SystemConfig::paper_default(mit, instrs);
+    cfg.geometry = DramGeometry::tiny();
+    cfg.enable_checker = true;
+    cfg
+}
+
+/// Runs the same configuration under both kernels and asserts the full
+/// `RunResult` and `McStats` are identical.
+fn assert_equivalent(mut cfg: SystemConfig, label: &str) {
+    cfg.kernel = KernelMode::Lockstep;
+    let traces = build_traces("xz", &cfg).unwrap();
+    let (golden, golden_mc) = System::new(cfg.clone(), traces)
+        .unwrap()
+        .run_with_mc_stats()
+        .unwrap();
+
+    cfg.kernel = KernelMode::EventDriven;
+    let traces = build_traces("xz", &cfg).unwrap();
+    let (fast, fast_mc) = System::new(cfg, traces)
+        .unwrap()
+        .run_with_mc_stats()
+        .unwrap();
+
+    assert_eq!(golden, fast, "RunResult diverged: {label}");
+    assert_eq!(golden_mc, fast_mc, "McStats diverged: {label}");
+}
+
+#[test]
+fn equivalence_matrix_mitigation_x_page_policy() {
+    type MitigationCtor = fn() -> MitigationConfig;
+    let mitigations: [(&str, MitigationCtor); 3] = [
+        ("prac", || MitigationConfig::prac(500)),
+        ("mopac_c", || MitigationConfig::mopac_c(500)),
+        ("mopac_d", || MitigationConfig::mopac_d(500)),
+    ];
+    let policies = [
+        ("open", PagePolicy::Open),
+        ("closed_idle", PagePolicy::ClosedIdle),
+        ("timeout", PagePolicy::TimeoutNs(120.0)),
+    ];
+    for (mname, mit) in mitigations {
+        for (pname, policy) in policies {
+            let mut cfg = tiny_cfg(mit(), 20_000);
+            cfg.mc.page_policy = policy;
+            assert_equivalent(cfg, &format!("{mname} x {pname}"));
+        }
+    }
+}
+
+/// Strict close-page (the attacker's policy) is its own path through
+/// the controller's wake logic.
+#[test]
+fn equivalence_closed_policy() {
+    let mut cfg = tiny_cfg(MitigationConfig::prac(500), 20_000);
+    cfg.mc.page_policy = PagePolicy::Closed;
+    assert_equivalent(cfg, "prac x closed");
+}
+
+/// Delayed RFMs stretch device timing gates; the skip logic must not
+/// jump over the stretched release points.
+#[test]
+fn equivalence_under_delayed_rfm() {
+    let mut cfg = tiny_cfg(MitigationConfig::mopac_c(500), 20_000);
+    cfg.fault_plan =
+        Some(FaultPlan::new(0x51).with(0, FaultKind::DelayRfm { extra_cycles: 300 }));
+    assert_equivalent(cfg, "mopac_c + DelayRfm");
+}
+
+/// An ALERT storm forces the controller through ABO stall mode, whose
+/// per-cycle stall statistics the skip path compensates in bulk.
+#[test]
+fn equivalence_under_alert_storm() {
+    let mut cfg = tiny_cfg(MitigationConfig::mopac_d(500), 20_000);
+    cfg.fault_plan = Some(FaultPlan::new(0xBEEF).with(
+        1_000,
+        FaultKind::AlertStorm {
+            subchannel: 0,
+            period: 1_100,
+            count: 25,
+        },
+    ));
+    assert_equivalent(cfg, "mopac_d + AlertStorm");
+}
+
+/// The LLC and no-prefetch variants cover the remaining fetch paths.
+#[test]
+fn equivalence_with_llc_and_without_prefetch() {
+    let mut cfg = tiny_cfg(MitigationConfig::prac(500), 20_000);
+    cfg.use_llc = true;
+    assert_equivalent(cfg, "prac + llc");
+
+    let mut cfg = tiny_cfg(MitigationConfig::prac(500), 20_000);
+    cfg.prefetch_distance = 0;
+    assert_equivalent(cfg, "prac - prefetch");
+}
+
+/// Long-gap single-core runs are dominated by the bulk scalar fast
+/// paths (`Core::run_plain` during pure gap flow,
+/// `Core::run_stalled_fetch` while the ROB head waits on a load):
+/// whole regions of ROB evolution collapse to closed-form arithmetic,
+/// which must not perturb a single statistic. Sweeping the gap length
+/// covers the no-bulk, stalled-bulk, and plain-bulk regimes plus the
+/// per-cycle tails between them; the write records exercise the posted
+/// (non-ROB) path alongside blocking reads.
+#[test]
+fn equivalence_idle_heavy_bulk_regions() {
+    let run = |kernel: KernelMode, gap: u32| {
+        let mut cfg = tiny_cfg(MitigationConfig::prac(500), 60_000);
+        cfg.kernel = kernel;
+        let records: Vec<TraceRecord> = (0..64u64)
+            .map(|i| TraceRecord {
+                gap,
+                addr: PhysAddr::new(i * 64 * 131),
+                is_write: i % 7 == 0,
+            })
+            .collect();
+        let trace = Box::new(ReplayTrace::new("idle", records)) as Box<dyn TraceSource>;
+        System::new(cfg, vec![trace])
+            .unwrap()
+            .run_with_mc_stats()
+            .unwrap()
+    };
+    for gap in [90, 700, 4_000] {
+        let (golden, golden_mc) = run(KernelMode::Lockstep, gap);
+        let (fast, fast_mc) = run(KernelMode::EventDriven, gap);
+        assert_eq!(golden, fast, "RunResult diverged: gap={gap}");
+        assert_eq!(golden_mc, fast_mc, "McStats diverged: gap={gap}");
+    }
+}
+
+/// A single-core, long-gap workload is almost entirely idle — the
+/// event kernel spends most of the run jumping. The satellite
+/// regression: a skip that would land past `max_cycles` must clamp to
+/// the cap and surface `CycleCapExceeded` with exactly the fields the
+/// lockstep kernel reports.
+#[test]
+fn cycle_cap_identical_under_time_skipping() {
+    let run = |kernel: KernelMode| {
+        let mut cfg = tiny_cfg(MitigationConfig::baseline(), u64::MAX);
+        cfg.kernel = kernel;
+        cfg.livelock_window = 0;
+        cfg.max_cycles = 30_000;
+        // One record every ~2000 cycles: huge idle regions between
+        // requests guarantee the cap lies inside a skip region.
+        let records = vec![TraceRecord {
+            gap: 10_000,
+            addr: PhysAddr::new(0),
+            is_write: false,
+        }];
+        let trace = Box::new(ReplayTrace::new("idle", records)) as Box<dyn TraceSource>;
+        System::new(cfg, vec![trace]).unwrap().run().unwrap_err()
+    };
+    let golden = run(KernelMode::Lockstep);
+    let fast = run(KernelMode::EventDriven);
+    let MopacError::CycleCapExceeded {
+        cap,
+        finished_cores,
+        total_cores,
+    } = &fast
+    else {
+        panic!("expected CycleCapExceeded, got {fast}");
+    };
+    assert_eq!(*cap, 30_000);
+    assert_eq!((*finished_cores, *total_cores), (0, 1));
+    assert_eq!(format!("{golden:?}"), format!("{fast:?}"));
+}
+
+/// The livelock watchdog must fire at the same cycle with the same
+/// stall accounting when the stall region is skipped instead of ticked.
+#[test]
+fn livelock_identical_under_time_skipping() {
+    let run = |kernel: KernelMode| {
+        let mut cfg = tiny_cfg(MitigationConfig::baseline(), 1_000_000);
+        cfg.kernel = kernel;
+        cfg.prefetch_distance = 0;
+        cfg.livelock_window = 20_000;
+        cfg.max_cycles = 50_000_000;
+        cfg.fault_plan = Some(FaultPlan::new(0x11).with(
+            100,
+            FaultKind::StuckBank {
+                subchannel: 0,
+                bank: 0,
+                duration: 40_000_000,
+            },
+        ));
+        let records = vec![TraceRecord {
+            gap: 0,
+            addr: PhysAddr::new(0),
+            is_write: false,
+        }];
+        let trace = Box::new(ReplayTrace::new("starved", records)) as Box<dyn TraceSource>;
+        System::new(cfg, vec![trace]).unwrap().run().unwrap_err()
+    };
+    let golden = run(KernelMode::Lockstep);
+    let fast = run(KernelMode::EventDriven);
+    assert!(
+        matches!(fast, MopacError::Livelock { .. }),
+        "expected Livelock, got {fast}"
+    );
+    assert_eq!(format!("{golden:?}"), format!("{fast:?}"));
+}
