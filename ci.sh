@@ -36,11 +36,28 @@ if [[ $fast -eq 0 ]]; then
   # the workspace root.
   step "kernel throughput bench"
   cargo bench --bench kernel_throughput
+
+  # Security gate: every engine in the mitigation registry versus the
+  # attack battery at a reduced cycle budget; any oracle violation
+  # fails the binary (exit 1).
+  step "registry attack suite (release, reduced budget)"
+  MOPAC_ATTACK_CYCLES=250000 cargo run --release -q -p mopac-bench --bin attack_suite
+
+  # Performance trend line: slowdown vs baseline per registered
+  # engine; writes BENCH_mitigations.json at the workspace root.
+  step "mitigation slowdown bench (reduced budget)"
+  MOPAC_INSTRS=40000 cargo run --release -q -p mopac-bench --bin bench_mitigations
+
+  # Docs gate: rustdoc must build warning-free (broken intra-doc links
+  # in the engine/registry API surface would land here first).
+  step "cargo doc (no-deps, -D warnings)"
+  RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
 fi
 
-# Lint gate. The robustness contract: the simulation libraries
-# (mopac-dram, mopac-memctrl, mopac-sim) carry no unwrap/expect in
-# non-test code — misuse must surface as MopacResult. Those crates opt
+# Lint gate. The robustness contract: the core and simulation
+# libraries (mopac, mopac-dram, mopac-memctrl, mopac-sim) carry no
+# unwrap/expect in non-test code — misuse must surface as
+# MopacResult. Those crates opt
 # in via `#![warn(clippy::unwrap_used, clippy::expect_used)]` in their
 # lib.rs (promoted to errors by -D warnings here); tests and bench
 # binaries are exempt via clippy.toml (allow-unwrap-in-tests).

@@ -35,6 +35,53 @@ pub const DEFAULT_SRQ_ENTRIES: usize = 16;
 /// damage of a fast activation (Appendix A, from Luo et al.).
 pub const ROW_PRESS_DAMAGE: f64 = 1.5;
 
+/// QPRAC's per-bank priority-queue depth (Woo et al., HPCA 2025: a
+/// handful of entries suffice because the head is serviced every REF).
+pub const QPRAC_QUEUE_ENTRIES: usize = 8;
+
+/// Proactive mitigations QPRAC performs inside each REF window (one
+/// fits in the tRFC slack alongside the refresh itself).
+pub const QPRAC_MITIGATIONS_PER_REF: u32 = 1;
+
+/// CnC-PRAC's per-bank coalescing-queue depth (Lin et al., 2025).
+pub const CNC_QUEUE_ENTRIES: usize = 32;
+
+/// CnC-PRAC's per-entry pending-write-back cap: an entry that coalesces
+/// this many activations forces an ALERT so its write-back cannot grow
+/// arbitrarily tardy. Reuses MoPAC-D's TTH sizing.
+pub const CNC_WRITEBACK_TTH: u32 = DEFAULT_TTH;
+
+/// Coalesced write-backs CnC-PRAC drains per REF window (bulk
+/// read-modify-writes are cheap once the activations are merged).
+pub const CNC_DRAIN_ON_REF: u32 = 8;
+
+/// CnC-PRAC's ALERT threshold: counting is exact but what the tracker
+/// sees lags the true count by at most [`CNC_WRITEBACK_TTH`] pending
+/// activations, so the threshold budget shrinks by exactly that lag —
+/// MoPAC-D's `A' = ATH - TTH` argument (Equation 8) with `p = 1`, where
+/// the binomial undercount tail collapses to the deterministic bound.
+///
+/// # Panics
+///
+/// Panics if `t_rh <= 64` (below the MOAT model's domain) or the
+/// tardiness cap consumes the whole ALERT budget.
+///
+/// # Examples
+///
+/// ```
+/// use mopac_analysis::params::cnc_prac_ath_star;
+///
+/// assert_eq!(cnc_prac_ath_star(500), 440); // ATH 472 - TTH 32
+/// assert_eq!(cnc_prac_ath_star(250), 187);
+/// ```
+#[must_use]
+pub fn cnc_prac_ath_star(t_rh: u64) -> u64 {
+    let ath = moat_ath(t_rh);
+    let tth = u64::from(CNC_WRITEBACK_TTH);
+    assert!(ath > tth, "TTH {tth} must be below ATH {ath} for T_RH {t_rh}");
+    ath - tth
+}
+
 /// Which MoPAC design a parameter set belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MopacDesign {

@@ -1,0 +1,75 @@
+//! Per-engine performance snapshot: slowdown versus the unmitigated
+//! baseline for every registered mitigation engine, on a small
+//! workload set.
+//!
+//! Results print as a table and land in workspace-root
+//! `BENCH_mitigations.json` (keyed `<engine>` with per-workload and
+//! mean slowdowns) for the CI trend line, alongside
+//! `BENCH_kernel.json`. Budget knobs: `MOPAC_INSTRS`, `MOPAC_WORKLOADS`
+//! (defaults to a representative low/high-MPKI pair).
+
+use mopac::config::MitigationConfig;
+use mopac::EngineRegistry;
+use mopac_bench::{instr_budget, pct, workload_filter, Report};
+use mopac_sim::experiment::run_workload;
+use std::fmt::Write as _;
+
+fn main() {
+    let instrs = instr_budget();
+    let workloads =
+        workload_filter().unwrap_or_else(|| vec!["xz".to_string(), "cam4".to_string()]);
+    let registry = EngineRegistry::builtin();
+    let engines: Vec<_> = registry.specs().iter().filter(|s| s.tracks()).collect();
+
+    let mut headers: Vec<&str> = vec!["engine"];
+    for w in &workloads {
+        headers.push(w.as_str());
+    }
+    headers.push("mean");
+    let mut r = Report::new(
+        "bench_mitigations",
+        "Slowdown vs baseline per registered engine",
+        &headers,
+    );
+
+    let baselines: Vec<_> = workloads
+        .iter()
+        .map(|w| {
+            run_workload(w, MitigationConfig::baseline(), instrs).expect("baseline run")
+        })
+        .collect();
+
+    let mut json = String::from("{\n");
+    for (ei, spec) in engines.iter().enumerate() {
+        let cfg = (spec.preset)(500);
+        let mut cells = vec![spec.name.to_string()];
+        let mut entries = Vec::new();
+        let mut sum = 0.0f64;
+        for (w, base) in workloads.iter().zip(&baselines) {
+            let run = run_workload(w, cfg, instrs).expect("workload run");
+            let s = run.slowdown_vs(base);
+            sum += s;
+            cells.push(pct(s));
+            entries.push(format!("\"{w}\": {s:.6}"));
+        }
+        let mean = sum / workloads.len() as f64;
+        cells.push(pct(mean));
+        entries.push(format!("\"mean\": {mean:.6}"));
+        r.row(&cells);
+        let _ = write!(json, "  \"{}\": {{{}}}", spec.name, entries.join(", "));
+        json.push_str(if ei + 1 < engines.len() { ",\n" } else { "\n" });
+        eprintln!("  done {}", spec.name);
+    }
+    json.push_str("}\n");
+    r.emit();
+
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map_or_else(
+            || std::path::PathBuf::from("BENCH_mitigations.json"),
+            |root| root.join("BENCH_mitigations.json"),
+        );
+    std::fs::write(&path, json).expect("write BENCH_mitigations.json");
+    println!("wrote {}", path.display());
+}

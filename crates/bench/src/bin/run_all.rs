@@ -49,6 +49,8 @@ const EXPERIMENTS: &[&str] = &[
     "fig19_chips",
     "table15_closure",
     "fig1d_headline",
+    "attack_suite",
+    "bench_mitigations",
 ];
 
 /// Captured run of one experiment binary.

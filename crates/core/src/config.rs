@@ -9,7 +9,9 @@
 use mopac_analysis::markov::nup_params;
 use mopac_analysis::moat::{moat_ath, moat_eth};
 use mopac_analysis::params::{
-    mopac_c_params, mopac_d_params, row_press_params, MopacDesign, DEFAULT_SRQ_ENTRIES,
+    cnc_prac_ath_star, mopac_c_params, mopac_d_params, row_press_params, MopacDesign,
+    CNC_DRAIN_ON_REF, CNC_QUEUE_ENTRIES, CNC_WRITEBACK_TTH, DEFAULT_SRQ_ENTRIES,
+    QPRAC_MITIGATIONS_PER_REF, QPRAC_QUEUE_ENTRIES,
 };
 
 /// Which Rowhammer mitigation the system runs.
@@ -26,14 +28,14 @@ pub enum MitigationKind {
     /// MoPAC-D: in-DRAM MINT sampling into a per-bank SRQ, drained by
     /// ABO and REF; the memory controller always uses base timings.
     MopacD,
-}
-
-impl MitigationKind {
-    /// Whether this design pays PRAC timings on *every* precharge.
-    #[must_use]
-    pub fn always_prac_timings(self) -> bool {
-        matches!(self, Self::Prac)
-    }
+    /// QPRAC (Woo et al., HPCA 2025): exact counting under PRAC
+    /// timings, plus a per-bank priority queue whose hottest row is
+    /// mitigated proactively at every REF; ABO remains as a backstop.
+    Qprac,
+    /// CnC-PRAC (Lin et al., 2025): base timings; counter write-backs
+    /// are coalesced in a per-bank pending queue and drained in bulk at
+    /// REF and under ABO.
+    CncPrac,
 }
 
 impl std::fmt::Display for MitigationKind {
@@ -43,17 +45,28 @@ impl std::fmt::Display for MitigationKind {
             Self::Prac => "PRAC",
             Self::MopacC => "MoPAC-C",
             Self::MopacD => "MoPAC-D",
+            Self::Qprac => "QPRAC",
+            Self::CncPrac => "CnC-PRAC",
         };
         f.write_str(s)
     }
+}
+
+/// Narrows a derived `u64` threshold into the `u32` the engines store.
+/// Every real derivation is far below `u32::MAX`; saturating (instead
+/// of unwrapping) keeps the core crate free of panicking conversions.
+fn threshold_u32(v: u64) -> u32 {
+    u32::try_from(v).unwrap_or(u32::MAX)
 }
 
 /// Full configuration of the mitigation engine for one experiment.
 ///
 /// Construct via the presets ([`MitigationConfig::prac`],
 /// [`MitigationConfig::mopac_c`], [`MitigationConfig::mopac_d`],
-/// [`MitigationConfig::mopac_d_nup`]) and customize with the `with_*`
-/// methods.
+/// [`MitigationConfig::mopac_d_nup`], [`MitigationConfig::qprac`],
+/// [`MitigationConfig::cnc_prac`]) and customize with the `with_*`
+/// methods. The designs are enumerable by name through
+/// [`crate::engine::EngineRegistry`].
 ///
 /// # Examples
 ///
@@ -136,8 +149,8 @@ impl MitigationConfig {
         Self {
             kind: MitigationKind::Prac,
             t_rh,
-            alert_threshold: u32::try_from(ath).expect("ATH fits u32"),
-            eligibility_threshold: u32::try_from(moat_eth(ath)).expect("ETH fits u32"),
+            alert_threshold: threshold_u32(ath),
+            eligibility_threshold: threshold_u32(moat_eth(ath)),
             sample_denominator: 1,
             ..Self::baseline()
         }
@@ -154,8 +167,8 @@ impl MitigationConfig {
         Self {
             kind: MitigationKind::MopacC,
             t_rh,
-            alert_threshold: u32::try_from(p.ath_star).expect("ATH* fits u32"),
-            eligibility_threshold: u32::try_from(p.ath_star / 2).expect("ETH fits u32"),
+            alert_threshold: threshold_u32(p.ath_star),
+            eligibility_threshold: threshold_u32(p.ath_star / 2),
             sample_denominator: p.update_prob_denominator,
             ..Self::baseline()
         }
@@ -174,8 +187,8 @@ impl MitigationConfig {
         Self {
             kind: MitigationKind::MopacD,
             t_rh,
-            alert_threshold: u32::try_from(p.ath_star).expect("ATH* fits u32"),
-            eligibility_threshold: u32::try_from(p.ath_star / 2).expect("ETH fits u32"),
+            alert_threshold: threshold_u32(p.ath_star),
+            eligibility_threshold: threshold_u32(p.ath_star / 2),
             sample_denominator: p.update_prob_denominator,
             tth: p.tth,
             drain_on_ref: p.drain_on_ref,
@@ -194,9 +207,59 @@ impl MitigationConfig {
         let p = nup_params(t_rh);
         Self {
             nup: true,
-            alert_threshold: u32::try_from(p.ath_star).expect("ATH* fits u32"),
-            eligibility_threshold: u32::try_from(p.ath_star / 2).expect("ETH fits u32"),
+            alert_threshold: threshold_u32(p.ath_star),
+            eligibility_threshold: threshold_u32(p.ath_star / 2),
             ..Self::mopac_d(t_rh)
+        }
+    }
+
+    /// QPRAC at the given threshold (Woo et al., HPCA 2025): exact
+    /// counting with PRAC's `ATH`/`ETH` (the ABO backstop is plain
+    /// PRAC), an 8-entry priority queue, and one proactive mitigation
+    /// per REF. `srq_capacity` holds the queue depth and `drain_on_ref`
+    /// the mitigations-per-REF rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_rh <= 64` (outside the MOAT model's domain).
+    #[must_use]
+    pub fn qprac(t_rh: u64) -> Self {
+        let ath = moat_ath(t_rh);
+        Self {
+            kind: MitigationKind::Qprac,
+            t_rh,
+            alert_threshold: threshold_u32(ath),
+            eligibility_threshold: threshold_u32(moat_eth(ath)),
+            sample_denominator: 1,
+            srq_capacity: QPRAC_QUEUE_ENTRIES,
+            drain_on_ref: QPRAC_MITIGATIONS_PER_REF,
+            ..Self::baseline()
+        }
+    }
+
+    /// CnC-PRAC at the given threshold (Lin et al., 2025): exact
+    /// counting at base timings with write-backs coalesced in a
+    /// 32-entry queue; alerts at `ATH* = ATH - TTH` to cover the
+    /// deferred-visibility lag. `srq_capacity` holds the queue depth,
+    /// `tth` the per-entry pending cap, and `drain_on_ref` the bulk
+    /// write-backs per REF.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_rh <= 64`.
+    #[must_use]
+    pub fn cnc_prac(t_rh: u64) -> Self {
+        let ath_star = cnc_prac_ath_star(t_rh);
+        Self {
+            kind: MitigationKind::CncPrac,
+            t_rh,
+            alert_threshold: threshold_u32(ath_star),
+            eligibility_threshold: threshold_u32(ath_star / 2),
+            sample_denominator: 1,
+            srq_capacity: CNC_QUEUE_ENTRIES,
+            tth: CNC_WRITEBACK_TTH,
+            drain_on_ref: CNC_DRAIN_ON_REF,
+            ..Self::baseline()
         }
     }
 
@@ -241,8 +304,8 @@ impl MitigationConfig {
         };
         let p = row_press_params(design, self.t_rh);
         self.row_press = true;
-        self.alert_threshold = u32::try_from(p.ath_star).expect("ATH* fits u32");
-        self.eligibility_threshold = u32::try_from(p.ath_star / 2).expect("ETH fits u32");
+        self.alert_threshold = threshold_u32(p.ath_star);
+        self.eligibility_threshold = threshold_u32(p.ath_star / 2);
         self
     }
 
@@ -325,5 +388,29 @@ mod tests {
     fn display_names() {
         assert_eq!(MitigationKind::MopacD.to_string(), "MoPAC-D");
         assert_eq!(MitigationKind::None.to_string(), "baseline");
+        assert_eq!(MitigationKind::Qprac.to_string(), "QPRAC");
+        assert_eq!(MitigationKind::CncPrac.to_string(), "CnC-PRAC");
+    }
+
+    #[test]
+    fn qprac_preset_keeps_prac_backstop_thresholds() {
+        let c = MitigationConfig::qprac(500);
+        let p = MitigationConfig::prac(500);
+        assert_eq!(c.alert_threshold, p.alert_threshold);
+        assert_eq!(c.eligibility_threshold, p.eligibility_threshold);
+        assert_eq!(c.sample_denominator, 1);
+        assert_eq!(c.srq_capacity, 8);
+        assert_eq!(c.drain_on_ref, 1);
+    }
+
+    #[test]
+    fn cnc_prac_preset_reserves_tardiness_margin() {
+        let c = MitigationConfig::cnc_prac(500);
+        assert_eq!(c.alert_threshold, 440); // ATH 472 - TTH 32
+        assert_eq!(c.eligibility_threshold, 220);
+        assert_eq!(c.tth, 32);
+        assert_eq!(c.srq_capacity, 32);
+        assert_eq!(c.drain_on_ref, 8);
+        assert_eq!(c.sample_denominator, 1);
     }
 }

@@ -1,0 +1,349 @@
+//! The pluggable mitigation-engine seam.
+//!
+//! Every Rowhammer mitigation modelled by this workspace implements
+//! [`MitigationEngine`]: the full per-bank lifecycle the DRAM model
+//! drives (`on_activate` / `on_precharge` / `on_ref` / `alert_cause` /
+//! `service_abo`) plus the fault hooks (`corrupt_counter`) and a
+//! [`TimingDemands`] capability query that tells the memory controller
+//! and device which timing behaviour the design requires — replacing
+//! the old `MitigationKind` sniffing that was duplicated across
+//! `mopac-dram` and `mopac-memctrl`.
+//!
+//! [`BankMitigation`](crate::bank::BankMitigation) hosts a
+//! `Box<dyn MitigationEngine>` per bank, so the DRAM bank FSM and the
+//! fault injector never see a concrete engine type. Engines are
+//! constructed from a [`MitigationConfig`] via [`build_engine`], and
+//! enumerated by name through the string-keyed [`EngineRegistry`] —
+//! campaign drivers, the attack suite, and benches iterate the registry
+//! instead of hard-coding design lists.
+//!
+//! To add a new engine, see DESIGN.md §9: implement the trait (usually
+//! in a new `crate::engines` submodule), give it a `MitigationKind`
+//! variant and a preset, add a `build_engine` arm, and append an
+//! [`EngineSpec`] to [`EngineRegistry::builtin`]. Everything downstream
+//! — `run_workload`, `AttackConfig` suites, the fault campaign, the
+//! kernel-equivalence matrix — picks it up from the registry.
+
+use crate::bank::{AboService, AlertCause, MitigationStats};
+use crate::config::{MitigationConfig, MitigationKind};
+use crate::engines::{BaselineEngine, CncPracEngine, MopacDEngine, PracEngine, QpracEngine};
+use mopac_types::rng::DetRng;
+use std::ops::Range;
+use std::sync::OnceLock;
+
+/// What a mitigation design demands of the memory controller and the
+/// DRAM timing model.
+///
+/// This is the only channel through which timing behaviour may depend
+/// on the mitigation: the controller and device read these capabilities
+/// once at construction and never inspect `MitigationKind` again.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingDemands {
+    /// Every precharge performs the PRAC counter read-modify-write, so
+    /// the device uses the PRAC timing set unconditionally (PRAC,
+    /// QPRAC).
+    pub always_prac_timings: bool,
+    /// The controller flips a coin with this probability per activation
+    /// and closes selected rows with the long-latency `PREcu`
+    /// (MoPAC-C). `None` — no controller-side sampling, no coin drawn.
+    pub precu_probability: Option<f64>,
+    /// The controller force-closes any row held open this long
+    /// (Row-Press hardening for controller-side designs). `None` — no
+    /// cap.
+    pub row_open_cap_ns: Option<f64>,
+}
+
+impl TimingDemands {
+    /// Base DDR5 timings, no controller-side involvement (baseline,
+    /// MoPAC-D, CnC-PRAC).
+    #[must_use]
+    pub fn base() -> Self {
+        Self {
+            always_prac_timings: false,
+            precu_probability: None,
+            row_open_cap_ns: None,
+        }
+    }
+
+    /// The demands of the design selected by `cfg`.
+    #[must_use]
+    pub fn for_config(cfg: &MitigationConfig) -> Self {
+        match cfg.kind {
+            MitigationKind::None | MitigationKind::MopacD | MitigationKind::CncPrac => Self::base(),
+            MitigationKind::Prac | MitigationKind::Qprac => Self {
+                always_prac_timings: true,
+                ..Self::base()
+            },
+            MitigationKind::MopacC => Self {
+                precu_probability: Some(cfg.p()),
+                row_open_cap_ns: cfg.row_press.then_some(180.0),
+                ..Self::base()
+            },
+        }
+    }
+}
+
+/// One Rowhammer mitigation design, embedded per bank.
+///
+/// The DRAM model drives the lifecycle events; the engine owns all
+/// tracking state (counters, trackers, queues) and reports when the
+/// bank must pull ALERT. Engines must be deterministic: any randomness
+/// comes from the forked [`DetRng`] passed at construction.
+pub trait MitigationEngine: std::fmt::Debug + Send {
+    /// The configuration this engine was built from.
+    fn config(&self) -> &MitigationConfig;
+
+    /// What this design demands of the controller and timing model.
+    fn timing_demands(&self) -> TimingDemands {
+        TimingDemands::for_config(self.config())
+    }
+
+    /// Accumulated statistics.
+    fn stats(&self) -> MitigationStats;
+
+    /// An ACT hit `row`. `open_ns` is unused at activation time (open
+    /// time is only known at precharge) but kept for symmetry; pass 0.
+    fn on_activate(&mut self, row: u32, open_ns: f64);
+
+    /// A PRE closed `row`. `counter_update` — whether this precharge
+    /// carries the PRAC read-modify-write (driven by
+    /// [`TimingDemands`]: always for PRAC/QPRAC, the controller's coin
+    /// for MoPAC-C, never otherwise). `open_ns` — how long the row was
+    /// open, for Row-Press accounting.
+    fn on_precharge(&mut self, row: u32, counter_update: bool, open_ns: f64);
+
+    /// A REF refreshed `refreshed_rows`. Engines may drain deferred
+    /// work or mitigate proactively inside the refresh window; whatever
+    /// they did is reported back so the device can inform the security
+    /// oracle.
+    fn on_ref(&mut self, refreshed_rows: Range<u32>) -> AboService;
+
+    /// Whether (and why) this bank needs ALERT right now.
+    fn alert_cause(&self) -> Option<AlertCause>;
+
+    /// One ABO (RFM) reached this bank: perform the highest-priority
+    /// pending work (mitigation or deferred counter updates).
+    fn service_abo(&mut self) -> AboService;
+
+    /// Direct read of a row's activation counter (chip 0 for
+    /// replicated designs).
+    fn counter(&self, row: u32) -> u32;
+
+    /// Fault hook: flips one bit of `row`'s counter storage. Trackers
+    /// are deliberately not re-observed — hardware would not notice a
+    /// silent bit flip either.
+    fn corrupt_counter(&mut self, row: u32, bit: u32);
+
+    /// Occupancy of any deferred-work queues, one entry per replicated
+    /// instance (empty for designs without queues).
+    fn srq_occupancy(&self) -> Vec<usize> {
+        Vec::new()
+    }
+
+    /// Clones the engine behind the trait object
+    /// ([`crate::bank::BankMitigation`] and the DRAM device derive
+    /// `Clone`).
+    fn clone_box(&self) -> Box<dyn MitigationEngine>;
+}
+
+impl Clone for Box<dyn MitigationEngine> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// Builds the engine for `cfg` for a bank with `rows` rows.
+///
+/// `rng` seeds any per-chip random streams; fork it per bank so banks
+/// are independent. This is the only `MitigationKind` dispatch in the
+/// workspace.
+///
+/// # Panics
+///
+/// Panics if `rows` is zero.
+#[must_use]
+pub fn build_engine(cfg: &MitigationConfig, rows: u32, rng: DetRng) -> Box<dyn MitigationEngine> {
+    assert!(rows > 0, "bank must have rows");
+    match cfg.kind {
+        MitigationKind::None => Box::new(BaselineEngine::new(cfg, rows)),
+        MitigationKind::Prac | MitigationKind::MopacC => Box::new(PracEngine::new(cfg, rows)),
+        MitigationKind::MopacD => Box::new(MopacDEngine::new(cfg, rows, rng)),
+        MitigationKind::Qprac => Box::new(QpracEngine::new(cfg, rows)),
+        MitigationKind::CncPrac => Box::new(CncPracEngine::new(cfg, rows)),
+    }
+}
+
+/// A registered mitigation design: a stable string key, display
+/// metadata, and a preset constructor parameterized by the Rowhammer
+/// threshold.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineSpec {
+    /// Stable registry key (CSV column values, CLI arguments).
+    pub name: &'static str,
+    /// Human-readable name (matches `MitigationKind`'s `Display`).
+    pub display: &'static str,
+    /// One-line description for docs and tables.
+    pub summary: &'static str,
+    /// Builds the design's default configuration at a threshold.
+    pub preset: fn(u64) -> MitigationConfig,
+}
+
+impl EngineSpec {
+    /// Whether this design tracks activations at all (everything but
+    /// the baseline).
+    #[must_use]
+    pub fn tracks(&self) -> bool {
+        // The preset's kind is threshold-independent; probe at the
+        // paper's default.
+        (self.preset)(500).tracks()
+    }
+}
+
+/// The string-keyed registry of every mitigation design in the
+/// workspace. Campaign drivers, attack suites, and benches enumerate
+/// this instead of hard-coding design lists.
+#[derive(Debug)]
+pub struct EngineRegistry {
+    specs: Vec<EngineSpec>,
+}
+
+impl EngineRegistry {
+    /// The built-in designs, in canonical order (baseline first, then
+    /// paper designs, then related-work plug-ins).
+    pub fn builtin() -> &'static Self {
+        static REGISTRY: OnceLock<EngineRegistry> = OnceLock::new();
+        REGISTRY.get_or_init(|| Self {
+            specs: vec![
+                EngineSpec {
+                    name: "baseline",
+                    display: "baseline",
+                    summary: "No mitigation, base DDR5 timings (performance reference).",
+                    preset: |_| MitigationConfig::baseline(),
+                },
+                EngineSpec {
+                    name: "prac",
+                    display: "PRAC",
+                    summary: "Per-row counting on every precharge, MOAT tracker, ABO (JEDEC PRAC).",
+                    preset: MitigationConfig::prac,
+                },
+                EngineSpec {
+                    name: "mopac-c",
+                    display: "MoPAC-C",
+                    summary: "Controller-side coin: probabilistic PREcu counter updates (Section 5).",
+                    preset: MitigationConfig::mopac_c,
+                },
+                EngineSpec {
+                    name: "mopac-d",
+                    display: "MoPAC-D",
+                    summary: "In-DRAM MINT sampling into a per-chip SRQ, drained by ABO/REF (Section 6).",
+                    preset: MitigationConfig::mopac_d,
+                },
+                EngineSpec {
+                    name: "mopac-d-nup",
+                    display: "MoPAC-D",
+                    summary: "MoPAC-D with non-uniform sampling of cold rows (Section 8).",
+                    preset: MitigationConfig::mopac_d_nup,
+                },
+                EngineSpec {
+                    name: "qprac",
+                    display: "QPRAC",
+                    summary: "Exact counting plus a priority queue mitigated proactively at REF \
+                              (Woo et al., HPCA 2025).",
+                    preset: MitigationConfig::qprac,
+                },
+                EngineSpec {
+                    name: "cnc-prac",
+                    display: "CnC-PRAC",
+                    summary: "Base timings; counter write-backs coalesced in a queue and drained \
+                              at REF/ABO (Lin et al., 2025).",
+                    preset: MitigationConfig::cnc_prac,
+                },
+            ],
+        })
+    }
+
+    /// Every registered design, in canonical order.
+    #[must_use]
+    pub fn specs(&self) -> &[EngineSpec] {
+        &self.specs
+    }
+
+    /// Looks a design up by its registry key.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&EngineSpec> {
+        self.specs.iter().find(|s| s.name == name)
+    }
+
+    /// Every registry key, in canonical order.
+    #[must_use]
+    pub fn names(&self) -> Vec<&'static str> {
+        self.specs.iter().map(|s| s.name).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_resolve() {
+        let reg = EngineRegistry::builtin();
+        let names = reg.names();
+        for name in &names {
+            assert_eq!(reg.get(name).unwrap().name, *name);
+        }
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "duplicate registry keys");
+        assert!(reg.get("no-such-engine").is_none());
+    }
+
+    #[test]
+    fn every_preset_constructs_an_engine() {
+        for spec in EngineRegistry::builtin().specs() {
+            let cfg = (spec.preset)(500);
+            let engine = build_engine(&cfg, 128, DetRng::from_seed(7));
+            assert_eq!(engine.config().kind, cfg.kind, "{}", spec.name);
+            assert_eq!(engine.counter(0), 0, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn demands_match_design_contracts() {
+        let prac = TimingDemands::for_config(&MitigationConfig::prac(500));
+        assert!(prac.always_prac_timings);
+        assert_eq!(prac.precu_probability, None);
+
+        let qprac = TimingDemands::for_config(&MitigationConfig::qprac(500));
+        assert!(qprac.always_prac_timings);
+
+        let mc = TimingDemands::for_config(&MitigationConfig::mopac_c(500));
+        assert!(!mc.always_prac_timings);
+        assert_eq!(mc.precu_probability, Some(0.125));
+        assert_eq!(mc.row_open_cap_ns, None);
+        let mc_rp = TimingDemands::for_config(&MitigationConfig::mopac_c(500).with_row_press());
+        assert_eq!(mc_rp.row_open_cap_ns, Some(180.0));
+
+        for base in [
+            MitigationConfig::baseline(),
+            MitigationConfig::mopac_d(500),
+            MitigationConfig::cnc_prac(500),
+        ] {
+            assert_eq!(TimingDemands::for_config(&base), TimingDemands::base());
+        }
+    }
+
+    #[test]
+    fn boxed_engine_clone_is_independent() {
+        let cfg = MitigationConfig::prac(500);
+        let mut a = build_engine(&cfg, 64, DetRng::from_seed(1));
+        let mut b = a.clone();
+        a.on_activate(3, 0.0);
+        a.on_precharge(3, true, 40.0);
+        assert_eq!(a.counter(3), 1);
+        assert_eq!(b.counter(3), 0);
+        b.corrupt_counter(5, 0);
+        assert_eq!(a.counter(5), 0);
+    }
+}

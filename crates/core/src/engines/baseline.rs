@@ -1,0 +1,70 @@
+//! The unprotected baseline: counts activations for the statistics and
+//! does nothing else.
+
+use crate::bank::{AboService, AlertCause, MitigationStats};
+use crate::config::MitigationConfig;
+use crate::counters::PracCounters;
+use crate::engine::MitigationEngine;
+use std::ops::Range;
+
+/// No mitigation. The counter storage still exists (so the fault
+/// injector's `corrupt_counter` path behaves uniformly) but is never
+/// updated by activity.
+#[derive(Debug, Clone)]
+pub struct BaselineEngine {
+    cfg: MitigationConfig,
+    counters: PracCounters,
+    stats: MitigationStats,
+}
+
+impl BaselineEngine {
+    /// Creates the inert engine for a bank with `rows` rows.
+    #[must_use]
+    pub fn new(cfg: &MitigationConfig, rows: u32) -> Self {
+        Self {
+            cfg: *cfg,
+            counters: PracCounters::new(rows),
+            stats: MitigationStats::default(),
+        }
+    }
+}
+
+impl MitigationEngine for BaselineEngine {
+    fn config(&self) -> &MitigationConfig {
+        &self.cfg
+    }
+
+    fn stats(&self) -> MitigationStats {
+        self.stats
+    }
+
+    fn on_activate(&mut self, _row: u32, _open_ns: f64) {
+        self.stats.activations += 1;
+    }
+
+    fn on_precharge(&mut self, _row: u32, _counter_update: bool, _open_ns: f64) {}
+
+    fn on_ref(&mut self, _refreshed_rows: Range<u32>) -> AboService {
+        AboService::default()
+    }
+
+    fn alert_cause(&self) -> Option<AlertCause> {
+        None
+    }
+
+    fn service_abo(&mut self) -> AboService {
+        AboService::default()
+    }
+
+    fn counter(&self, row: u32) -> u32 {
+        self.counters.get(row)
+    }
+
+    fn corrupt_counter(&mut self, row: u32, bit: u32) {
+        self.counters.flip_bit(row, bit);
+    }
+
+    fn clone_box(&self) -> Box<dyn MitigationEngine> {
+        Box::new(self.clone())
+    }
+}

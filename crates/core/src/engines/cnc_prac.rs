@@ -1,0 +1,266 @@
+//! CnC-PRAC: coalescing counter write-backs (Lin et al., "Chronus /
+//! CnC-PRAC: Coalescing counter updates for practical PRAC", 2025).
+//!
+//! Plain PRAC pays the stretched precharge on *every* row close. CnC
+//! observes that the read-modify-write need not be synchronous: each
+//! precharge instead deposits a pending update into a small per-bank
+//! coalescing queue, where repeated closes of the same row merge into
+//! one entry with a pending count. Precharges therefore run at base
+//! DDR5 timings; the deferred write-backs are performed in bulk inside
+//! REF windows (and under ABO stalls), each entry costing a single
+//! read-modify-write regardless of how many activations it coalesced.
+//!
+//! Security: accounting stays exact — an activation is either already
+//! in the counters or pending in the queue (a full queue falls back to
+//! an inline write-back, so nothing is ever dropped). What the MOAT
+//! tracker sees can lag the true count by at most the per-entry
+//! pending cap `TTH` (a tardy entry forces an ALERT and is drained
+//! first), so the design alerts at `ATH* = ATH - TTH` — the same
+//! deferred-visibility argument as MoPAC-D's `A' = ATH - TTH`
+//! (Equation 8) with `p = 1`.
+
+use crate::bank::{AboService, AlertCause, MitigationStats};
+use crate::config::MitigationConfig;
+use crate::counters::PracCounters;
+use crate::engine::MitigationEngine;
+use crate::engines::refresh_victims;
+use crate::moat::MoatTracker;
+use std::ops::Range;
+
+/// One coalesced write-back: `pending` activations of `row` not yet
+/// applied to the PRAC counters.
+#[derive(Debug, Clone, Copy)]
+struct PendingUpdate {
+    row: u32,
+    pending: u32,
+}
+
+/// CnC-PRAC's per-bank engine.
+#[derive(Debug, Clone)]
+pub struct CncPracEngine {
+    cfg: MitigationConfig,
+    counters: PracCounters,
+    moat: MoatTracker,
+    /// The coalescing queue, at most `cfg.srq_capacity` entries.
+    queue: Vec<PendingUpdate>,
+    stats: MitigationStats,
+}
+
+impl CncPracEngine {
+    /// Creates the engine for a bank with `rows` rows.
+    #[must_use]
+    pub fn new(cfg: &MitigationConfig, rows: u32) -> Self {
+        Self {
+            cfg: *cfg,
+            counters: PracCounters::new(rows),
+            moat: MoatTracker::new(cfg.alert_threshold, cfg.eligibility_threshold),
+            queue: Vec::with_capacity(cfg.srq_capacity),
+            stats: MitigationStats::default(),
+        }
+    }
+
+    /// Applies the queued entry with the most pending activations to
+    /// the counters, up to `n` entries. Hottest-first ordering gets
+    /// the likeliest aggressor in front of the MOAT tracker soonest.
+    fn drain(&mut self, n: u32, out: &mut AboService) {
+        let mut done = 0u32;
+        for _ in 0..n {
+            let Some((idx, _)) = self
+                .queue
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, e)| e.pending)
+            else {
+                break;
+            };
+            let e = self.queue.swap_remove(idx);
+            let count = self.counters.add(e.row, e.pending);
+            self.moat.observe(e.row, count);
+            done += 1;
+        }
+        out.counter_updates += done;
+        self.stats.counter_updates += u64::from(done);
+    }
+
+    fn max_pending(&self) -> u32 {
+        self.queue.iter().map(|e| e.pending).max().unwrap_or(0)
+    }
+}
+
+impl MitigationEngine for CncPracEngine {
+    fn config(&self) -> &MitigationConfig {
+        &self.cfg
+    }
+
+    fn stats(&self) -> MitigationStats {
+        self.stats
+    }
+
+    fn on_activate(&mut self, _row: u32, _open_ns: f64) {
+        self.stats.activations += 1;
+    }
+
+    fn on_precharge(&mut self, row: u32, _counter_update: bool, _open_ns: f64) {
+        // Defer the counter update: coalesce with a pending entry for
+        // the same row, start a new entry while there is room, or —
+        // queue full and no entry to merge with — fall back to an
+        // inline write-back so the activation is never lost.
+        if let Some(e) = self.queue.iter_mut().find(|e| e.row == row) {
+            e.pending += 1;
+            self.stats.srq_insertions += 1;
+        } else if self.queue.len() < self.cfg.srq_capacity {
+            self.queue.push(PendingUpdate { row, pending: 1 });
+            self.stats.srq_insertions += 1;
+        } else {
+            self.stats.srq_overflows += 1;
+            self.stats.update_precharges += 1;
+            self.stats.counter_updates += 1;
+            let count = self.counters.add(row, 1);
+            self.moat.observe(row, count);
+        }
+    }
+
+    fn on_ref(&mut self, _refreshed_rows: Range<u32>) -> AboService {
+        // Bulk write-back window: drain `drain_on_ref` entries.
+        let mut out = AboService::default();
+        let before = out.counter_updates;
+        self.drain(self.cfg.drain_on_ref, &mut out);
+        self.stats.ref_drained_updates += u64::from(out.counter_updates - before);
+        out
+    }
+
+    fn alert_cause(&self) -> Option<AlertCause> {
+        if self.moat.alert_needed() {
+            return Some(AlertCause::Mitigation);
+        }
+        if self.queue.len() >= self.cfg.srq_capacity {
+            return Some(AlertCause::SrqFull);
+        }
+        if self.cfg.tth > 0 && self.max_pending() > self.cfg.tth {
+            return Some(AlertCause::Tardiness);
+        }
+        None
+    }
+
+    fn service_abo(&mut self) -> AboService {
+        // Same priority shape as MoPAC-D (Section 6.1): relieve queue
+        // pressure first unless a mitigation is actually due.
+        let mut out = AboService::default();
+        let full = self.queue.len() >= self.cfg.srq_capacity;
+        let alert = self.moat.alert_needed();
+        if full || (!alert && !self.queue.is_empty()) {
+            self.drain(self.cfg.updates_per_abo, &mut out);
+        } else if let Some(row) = self.moat.take_mitigation_candidate() {
+            // Mitigation cures the row's pending activations too: the
+            // victims are refreshed, so drop its queue entry.
+            self.queue.retain(|e| e.row != row);
+            self.counters.reset(row);
+            refresh_victims(&mut self.counters, &mut self.moat, row, self.cfg.blast_radius);
+            self.stats.mitigations += 1;
+            self.stats.abo_mitigations += 1;
+            out.mitigated_rows.push(row);
+        }
+        out
+    }
+
+    fn counter(&self, row: u32) -> u32 {
+        self.counters.get(row)
+    }
+
+    fn corrupt_counter(&mut self, row: u32, bit: u32) {
+        self.counters.flip_bit(row, bit);
+    }
+
+    fn srq_occupancy(&self) -> Vec<usize> {
+        vec![self.queue.len()]
+    }
+
+    fn clone_box(&self) -> Box<dyn MitigationEngine> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hammer(b: &mut CncPracEngine, row: u32, n: u32) {
+        for _ in 0..n {
+            b.on_activate(row, 0.0);
+            b.on_precharge(row, false, 40.0);
+        }
+    }
+
+    #[test]
+    fn same_row_precharges_coalesce_into_one_entry() {
+        let cfg = MitigationConfig::cnc_prac(500);
+        let mut b = CncPracEngine::new(&cfg, 64);
+        hammer(&mut b, 3, 10);
+        assert_eq!(b.srq_occupancy(), vec![1]);
+        assert_eq!(b.counter(3), 0, "write-back still pending");
+        // One REF drain applies the whole coalesced batch as a single
+        // read-modify-write.
+        let svc = b.on_ref(0..8);
+        assert_eq!(svc.counter_updates, 1);
+        assert_eq!(b.counter(3), 10);
+        assert_eq!(b.stats().ref_drained_updates, 1);
+    }
+
+    #[test]
+    fn tardy_entry_alerts_and_drains_first() {
+        let cfg = MitigationConfig::cnc_prac(500); // TTH = 32
+        let mut b = CncPracEngine::new(&cfg, 64);
+        hammer(&mut b, 5, 2);
+        hammer(&mut b, 7, 33);
+        assert_eq!(b.alert_cause(), Some(AlertCause::Tardiness));
+        let svc = b.service_abo();
+        assert!(svc.counter_updates >= 1);
+        assert_eq!(b.counter(7), 33, "hottest entry drained first");
+        assert!(b.alert_cause().is_none());
+    }
+
+    #[test]
+    fn full_queue_alerts_and_overflows_write_inline() {
+        let cfg = MitigationConfig::cnc_prac(500).with_srq_capacity(4);
+        let mut b = CncPracEngine::new(&cfg, 64);
+        for row in 0..4 {
+            hammer(&mut b, row, 1);
+        }
+        assert_eq!(b.alert_cause(), Some(AlertCause::SrqFull));
+        // A fifth distinct row cannot queue: exact accounting falls
+        // back to an inline write-back.
+        hammer(&mut b, 40, 1);
+        assert_eq!(b.counter(40), 1);
+        assert_eq!(b.stats().srq_overflows, 1);
+        // ABO relieves the pressure.
+        let svc = b.service_abo();
+        assert_eq!(svc.counter_updates, 4);
+        assert!(b.alert_cause().is_none());
+    }
+
+    #[test]
+    fn moat_alert_mitigates_at_reduced_threshold() {
+        let cfg = MitigationConfig::cnc_prac(500); // ATH* = 440
+        let mut b = CncPracEngine::new(&cfg, 1024);
+        // Alternate with REF drains so the counters (not the queue cap)
+        // drive the alert.
+        for _ in 0..44 {
+            hammer(&mut b, 7, 10);
+            b.on_ref(0..8);
+        }
+        assert_eq!(b.counter(7), 440);
+        assert_eq!(b.alert_cause(), Some(AlertCause::Mitigation));
+        let svc = b.service_abo();
+        assert_eq!(svc.mitigated_rows, vec![7]);
+        assert_eq!(b.counter(7), 0);
+        assert_eq!(b.counter(6), 1, "victims refreshed");
+        assert_eq!(b.stats().abo_mitigations, 1);
+    }
+
+    #[test]
+    fn threshold_margin_covers_the_pending_cap() {
+        let cfg = MitigationConfig::cnc_prac(500);
+        assert_eq!(cfg.alert_threshold, 440); // 472 - 32
+        assert!(u64::from(cfg.alert_threshold + cfg.tth) < cfg.t_rh);
+    }
+}

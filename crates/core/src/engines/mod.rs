@@ -1,0 +1,51 @@
+//! The built-in [`MitigationEngine`](crate::engine::MitigationEngine)
+//! implementations.
+//!
+//! * [`BaselineEngine`] — no mitigation (the performance reference);
+//! * [`PracEngine`] — command-synchronous counting, serving both PRAC
+//!   (every precharge) and MoPAC-C (the controller's coin selects
+//!   precharges, each update counting `1/p`);
+//! * [`MopacDEngine`] — in-DRAM MINT sampling into per-chip SRQs;
+//! * [`QpracEngine`] — exact counting plus proactive per-REF
+//!   mitigation from a priority queue (Woo et al., HPCA 2025);
+//! * [`CncPracEngine`] — base timings with counter write-backs
+//!   coalesced in a pending queue (Lin et al., 2025).
+
+mod baseline;
+mod cnc_prac;
+mod mopac_d;
+mod prac;
+mod qprac;
+
+pub use baseline::BaselineEngine;
+pub use cnc_prac::CncPracEngine;
+pub use mopac_d::MopacDEngine;
+pub use prac::PracEngine;
+pub use qprac::QpracEngine;
+
+use crate::counters::PracCounters;
+use crate::moat::MoatTracker;
+
+/// Refreshes the victims of aggressor `row` out to `blast` rows on each
+/// side: each victim's counter gains the refresh activation (footnote 5
+/// of the paper) and the tracker observes the new value.
+pub(crate) fn refresh_victims(
+    counters: &mut PracCounters,
+    moat: &mut MoatTracker,
+    row: u32,
+    blast: u32,
+) {
+    let rows = counters.rows();
+    for d in 1..=blast {
+        if row >= d {
+            let v = row - d;
+            let c = counters.add(v, 1);
+            moat.observe(v, c);
+        }
+        let v = row + d;
+        if v < rows {
+            let c = counters.add(v, 1);
+            moat.observe(v, c);
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Command-synchronous precharge counting: PRAC and MoPAC-C.
+//!
+//! Both designs update the in-row counter during (selected) precharges
+//! and secure the bank with the MOAT single-entry tracker. They differ
+//! only in *which* precharges update — every one for PRAC, the memory
+//! controller's coin flips for MoPAC-C (each update counting `1/p`) —
+//! and that difference arrives through the `counter_update` flag and
+//! `cfg.sample_denominator`, so one engine serves both kinds. Updates
+//! are command-synchronous across chips, so a single state models the
+//! whole rank.
+
+use crate::bank::{AboService, AlertCause, MitigationStats};
+use crate::config::MitigationConfig;
+use crate::counters::PracCounters;
+use crate::engine::MitigationEngine;
+use crate::engines::refresh_victims;
+use crate::moat::MoatTracker;
+use std::ops::Range;
+
+/// PRAC / MoPAC-C: counter updates ride on (selected) precharges.
+#[derive(Debug, Clone)]
+pub struct PracEngine {
+    cfg: MitigationConfig,
+    counters: PracCounters,
+    moat: MoatTracker,
+    stats: MitigationStats,
+}
+
+impl PracEngine {
+    /// Creates the engine for a bank with `rows` rows.
+    #[must_use]
+    pub fn new(cfg: &MitigationConfig, rows: u32) -> Self {
+        Self {
+            cfg: *cfg,
+            counters: PracCounters::new(rows),
+            moat: MoatTracker::new(cfg.alert_threshold, cfg.eligibility_threshold),
+            stats: MitigationStats::default(),
+        }
+    }
+}
+
+impl MitigationEngine for PracEngine {
+    fn config(&self) -> &MitigationConfig {
+        &self.cfg
+    }
+
+    fn stats(&self) -> MitigationStats {
+        self.stats
+    }
+
+    fn on_activate(&mut self, _row: u32, _open_ns: f64) {
+        self.stats.activations += 1;
+    }
+
+    fn on_precharge(&mut self, row: u32, counter_update: bool, _open_ns: f64) {
+        if counter_update {
+            self.stats.update_precharges += 1;
+            self.stats.counter_updates += 1;
+            let count = self.counters.add(row, self.cfg.sample_denominator);
+            self.moat.observe(row, count);
+        }
+    }
+
+    fn on_ref(&mut self, _refreshed_rows: Range<u32>) -> AboService {
+        // PRAC counters survive refresh: resetting them would let an
+        // aggressor escape (its victims were not refreshed).
+        AboService::default()
+    }
+
+    fn alert_cause(&self) -> Option<AlertCause> {
+        self.moat.alert_needed().then_some(AlertCause::Mitigation)
+    }
+
+    fn service_abo(&mut self) -> AboService {
+        let mut out = AboService::default();
+        if let Some(row) = self.moat.take_mitigation_candidate() {
+            self.counters.reset(row);
+            refresh_victims(&mut self.counters, &mut self.moat, row, self.cfg.blast_radius);
+            self.stats.mitigations += 1;
+            self.stats.abo_mitigations += 1;
+            out.mitigated_rows.push(row);
+        }
+        out
+    }
+
+    fn counter(&self, row: u32) -> u32 {
+        self.counters.get(row)
+    }
+
+    fn corrupt_counter(&mut self, row: u32, bit: u32) {
+        self.counters.flip_bit(row, bit);
+    }
+
+    fn clone_box(&self) -> Box<dyn MitigationEngine> {
+        Box::new(self.clone())
+    }
+}

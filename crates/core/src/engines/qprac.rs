@@ -1,0 +1,239 @@
+//! QPRAC: exact counting with proactive per-REF mitigation from a
+//! priority queue (Woo et al., "QPRAC: Towards Secure and Practical
+//! PRAC-based Rowhammer Mitigation using Priority Queues", HPCA 2025).
+//!
+//! QPRAC keeps PRAC's exact per-row counting (every precharge pays the
+//! PRAC timing) but adds a small per-bank priority queue of the
+//! hottest rows. At every REF the queue's head — the row with the
+//! highest activation count — is mitigated *proactively* inside the
+//! refresh window, which costs nothing extra. The ALERT/ABO path
+//! remains as a rare backstop: with proactive service the tracked
+//! count almost never reaches `ATH`, so benign workloads see PRAC's
+//! timing overhead but essentially zero ALERT stalls, and attacks are
+//! absorbed by the per-REF mitigations instead of back-offs.
+//!
+//! Security: counting is exact and the MOAT backstop uses the same
+//! `ATH` as plain PRAC, so the design inherits PRAC's guarantee;
+//! proactive mitigations only ever *lower* counts.
+
+use crate::bank::{AboService, AlertCause, MitigationStats};
+use crate::config::MitigationConfig;
+use crate::counters::PracCounters;
+use crate::engine::MitigationEngine;
+use crate::engines::refresh_victims;
+use crate::moat::MoatTracker;
+use std::ops::Range;
+
+/// QPRAC's per-bank engine.
+#[derive(Debug, Clone)]
+pub struct QpracEngine {
+    cfg: MitigationConfig,
+    counters: PracCounters,
+    moat: MoatTracker,
+    /// Candidate rows for proactive mitigation, at most
+    /// `cfg.srq_capacity`. Priorities are the live counter values, so
+    /// the queue stores only row ids.
+    queue: Vec<u32>,
+    stats: MitigationStats,
+}
+
+impl QpracEngine {
+    /// Creates the engine for a bank with `rows` rows.
+    #[must_use]
+    pub fn new(cfg: &MitigationConfig, rows: u32) -> Self {
+        Self {
+            cfg: *cfg,
+            counters: PracCounters::new(rows),
+            moat: MoatTracker::new(cfg.alert_threshold, cfg.eligibility_threshold),
+            queue: Vec::with_capacity(cfg.srq_capacity),
+            stats: MitigationStats::default(),
+        }
+    }
+
+    /// Tracks `row` in the priority queue: inserted while there is
+    /// room, otherwise it evicts the coldest entry if hotter.
+    fn enqueue(&mut self, row: u32) {
+        if self.queue.contains(&row) {
+            return;
+        }
+        if self.queue.len() < self.cfg.srq_capacity {
+            self.queue.push(row);
+            self.stats.srq_insertions += 1;
+            return;
+        }
+        let Some((idx, coldest)) = self
+            .queue
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| (i, self.counters.get(r)))
+            .min_by_key(|&(_, c)| c)
+        else {
+            return; // capacity 0: queue-less QPRAC degrades to PRAC
+        };
+        if self.counters.get(row) > coldest {
+            self.queue[idx] = row;
+            self.stats.srq_insertions += 1;
+        } else {
+            self.stats.srq_overflows += 1;
+        }
+    }
+
+    /// Removes and returns the queued row with the highest live
+    /// counter, or `None` if every queued row is already cold.
+    fn pop_hottest(&mut self) -> Option<u32> {
+        let (idx, count) = self
+            .queue
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| (i, self.counters.get(r)))
+            .max_by_key(|&(_, c)| c)?;
+        if count == 0 {
+            return None;
+        }
+        Some(self.queue.swap_remove(idx))
+    }
+
+    /// Mitigates aggressor `row`: resets its counter, forgets it in
+    /// the tracker and queue, and refreshes its victims.
+    fn mitigate(&mut self, row: u32, out: &mut AboService) {
+        self.counters.reset(row);
+        self.moat.invalidate_row(row);
+        self.queue.retain(|&r| r != row);
+        refresh_victims(&mut self.counters, &mut self.moat, row, self.cfg.blast_radius);
+        self.stats.mitigations += 1;
+        out.mitigated_rows.push(row);
+    }
+}
+
+impl MitigationEngine for QpracEngine {
+    fn config(&self) -> &MitigationConfig {
+        &self.cfg
+    }
+
+    fn stats(&self) -> MitigationStats {
+        self.stats
+    }
+
+    fn on_activate(&mut self, _row: u32, _open_ns: f64) {
+        self.stats.activations += 1;
+    }
+
+    fn on_precharge(&mut self, row: u32, counter_update: bool, _open_ns: f64) {
+        // QPRAC demands PRAC timings, so every precharge carries the
+        // counter read-modify-write.
+        if !counter_update {
+            return;
+        }
+        self.stats.update_precharges += 1;
+        self.stats.counter_updates += 1;
+        let count = self.counters.add(row, 1);
+        self.moat.observe(row, count);
+        self.enqueue(row);
+    }
+
+    fn on_ref(&mut self, _refreshed_rows: Range<u32>) -> AboService {
+        // Proactive service: mitigate the hottest queued rows inside
+        // the refresh window (`drain_on_ref` of them, 1 by default).
+        let mut out = AboService::default();
+        for _ in 0..self.cfg.drain_on_ref {
+            let Some(row) = self.pop_hottest() else { break };
+            self.mitigate(row, &mut out);
+            self.stats.proactive_mitigations += 1;
+        }
+        out
+    }
+
+    fn alert_cause(&self) -> Option<AlertCause> {
+        self.moat.alert_needed().then_some(AlertCause::Mitigation)
+    }
+
+    fn service_abo(&mut self) -> AboService {
+        // The ABO backstop — identical to PRAC's mitigation path.
+        let mut out = AboService::default();
+        if let Some(row) = self.moat.take_mitigation_candidate() {
+            self.mitigate(row, &mut out);
+            self.stats.abo_mitigations += 1;
+        }
+        out
+    }
+
+    fn counter(&self, row: u32) -> u32 {
+        self.counters.get(row)
+    }
+
+    fn corrupt_counter(&mut self, row: u32, bit: u32) {
+        self.counters.flip_bit(row, bit);
+    }
+
+    fn srq_occupancy(&self) -> Vec<usize> {
+        vec![self.queue.len()]
+    }
+
+    fn clone_box(&self) -> Box<dyn MitigationEngine> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hammer(b: &mut QpracEngine, row: u32, n: u32) {
+        for _ in 0..n {
+            b.on_activate(row, 0.0);
+            b.on_precharge(row, true, 40.0);
+        }
+    }
+
+    #[test]
+    fn proactive_ref_mitigates_hottest_row_before_alert() {
+        let cfg = MitigationConfig::qprac(500); // ATH = 472
+        let mut b = QpracEngine::new(&cfg, 1024);
+        hammer(&mut b, 7, 100);
+        hammer(&mut b, 9, 40);
+        assert!(b.alert_cause().is_none());
+        let svc = b.on_ref(0..8);
+        assert_eq!(svc.mitigated_rows, vec![7], "hottest row first");
+        assert_eq!(b.counter(7), 0);
+        assert_eq!(b.stats().proactive_mitigations, 1);
+        assert_eq!(b.stats().abo_mitigations, 0);
+        // The next REF serves the runner-up.
+        let svc = b.on_ref(0..8);
+        assert_eq!(svc.mitigated_rows, vec![9]);
+    }
+
+    #[test]
+    fn abo_backstop_matches_prac() {
+        let cfg = MitigationConfig::qprac(500);
+        let mut b = QpracEngine::new(&cfg, 1024);
+        hammer(&mut b, 7, 472);
+        assert_eq!(b.alert_cause(), Some(AlertCause::Mitigation));
+        let svc = b.service_abo();
+        assert_eq!(svc.mitigated_rows, vec![7]);
+        assert!(b.alert_cause().is_none());
+        assert_eq!(b.counter(6), 1, "victims refreshed");
+        assert_eq!(b.stats().abo_mitigations, 1);
+    }
+
+    #[test]
+    fn queue_evicts_coldest_when_full() {
+        let cfg = MitigationConfig::qprac(500).with_srq_capacity(2);
+        let mut b = QpracEngine::new(&cfg, 64);
+        hammer(&mut b, 1, 5);
+        hammer(&mut b, 2, 3);
+        hammer(&mut b, 3, 8); // hotter than row 2: evicts it
+        let svc = b.on_ref(0..8);
+        assert_eq!(svc.mitigated_rows, vec![3]);
+        let svc = b.on_ref(0..8);
+        assert_eq!(svc.mitigated_rows, vec![1]);
+    }
+
+    #[test]
+    fn idle_ref_mitigates_nothing() {
+        let cfg = MitigationConfig::qprac(500);
+        let mut b = QpracEngine::new(&cfg, 64);
+        let svc = b.on_ref(0..8);
+        assert!(svc.mitigated_rows.is_empty());
+        assert_eq!(b.stats().proactive_mitigations, 0);
+    }
+}

@@ -10,9 +10,13 @@
 //! * [`mint`] — the MINT window sampler used by MoPAC-D;
 //! * [`srq`] — MoPAC-D's Selected-Row Queue with ACtr/SCtr coalescing;
 //! * [`config`] — mitigation configuration presets (PRAC, MoPAC-C,
-//!   MoPAC-D, NUP, Row-Press hardening, multi-chip);
-//! * [`bank`] — the per-bank mitigation engine that composes the above
-//!   and is embedded into each simulated DRAM bank;
+//!   MoPAC-D, NUP, QPRAC, CnC-PRAC, Row-Press hardening, multi-chip);
+//! * [`engine`] — the pluggable [`engine::MitigationEngine`] trait, the
+//!   [`engine::TimingDemands`] capability query the memory controller
+//!   reads, and the string-keyed [`engine::EngineRegistry`];
+//! * [`engines`] — the built-in engine implementations;
+//! * [`bank`] — the per-bank host that embeds one boxed engine into
+//!   each simulated DRAM bank;
 //! * [`checker`] — the security oracle that verifies no row ever receives
 //!   `T_RH` activations without an intervening mitigation or refresh.
 //!
@@ -36,14 +40,21 @@
 //! assert!(bank.stats().activations >= 100);
 //! ```
 
+// Robustness contract (see ci.sh): no unwrap/expect in non-test core
+// code — promoted to errors by clippy -D warnings in CI.
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod bank;
 pub mod checker;
 pub mod config;
 pub mod counters;
+pub mod engine;
+pub mod engines;
 pub mod mint;
 pub mod moat;
 pub mod srq;
 
-pub use bank::{AboService, BankMitigation};
+pub use bank::{AboService, AlertCause, BankMitigation, MitigationStats};
 pub use checker::RowhammerChecker;
 pub use config::{MitigationConfig, MitigationKind};
+pub use engine::{build_engine, EngineRegistry, EngineSpec, MitigationEngine, TimingDemands};

@@ -12,7 +12,8 @@ use crate::bank::{Bank, OpenRow, PrechargeKind};
 use crate::timing::{AboTiming, TimingSet};
 use mopac::bank::AlertCause;
 use mopac::checker::Violation;
-use mopac::config::{MitigationConfig, MitigationKind};
+use mopac::config::MitigationConfig;
+use mopac::engine::TimingDemands;
 use mopac_types::error::{MopacError, MopacResult};
 use mopac_types::geometry::DramGeometry;
 use mopac_types::rng::DetRng;
@@ -127,6 +128,10 @@ struct SubChannel {
 #[derive(Debug, Clone)]
 pub struct DramDevice {
     cfg: DramConfig,
+    /// What the mitigation engines require of the memory controller
+    /// (timing set, PREcu coin, row-open cap). Cached at construction;
+    /// uniform across banks by design.
+    demands: TimingDemands,
     base: TimingSet,
     prac: TimingSet,
     abo: AboTiming,
@@ -162,8 +167,7 @@ impl DramDevice {
                             geom.rows_per_bank,
                             bank_rng,
                         );
-                        let checker = (cfg.enable_checker
-                            && cfg.mitigation.kind != MitigationKind::None)
+                        let checker = (cfg.enable_checker && cfg.mitigation.tracks())
                             .then(|| {
                                 // The min() clamp guarantees the cast fits.
                                 let t_rh = cfg.mitigation.t_rh.min(u64::from(u32::MAX)) as u32;
@@ -187,6 +191,7 @@ impl DramDevice {
             })
             .collect();
         Self {
+            demands: TimingDemands::for_config(&cfg.mitigation),
             base: TimingSet::ddr5_base(),
             prac: TimingSet::ddr5_prac(),
             abo: AboTiming::paper_default(),
@@ -232,21 +237,36 @@ impl DramDevice {
     }
 
     /// The timing set governing ACT/column commands for this mitigation
-    /// (PRAC pays PRAC timings everywhere; everything else uses base
-    /// timings, with MoPAC-C switching per command).
+    /// (engines demanding PRAC timings pay them everywhere; everything
+    /// else uses base timings, with MoPAC-C switching per command).
     #[must_use]
     pub fn timing_default(&self) -> &TimingSet {
-        if self.cfg.mitigation.kind.always_prac_timings() {
+        if self.demands.always_prac_timings {
             &self.prac
         } else {
             &self.base
         }
     }
 
+    /// What the banks' mitigation engines demand of the memory
+    /// controller (timing regime, PREcu sampling probability, row-open
+    /// time cap). The controller configures itself from this rather
+    /// than inspecting the mitigation kind.
+    #[must_use]
+    pub fn timing_demands(&self) -> TimingDemands {
+        self.demands
+    }
+
     /// ABO timing constants.
     #[must_use]
     pub fn abo_timing(&self) -> &AboTiming {
         &self.abo
+    }
+
+    /// The command clock (for nanosecond/cycle conversions).
+    #[must_use]
+    pub fn clock(&self) -> MemClock {
+        self.clock
     }
 
     /// Accumulated statistics.
@@ -316,11 +336,10 @@ impl DramDevice {
                 earliest,
             });
         }
-        let selected = match self.cfg.mitigation.kind {
-            MitigationKind::Prac => true,
-            MitigationKind::MopacC => update_selected,
-            MitigationKind::None | MitigationKind::MopacD => false,
-        };
+        // Engines on full PRAC timings update on every close; a PREcu
+        // coin engine (MoPAC-C) honors the controller's per-ACT draw.
+        let selected = self.demands.always_prac_timings
+            || (self.demands.precu_probability.is_some() && update_selected);
         let (base, prac) = (self.base, self.prac);
         let s = self.sub_mut(sc);
         s.banks[bank as usize].activate(row, now, selected, &base, &prac);
@@ -432,12 +451,10 @@ impl DramDevice {
                 earliest,
             });
         }
-        let kind = match self.cfg.mitigation.kind {
-            MitigationKind::Prac => PrechargeKind::CounterUpdate,
-            MitigationKind::MopacC if self.pending_update(sc, bank) => {
-                PrechargeKind::CounterUpdate
-            }
-            _ => PrechargeKind::Normal,
+        let kind = if self.demands.always_prac_timings || self.pending_update(sc, bank) {
+            PrechargeKind::CounterUpdate
+        } else {
+            PrechargeKind::Normal
         };
         let (base, prac) = (self.base, self.prac);
         let ns_per_cycle = 1.0 / self.clock.freq_ghz();
@@ -549,22 +566,32 @@ impl DramDevice {
         let t_rfc = self.timing_default().t_rfc;
         let rows_per_group = self.cfg.geometry.rows_per_bank.div_ceil(REFRESH_GROUPS).max(1);
         let rows_per_bank = self.cfg.geometry.rows_per_bank;
+        let blast = self.cfg.mitigation.blast_radius;
         let s = self.sub_mut(sc);
         let start = (s.ref_group * rows_per_group).min(rows_per_bank);
         let end = (start + rows_per_group).min(rows_per_bank);
         s.ref_group = (s.ref_group + 1) % REFRESH_GROUPS;
         s.blocked_until = now + t_rfc;
         let mut deferred = 0u64;
+        let mut mitigations = 0u64;
         for b in &mut s.banks {
             b.block_until(now + t_rfc);
             let svc = b.mitigation_mut().on_ref(start..end);
             deferred += u64::from(svc.counter_updates);
+            mitigations += svc.mitigated_rows.len() as u64;
             if let Some(ck) = b.checker_mut() {
+                // Proactive (REF-piggybacked) mitigations, e.g. QPRAC
+                // draining its priority queue, cure victims just like
+                // ABO-forced ones.
+                for &row in &svc.mitigated_rows {
+                    ck.on_mitigate(row, blast);
+                }
                 ck.on_refresh_range(start..end);
             }
         }
         self.stats.refreshes += 1;
         self.stats.deferred_updates += deferred;
+        self.stats.mitigations += mitigations;
         self.refresh_alert_line(sc, now);
         Ok(())
     }
@@ -745,6 +772,9 @@ impl DramDevice {
             total.srq_overflows += s.srq_overflows;
             total.mitigations += s.mitigations;
             total.update_precharges += s.update_precharges;
+            total.abo_mitigations += s.abo_mitigations;
+            total.proactive_mitigations += s.proactive_mitigations;
+            total.ref_drained_updates += s.ref_drained_updates;
         }
         total
     }

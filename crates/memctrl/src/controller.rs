@@ -7,7 +7,6 @@
 //! per sub-channel per cycle (the command bus).
 
 use crate::mapping::AddressMapper;
-use mopac::config::MitigationKind;
 use mopac_dram::device::DramDevice;
 use mopac_types::addr::{DecodedAddr, PhysAddr};
 use mopac_types::error::{MopacError, MopacResult};
@@ -157,8 +156,9 @@ pub struct MemoryController {
     subs: Vec<SubState>,
     rng: DetRng,
     stats: McStats,
-    mopac_c: bool,
-    coin_p: f64,
+    /// When `Some(p)`, each ACT flips a Bernoulli(`p`) coin to arm a
+    /// `PREcu` (MoPAC-C). `None` keeps the RNG stream untouched.
+    precu_p: Option<f64>,
     row_press_cap: Option<Cycle>,
 }
 
@@ -178,15 +178,16 @@ impl MemoryController {
                 cols_since_act: vec![0; banks],
             })
             .collect();
-        let mit = dram.config().mitigation;
-        let mopac_c = mit.kind == MitigationKind::MopacC;
-        // Appendix A: Row-Press-hardened MoPAC-C caps row-open time at
-        // 180 ns.
-        let row_press_cap = (mopac_c && mit.row_press).then_some(540);
+        // The controller configures itself from what the mitigation
+        // engines demand, not from the mitigation kind: the coin
+        // probability for PREcu sampling and the row-open-time cap
+        // (Appendix A: Row-Press hardening closes rows at 180 ns).
+        let demands = dram.timing_demands();
+        let clock = dram.clock();
+        let row_press_cap = demands.row_open_cap_ns.map(|ns| clock.ns_to_cycles(ns));
         Self {
             rng: DetRng::from_seed(cfg.seed),
-            coin_p: mit.p(),
-            mopac_c,
+            precu_p: demands.precu_probability,
             row_press_cap,
             dram,
             cfg,
@@ -796,9 +797,14 @@ impl MemoryController {
         }
     }
 
-    /// Issues an ACT, flipping the MoPAC-C selection coin.
+    /// Issues an ACT, flipping the PREcu selection coin when the engine
+    /// demands one. The coin is only drawn when a probability is set,
+    /// keeping the RNG stream bit-identical for engines without one.
     fn issue_activate(&mut self, sc: u32, bank: u32, row: u32, now: Cycle) -> MopacResult<()> {
-        let selected = self.mopac_c && self.rng.bernoulli(self.coin_p);
+        let selected = match self.precu_p {
+            Some(p) => self.rng.bernoulli(p),
+            None => false,
+        };
         self.dram.activate(sc, bank, row, now, selected)?;
         let s = &mut self.subs[sc as usize];
         s.last_use[bank as usize] = now;

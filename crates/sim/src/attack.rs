@@ -83,6 +83,20 @@ impl AttackResult {
     }
 }
 
+/// One attack configuration per registered engine that tracks
+/// activations (the baseline has no security claim to test), at
+/// threshold `t_rh`. Callers can override the geometry with struct
+/// update syntax, as the tests do.
+#[must_use]
+pub fn attack_suite_configs(t_rh: u64, cycles: Cycle) -> Vec<(&'static str, AttackConfig)> {
+    mopac::EngineRegistry::builtin()
+        .specs()
+        .iter()
+        .filter(|s| s.tracks())
+        .map(|s| (s.name, AttackConfig::new((s.preset)(t_rh), cycles)))
+        .collect()
+}
+
 /// Runs `pattern` against the configured mitigation at maximum rate.
 ///
 /// # Errors

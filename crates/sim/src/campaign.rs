@@ -286,14 +286,17 @@ pub fn fault_matrix() -> Vec<(&'static str, FaultPlan)> {
     ]
 }
 
-/// The mitigations under test (≥3).
+/// The mitigations under test: every registered engine that actually
+/// tracks activations (the inert baseline has nothing to fault), at
+/// the paper's default threshold.
 #[must_use]
 pub fn campaign_mitigations() -> Vec<(&'static str, MitigationConfig)> {
-    vec![
-        ("prac", MitigationConfig::prac(500)),
-        ("mopac-c", MitigationConfig::mopac_c(500)),
-        ("mopac-d", MitigationConfig::mopac_d(500)),
-    ]
+    mopac::EngineRegistry::builtin()
+        .specs()
+        .iter()
+        .filter(|s| s.tracks())
+        .map(|s| (s.name, (s.preset)(500)))
+        .collect()
 }
 
 /// The full campaign matrix in submission order.

@@ -48,6 +48,23 @@ fn unknown_workload(name: &str) -> MopacError {
     }
 }
 
+/// Looks up a registered mitigation engine by name and instantiates
+/// its preset at the given Rowhammer threshold.
+///
+/// # Errors
+///
+/// Returns [`MopacError::Config`] — listing every registered engine —
+/// if `name` is not in the [`mopac::EngineRegistry`].
+pub fn mitigation_preset(name: &str, t_rh: u64) -> MopacResult<MitigationConfig> {
+    let registry = mopac::EngineRegistry::builtin();
+    registry.get(name).map(|spec| (spec.preset)(t_rh)).ok_or_else(|| {
+        MopacError::config(format!(
+            "unknown mitigation engine '{name}' (registered: {})",
+            registry.names().join(", ")
+        ))
+    })
+}
+
 /// Builds the 8 per-core traces for a named workload: rate mode (eight
 /// copies) for plain workloads, the fixed assignment for `mix1`–`mix6`.
 ///

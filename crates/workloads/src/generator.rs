@@ -1,9 +1,9 @@
 //! The calibrated synthetic trace generator.
 //!
-//! Turns a [`WorkloadSpec`](crate::spec::WorkloadSpec) into an infinite
+//! Turns a [`WorkloadSpec`] into an infinite
 //! [`TraceSource`]: geometric instruction gaps sized by MPKI, row runs
 //! sized by RBHR, and row selection per the workload's
-//! [`AccessPattern`](crate::spec::AccessPattern). Each core gets a
+//! [`AccessPattern`]. Each core gets a
 //! disjoint slice of the row space (the paper runs 8-core *rate mode*:
 //! eight copies with private footprints).
 

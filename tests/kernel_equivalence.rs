@@ -49,10 +49,12 @@ fn assert_equivalent(mut cfg: SystemConfig, label: &str) {
 #[test]
 fn equivalence_matrix_mitigation_x_page_policy() {
     type MitigationCtor = fn() -> MitigationConfig;
-    let mitigations: [(&str, MitigationCtor); 3] = [
+    let mitigations: [(&str, MitigationCtor); 5] = [
         ("prac", || MitigationConfig::prac(500)),
         ("mopac_c", || MitigationConfig::mopac_c(500)),
         ("mopac_d", || MitigationConfig::mopac_d(500)),
+        ("qprac", || MitigationConfig::qprac(500)),
+        ("cnc_prac", || MitigationConfig::cnc_prac(500)),
     ];
     let policies = [
         ("open", PagePolicy::Open),
