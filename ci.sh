@@ -31,11 +31,33 @@ if [[ $fast -eq 0 ]]; then
   step "kernel equivalence suite (release)"
   cargo test -q -p mopac-sim --test kernel_equivalence --release
 
-  # Throughput trend line: simulated cycles/sec for both kernels on an
-  # idle-heavy and a saturated workload; writes BENCH_kernel.json at
-  # the workspace root.
-  step "kernel throughput bench"
+  # Throughput trend line: simulated cycles/sec for both kernels on
+  # idle-heavy, saturated and mixed-phase workloads; writes
+  # BENCH_kernel.json at the workspace root. The saturated event-kernel
+  # number is gated against the committed baseline: the incremental
+  # scheduler index is the whole point of that path, so a >10% drop
+  # fails CI.
+  step "kernel throughput bench (with saturated-attack regression gate)"
+  extract_cps() {
+    awk -F'"cycles_per_sec": ' "/$1\\/$2/ {gsub(/[^0-9.]/, \"\", \$2); print \$2}" BENCH_kernel.json
+  }
+  baseline_cps=""
+  if [[ -f BENCH_kernel.json ]]; then
+    baseline_cps=$(extract_cps saturated_attack event)
+  fi
   cargo bench --bench kernel_throughput
+  if [[ -n "$baseline_cps" ]]; then
+    new_cps=$(extract_cps saturated_attack event)
+    awk -v new="$new_cps" -v old="$baseline_cps" 'BEGIN {
+      if (new + 0 < 0.9 * old) {
+        printf "FAIL: saturated_attack/event regressed: %.0f < 90%% of committed baseline %.0f cycles/sec\n", new, old
+        exit 1
+      }
+      printf "saturated_attack/event: %.0f cycles/sec (committed baseline %.0f, gate 90%%)\n", new, old
+    }'
+  else
+    echo "no committed BENCH_kernel.json baseline; regression gate skipped"
+  fi
 
   # Security gate: every engine in the mitigation registry versus the
   # attack battery at a reduced cycle budget; any oracle violation

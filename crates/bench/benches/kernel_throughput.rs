@@ -1,17 +1,22 @@
 //! Kernel throughput: simulated cycles per wall-clock second for the
-//! lockstep and event-driven kernels, on the two workload shapes that
+//! lockstep and event-driven kernels, on the three workload shapes that
 //! bracket the design space.
 //!
 //! - `idle_heavy`: a single low-MPKI core whose huge inter-request gaps
 //!   leave the machine idle most of the time. This is the event
 //!   kernel's best case — it should win by well over 5x.
 //! - `saturated_attack`: back-to-back same-bank row conflicts keep the
-//!   controller busy nearly every cycle, so there is nothing to skip.
-//!   The event kernel must not regress here (its wake computation only
-//!   runs on zero-progress cycles).
+//!   controller busy nearly every cycle. The incremental scheduler
+//!   index earns its keep here: busy cycles between commands are
+//!   provable no-ops served from the cached wake instead of full
+//!   rescans.
+//! - `mixed_phase`: alternating idle and attack bursts, exercising the
+//!   cache-invalidate/recompute churn at every phase boundary.
 //!
 //! Results print as a table and land in workspace-root
-//! `BENCH_kernel.json` for the CI trend line.
+//! `BENCH_kernel.json` for the CI trend line (ci.sh fails if
+//! `saturated_attack/event` drops more than 10% below the committed
+//! baseline).
 
 use mopac::config::MitigationConfig;
 use mopac_cpu::trace::{ReplayTrace, TraceRecord, TraceSource};
@@ -54,6 +59,33 @@ fn saturated_trace() -> Box<dyn TraceSource> {
         })
         .collect();
     Box::new(ReplayTrace::new("saturated_attack", records))
+}
+
+/// Bursts of 8 gapless same-bank conflicts alternating with bursts of
+/// 8 widely spaced distant lines: the scheduler flips between saturated
+/// and idle every few hundred cycles, so the wake cache is repeatedly
+/// built, consumed and invalidated at the phase boundaries.
+fn mixed_phase_trace() -> Box<dyn TraceSource> {
+    let geom = DramGeometry::tiny();
+    let row_bytes = u64::from(geom.row_bytes);
+    let records = (0..64u64)
+        .map(|i| {
+            if (i / 8) % 2 == 0 {
+                TraceRecord {
+                    gap: 0,
+                    addr: PhysAddr::new((i % 2) * row_bytes * 64 + (i / 2) * 64),
+                    is_write: false,
+                }
+            } else {
+                TraceRecord {
+                    gap: 2_000,
+                    addr: PhysAddr::new(i * 64 * 131),
+                    is_write: false,
+                }
+            }
+        })
+        .collect();
+    Box::new(ReplayTrace::new("mixed_phase", records))
 }
 
 struct Sample {
@@ -111,6 +143,8 @@ fn main() {
         run("idle_heavy", KernelMode::EventDriven, 400_000, idle_heavy_trace),
         run("saturated_attack", KernelMode::Lockstep, 200_000, saturated_trace),
         run("saturated_attack", KernelMode::EventDriven, 200_000, saturated_trace),
+        run("mixed_phase", KernelMode::Lockstep, 200_000, mixed_phase_trace),
+        run("mixed_phase", KernelMode::EventDriven, 200_000, mixed_phase_trace),
     ];
     let mut json = String::from("{\n");
     for (i, s) in samples.iter().enumerate() {

@@ -13,9 +13,10 @@ use mopac_cpu::trace::TraceSource;
 use mopac_memctrl::mapping::{AddressMapper, Mapping};
 use mopac_sim::experiment::{build_traces, run_workload};
 use mopac_sim::system::SystemConfig;
+use mopac_types::collections::{bank_row_key, DetCounter};
 use mopac_types::geometry::DramGeometry;
 use mopac_workloads::spec::{all_names, paper_stats};
-use std::collections::HashMap;
+use std::collections::VecDeque;
 
 /// Replays ~one tREFW worth of accesses through an untimed row-buffer
 /// model; returns (rows with >= 64 ACTs, rows with >= 200 ACTs), both
@@ -32,8 +33,11 @@ fn hot_rows(name: &str, accesses_per_trefw: u64) -> (f64, f64) {
     let mapper = AddressMapper::new(geom, Mapping::paper_default());
     let cfg = SystemConfig::paper_default(MitigationConfig::baseline(), 0);
     let mut traces = build_traces(name, &cfg).expect("known workload");
-    let mut open: HashMap<u32, std::collections::VecDeque<u32>> = HashMap::new();
-    let mut acts: HashMap<(u32, u32), u32> = HashMap::new();
+    // Flat-indexed reorder windows and a deterministic activation
+    // counter: same accumulator types the library uses, so the table is
+    // reproducible independent of hasher seeding.
+    let mut open: Vec<VecDeque<u32>> = vec![VecDeque::new(); geom.total_banks() as usize];
+    let mut acts = DetCounter::new();
     // The shared LLC absorbs line reuse (hot keys of the Zipf workload)
     // exactly as it does in the timed system.
     let mut llc = mopac_cpu::llc::Llc::paper_default();
@@ -46,9 +50,9 @@ fn hot_rows(name: &str, accesses_per_trefw: u64) -> (f64, f64) {
         }
         let d = mapper.decode(rec.addr);
         let flat = geom.flat_bank(d.bank.subchannel, d.bank.bank);
-        let window = open.entry(flat).or_default();
+        let window = &mut open[flat as usize];
         if !window.contains(&d.row) {
-            *acts.entry((flat, d.row)).or_default() += 1;
+            acts.bump(bank_row_key(flat, d.row));
             window.push_back(d.row);
             if window.len() > REORDER_WINDOW {
                 window.pop_front();
@@ -56,8 +60,9 @@ fn hot_rows(name: &str, accesses_per_trefw: u64) -> (f64, f64) {
         }
     }
     let scale = accesses_per_trefw as f64 / cap as f64;
-    let a64 = acts.values().filter(|&&c| f64::from(c) * scale >= 64.0).count();
-    let a200 = acts.values().filter(|&&c| f64::from(c) * scale >= 200.0).count();
+    let counts = acts.counts();
+    let a64 = counts.iter().filter(|&&c| f64::from(c) * scale >= 64.0).count();
+    let a200 = counts.iter().filter(|&&c| f64::from(c) * scale >= 200.0).count();
     let banks = f64::from(geom.total_banks());
     (a64 as f64 / banks, a200 as f64 / banks)
 }

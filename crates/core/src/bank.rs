@@ -181,6 +181,14 @@ impl BankMitigation {
     pub fn srq_occupancy(&self) -> Vec<usize> {
         self.engine.srq_occupancy()
     }
+
+    /// Generation counter of the engine's [`TimingDemands`]; the device
+    /// re-queries the demands whenever this changes (see
+    /// [`crate::engine::MitigationEngine::demands_epoch`]).
+    #[must_use]
+    pub fn demands_epoch(&self) -> u64 {
+        self.engine.demands_epoch()
+    }
 }
 
 #[cfg(test)]

@@ -140,6 +140,21 @@ pub trait MitigationEngine: std::fmt::Debug + Send {
         Vec::new()
     }
 
+    /// Generation counter for [`MitigationEngine::timing_demands`].
+    ///
+    /// The device caches the demands at construction; an engine whose
+    /// demands can change at runtime (e.g. an adaptive design switching
+    /// timing sets under attack pressure) must bump this after every
+    /// change. The device re-queries the demands when it observes a new
+    /// value, and the memory controller treats the change as a
+    /// scheduler-index invalidation event (its cached wake and
+    /// `TimingDemands`-derived knobs — PREcu coin, row-open cap — are
+    /// refreshed). All shipped engines have static demands, hence the
+    /// constant default.
+    fn demands_epoch(&self) -> u64 {
+        0
+    }
+
     /// Clones the engine behind the trait object
     /// ([`crate::bank::BankMitigation`] and the DRAM device derive
     /// `Clone`).

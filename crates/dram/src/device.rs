@@ -122,6 +122,10 @@ struct SubChannel {
     /// Activations since the last ALERT completed (ABO requires a
     /// non-zero count before re-asserting).
     acts_since_alert: u64,
+    /// Bit `b` set iff bank `b` has an open row. Maintained on
+    /// ACT/PRE so the controller's scheduler index can sweep open banks
+    /// without polling every bank's row state.
+    open_mask: u64,
 }
 
 /// The simulated DRAM device.
@@ -143,6 +147,12 @@ pub struct DramDevice {
     drop_rfms: u32,
     /// Fault hook: extra stall cycles added to every RFM.
     rfm_extra_stall: Cycle,
+    /// Bumped whenever a bank engine's [`TimingDemands`] change is
+    /// observed (see [`Self::demands_generation`]).
+    demands_generation: u64,
+    /// Last [`mopac::engine::MitigationEngine::demands_epoch`] observed
+    /// per flat bank.
+    demands_seen: Vec<u64>,
 }
 
 impl DramDevice {
@@ -155,6 +165,12 @@ impl DramDevice {
     pub fn new(cfg: DramConfig) -> Self {
         let geom = cfg.geometry;
         assert!(geom.subchannels > 0 && geom.banks_per_subchannel > 0);
+        // The open-banks mask (and the controller's scheduler-index
+        // masks layered on it) pack one bit per bank into a u64.
+        assert!(
+            geom.banks_per_subchannel <= 64,
+            "bank masks require <= 64 banks per sub-channel"
+        );
         let rng = DetRng::from_seed(cfg.seed);
         let subchannels = (0..geom.subchannels)
             .map(|sc| {
@@ -187,8 +203,15 @@ impl DramDevice {
                     ref_group: 0,
                     alert_since: None,
                     acts_since_alert: 1,
+                    open_mask: 0,
                 }
             })
+            .collect();
+        let subchannels: Vec<SubChannel> = subchannels;
+        let demands_seen = subchannels
+            .iter()
+            .flat_map(|s: &SubChannel| &s.banks)
+            .map(|b| b.mitigation().demands_epoch())
             .collect();
         Self {
             demands: TimingDemands::for_config(&cfg.mitigation),
@@ -201,6 +224,8 @@ impl DramDevice {
             stats: DramStats::default(),
             drop_rfms: 0,
             rfm_extra_stall: 0,
+            demands_generation: 0,
+            demands_seen,
         }
     }
 
@@ -293,6 +318,46 @@ impl DramDevice {
         self.sub(sc).alert_since
     }
 
+    /// Bitmask of banks with an open row on `sc` (bit `b` set iff bank
+    /// `b` is open). Maintained incrementally on ACT/PRE; geometry is
+    /// capped at 64 banks per sub-channel so the mask always fits.
+    #[must_use]
+    pub fn open_banks_mask(&self, sc: u32) -> u64 {
+        self.sub(sc).open_mask
+    }
+
+    /// Generation counter of the cached [`TimingDemands`]: bumped every
+    /// time a bank engine reports a new
+    /// [`mopac::engine::MitigationEngine::demands_epoch`] after a
+    /// lifecycle call, at which point the cached demands are re-queried
+    /// from that engine. The memory controller compares this against its
+    /// own snapshot to refresh demand-derived knobs (PREcu coin,
+    /// row-open cap) and invalidate its scheduler index.
+    #[must_use]
+    pub fn demands_generation(&self) -> u64 {
+        self.demands_generation
+    }
+
+    /// Re-polls one bank's engine for a [`TimingDemands`] change after a
+    /// lifecycle event routed to it.
+    fn poll_demands(&mut self, sc: u32, bank: u32) {
+        let flat = self.cfg.geometry.flat_bank(sc, bank) as usize;
+        let epoch = self.sub(sc).banks[bank as usize].mitigation().demands_epoch();
+        if self.demands_seen[flat] != epoch {
+            self.demands_seen[flat] = epoch;
+            self.demands = self.sub(sc).banks[bank as usize].mitigation().timing_demands();
+            self.demands_generation += 1;
+        }
+    }
+
+    /// Re-polls every bank of `sc` (REF / RFM fan lifecycle calls out to
+    /// all engines).
+    fn poll_demands_all(&mut self, sc: u32) {
+        for bank in 0..self.cfg.geometry.banks_per_subchannel {
+            self.poll_demands(sc, bank);
+        }
+    }
+
     /// Earliest cycle an ACT to (sc, bank) may issue, or `None` if the
     /// bank is open.
     #[must_use]
@@ -343,12 +408,14 @@ impl DramDevice {
         let (base, prac) = (self.base, self.prac);
         let s = self.sub_mut(sc);
         s.banks[bank as usize].activate(row, now, selected, &base, &prac);
+        s.open_mask |= 1 << bank;
         s.last_act = Some(now);
         s.faw[s.faw_idx] = now;
         s.faw_idx = (s.faw_idx + 1) % 4;
         s.faw_filled = (s.faw_filled + 1).min(4);
         s.acts_since_alert += 1;
         self.stats.activates += 1;
+        self.poll_demands(sc, bank);
         self.refresh_alert_line(sc, now);
         Ok(())
     }
@@ -469,10 +536,12 @@ impl DramDevice {
                 "PRE accepted on closed bank sc{sc}/bank{bank}"
             )));
         }
+        s.open_mask &= !(1 << bank);
         match kind {
             PrechargeKind::Normal => self.stats.precharges += 1,
             PrechargeKind::CounterUpdate => self.stats.precharges_cu += 1,
         }
+        self.poll_demands(sc, bank);
         self.refresh_alert_line(sc, now);
         Ok(())
     }
@@ -592,6 +661,7 @@ impl DramDevice {
         self.stats.refreshes += 1;
         self.stats.deferred_updates += deferred;
         self.stats.mitigations += mitigations;
+        self.poll_demands_all(sc);
         self.refresh_alert_line(sc, now);
         Ok(())
     }
@@ -659,6 +729,7 @@ impl DramDevice {
         self.stats.rfms += 1;
         self.stats.mitigations += mitigations;
         self.stats.deferred_updates += updates;
+        self.poll_demands_all(sc);
         // A bank may *still* need service (e.g. more SRQ entries than one
         // ABO drains); it may re-assert after the next activation.
         self.refresh_alert_line(sc, now);

@@ -7,6 +7,7 @@
 //! per sub-channel per cycle (the command bus).
 
 use crate::mapping::AddressMapper;
+use crate::sched_index::{QueueCounts, SubIndex};
 use mopac_dram::device::DramDevice;
 use mopac_types::addr::{DecodedAddr, PhysAddr};
 use mopac_types::error::{MopacError, MopacResult};
@@ -160,6 +161,13 @@ pub struct MemoryController {
     /// `PREcu` (MoPAC-C). `None` keeps the RNG stream untouched.
     precu_p: Option<f64>,
     row_press_cap: Option<Cycle>,
+    /// Per-sub-channel scheduler index: incrementally maintained
+    /// per-bank queue counts plus the cached next-wake (see
+    /// `sched_index` and DESIGN.md §10).
+    idx: Vec<SubIndex>,
+    /// Last [`DramDevice::demands_generation`] observed; on change the
+    /// demand-derived knobs refresh and every index invalidates.
+    demands_gen_seen: u64,
 }
 
 impl MemoryController {
@@ -185,10 +193,15 @@ impl MemoryController {
         let demands = dram.timing_demands();
         let clock = dram.clock();
         let row_press_cap = demands.row_open_cap_ns.map(|ns| clock.ns_to_cycles(ns));
+        let idx = (0..dram.config().geometry.subchannels)
+            .map(|_| SubIndex::new(banks))
+            .collect();
         Self {
             rng: DetRng::from_seed(cfg.seed),
             precu_p: demands.precu_probability,
             row_press_cap,
+            demands_gen_seen: dram.demands_generation(),
+            idx,
             dram,
             cfg,
             subs,
@@ -203,7 +216,16 @@ impl MemoryController {
     }
 
     /// Mutable access to the DRAM device (fault-injection hooks).
+    ///
+    /// Any external mutation can move timing gates or assert ALERT, so
+    /// every sub-channel's cached wake is invalidated up front. (The
+    /// per-bank queue counts stay valid: no external hook opens or
+    /// closes a row, and the counts depend only on queue contents and
+    /// open rows.)
     pub fn dram_mut(&mut self) -> &mut DramDevice {
+        for idx in &mut self.idx {
+            idx.invalidate();
+        }
         &mut self.dram
     }
 
@@ -229,19 +251,31 @@ impl MemoryController {
         if !self.can_accept(req.addr.bank.subchannel, req.kind) {
             return false;
         }
-        let s = &mut self.subs[req.addr.bank.subchannel as usize];
+        let sc = req.addr.bank.subchannel;
+        let bank = req.addr.bank.bank;
+        let hit = self
+            .dram
+            .open_row(sc, bank)
+            .is_some_and(|o| o.row == req.addr.row);
+        let s = &mut self.subs[sc as usize];
+        let idx = &mut self.idx[sc as usize];
         let p = Pending {
             id: req.id,
             addr: req.addr,
             arrival: now,
         };
         match req.kind {
-            AccessKind::Read => s.reads.push_back(p),
+            AccessKind::Read => {
+                s.reads.push_back(p);
+                idx.reads.on_enqueue(bank, hit);
+            }
             AccessKind::Write => {
                 s.writes.push_back(p);
+                idx.writes.on_enqueue(bank, hit);
                 self.stats.writes_done += 1;
             }
         }
+        idx.invalidate();
         true
     }
 
@@ -286,6 +320,21 @@ impl MemoryController {
     /// gates before issuing), so an error indicates a scheduler bug or
     /// an injected fault surfacing.
     pub fn tick(&mut self, now: Cycle, completions: &mut Vec<Completion>) -> MopacResult<u32> {
+        // Engines publish TimingDemands changes through the device's
+        // generation counter; observe them at tick boundaries (one u64
+        // compare per cycle), refresh the demand-derived knobs and
+        // invalidate every scheduler index.
+        if self.demands_gen_seen != self.dram.demands_generation() {
+            self.demands_gen_seen = self.dram.demands_generation();
+            let demands = self.dram.timing_demands();
+            self.precu_p = demands.precu_probability;
+            self.row_press_cap = demands
+                .row_open_cap_ns
+                .map(|ns| self.dram.clock().ns_to_cycles(ns));
+            for idx in &mut self.idx {
+                idx.invalidate();
+            }
+        }
         let mut issued = 0;
         for sc in 0..self.subs.len() as u32 {
             issued += u32::from(self.tick_subchannel(sc, now, completions)?);
@@ -299,6 +348,29 @@ impl MemoryController {
         now: Cycle,
         completions: &mut Vec<Completion>,
     ) -> MopacResult<bool> {
+        // Fast path: a valid cached wake strictly after `now` proves
+        // this tick is a no-op — the wake enumeration covers every
+        // command opportunity and mode boundary, and the epoch proves
+        // nothing changed since it was computed. Replicate exactly the
+        // per-cycle stats a full no-op tick would have recorded (the
+        // same accounting `note_idle_cycles` uses for skipped regions)
+        // and return without scanning anything.
+        if self.idx[sc as usize].valid_wake().is_some_and(|w| now < w) {
+            let s = &self.subs[sc as usize];
+            let abo_stalled = self
+                .dram
+                .alert_since(sc)
+                .is_some_and(|a| now >= a + self.dram.abo_timing().normal_window);
+            if abo_stalled {
+                self.stats.abo_stall_cycles += 1;
+            } else if now >= s.next_ref {
+                self.stats.refresh_mode_cycles += 1;
+            }
+            if !s.reads.is_empty() || !s.writes.is_empty() {
+                self.stats.idle_with_work += 1;
+            }
+            return Ok(false);
+        }
         let had_work = {
             let s = &self.subs[sc as usize];
             !s.reads.is_empty() || !s.writes.is_empty()
@@ -306,6 +378,13 @@ impl MemoryController {
         let issued = self.tick_subchannel_inner(sc, now, completions)?;
         if had_work && !issued {
             self.stats.idle_with_work += 1;
+        }
+        if !issued {
+            // A full tick found nothing to do: cache when something
+            // could next happen, so the following cycles take the O(1)
+            // path above (and `next_wake` answers from the cache).
+            let wake = self.compute_wake(sc, now);
+            self.idx[sc as usize].store_wake(wake, now);
         }
         Ok(issued)
     }
@@ -329,11 +408,24 @@ impl MemoryController {
     #[must_use]
     pub fn next_wake(&self, now: Cycle) -> Option<Cycle> {
         (0..self.subs.len() as u32)
-            .filter_map(|sc| self.next_wake_subchannel(sc, now))
+            .filter_map(|sc| {
+                // Serve from the scheduler-index cache when it is still
+                // valid and strictly ahead; otherwise recompute purely
+                // (`next_wake` takes `&self`, so only the tick path
+                // stores caches).
+                match self.idx[sc as usize].valid_wake() {
+                    Some(w) if w > now => Some(w),
+                    _ => self.compute_wake(sc, now),
+                }
+            })
             .min()
     }
 
-    fn next_wake_subchannel(&self, sc: u32, now: Cycle) -> Option<Cycle> {
+    /// Full wake enumeration for one sub-channel (the reference the
+    /// cache stores). Structure mirrors `tick_subchannel_inner`'s
+    /// decision tree; the per-queue candidates come from the scheduler
+    /// index's per-bank counts instead of per-request rescans.
+    fn compute_wake(&self, sc: u32, now: Cycle) -> Option<Cycle> {
         let s = &self.subs[sc as usize];
         let device = self.dram.next_wake(sc, now);
         // A candidate at or before `now` means the model thinks the
@@ -354,10 +446,12 @@ impl MemoryController {
         // Normal mode: the refresh deadline is always pending (and the
         // ALERT deadline was merged via the device wake above).
         let mut wake = min_opt(Some(clamp(s.next_ref)), device);
-        let banks = self.dram.config().geometry.banks_per_subchannel;
         // Row-Press force close.
         if let Some(cap) = self.row_press_cap {
-            for b in 0..banks {
+            let mut m = self.dram.open_banks_mask(sc);
+            while m != 0 {
+                let b = m.trailing_zeros();
+                m &= m - 1;
                 if let Some(open) = self.dram.open_row(sc, b) {
                     if let Some(ep) = self.dram.earliest_precharge(sc, b) {
                         wake = min_opt(wake, Some(clamp(ep.max(open.opened_at + cap))));
@@ -367,8 +461,11 @@ impl MemoryController {
         }
         // Strict close-page: a used bank closes as soon as tRTP allows.
         if self.cfg.page_policy == PagePolicy::Closed {
-            for b in 0..banks {
-                if s.cols_since_act[b as usize] >= 1 && self.dram.open_row(sc, b).is_some() {
+            let mut m = self.dram.open_banks_mask(sc);
+            while m != 0 {
+                let b = m.trailing_zeros();
+                m &= m - 1;
+                if s.cols_since_act[b as usize] >= 1 {
                     if let Some(ep) = self.dram.earliest_precharge(sc, b) {
                         wake = min_opt(wake, Some(clamp(ep)));
                     }
@@ -385,26 +482,41 @@ impl MemoryController {
         } else {
             start
         };
-        let (pref, off) = if draining {
-            (&s.writes, &s.reads)
+        let idx = &self.idx[sc as usize];
+        let (pref_counts, off_counts) = if draining {
+            (&idx.writes, &idx.reads)
         } else {
-            (&s.reads, &s.writes)
+            (&idx.reads, &idx.writes)
         };
-        wake = min_opt(wake, self.queue_wake(sc, s, pref, false).map(clamp));
-        wake = min_opt(wake, self.queue_wake(sc, s, off, true).map(clamp));
+        wake = min_opt(wake, self.queue_wake(sc, s, pref_counts, false).map(clamp));
+        wake = min_opt(wake, self.queue_wake(sc, s, off_counts, true).map(clamp));
+        // Anti-starvation onset: once the preferred queue's front
+        // crosses the starvation age, `issue_from` may act where normal
+        // scheduling would not (a conflict PRE despite queued hits, a
+        // close-page column past its quota), so the crossing itself is
+        // a wake candidate. An already-starved front needs none: its
+        // action is gated by device timing, and those gate releases are
+        // merged via the device wake above. Early-only, never late.
+        let pref_front = if draining {
+            s.writes.front()
+        } else {
+            s.reads.front()
+        };
+        if let Some(p) = pref_front {
+            let onset = p.arrival + self.cfg.starvation_cycles + 1;
+            if onset > now {
+                wake = min_opt(wake, Some(onset));
+            }
+        }
         // Idle housekeeping per page policy.
         match self.cfg.page_policy {
             PagePolicy::Open => {}
             PagePolicy::Closed | PagePolicy::ClosedIdle => {
-                for b in 0..banks {
-                    let Some(open) = self.dram.open_row(sc, b) else {
-                        continue;
-                    };
-                    let wanted = s
-                        .reads
-                        .iter()
-                        .chain(s.writes.iter())
-                        .any(|p| p.addr.bank.bank == b && p.addr.row == open.row);
+                let mut m = self.dram.open_banks_mask(sc);
+                while m != 0 {
+                    let b = m.trailing_zeros();
+                    m &= m - 1;
+                    let wanted = idx.reads.hits(b) + idx.writes.hits(b) > 0;
                     if !wanted {
                         if let Some(ep) = self.dram.earliest_precharge(sc, b) {
                             wake = min_opt(wake, Some(clamp(ep)));
@@ -414,7 +526,10 @@ impl MemoryController {
             }
             PagePolicy::TimeoutNs(ns) => {
                 let cap = (ns * 3.0) as Cycle;
-                for b in 0..banks {
+                let mut m = self.dram.open_banks_mask(sc);
+                while m != 0 {
+                    let b = m.trailing_zeros();
+                    m &= m - 1;
                     let Some(open) = self.dram.open_row(sc, b) else {
                         continue;
                     };
@@ -428,52 +543,45 @@ impl MemoryController {
         wake
     }
 
-    /// Wake candidates for one queue: the command each request is
-    /// waiting for, at the cycle its device gate releases.
+    /// Wake candidates for one queue, enumerated per bank from the
+    /// scheduler index instead of per request: all queued hits on a
+    /// bank share its column gate, all conflicts share its PRE gate
+    /// (and exist iff `hits == 0` while requests are queued), and all
+    /// closed-bank requests share its ACT gate — so the per-request
+    /// minimum collapses to one candidate per occupied bank.
     fn queue_wake(
         &self,
         sc: u32,
         s: &SubState,
-        q: &VecDeque<Pending>,
+        counts: &QueueCounts,
         hits_only: bool,
     ) -> Option<Cycle> {
         let closed_policy = self.cfg.page_policy == PagePolicy::Closed;
         let mut wake: Option<Cycle> = None;
-        for p in q {
-            let bank = p.addr.bank.bank;
-            let cand = match self.dram.open_row(sc, bank) {
-                Some(open) if open.row == p.addr.row => {
-                    if closed_policy && s.cols_since_act[bank as usize] >= 1 {
-                        // Already served its one column; the close-page
-                        // PRE candidate covers progress for this bank.
-                        None
-                    } else {
-                        self.dram.earliest_column(sc, bank, p.addr.row)
-                    }
-                }
+        let mut m = counts.occ_mask();
+        while m != 0 {
+            let bank = m.trailing_zeros();
+            m &= m - 1;
+            match self.dram.open_row(sc, bank) {
                 Some(open) => {
-                    if hits_only {
-                        None
-                    } else {
-                        // Conflict: close, unless queued hits still want
-                        // the open row.
-                        let has_hits = q
-                            .iter()
-                            .any(|o| o.addr.bank.bank == bank && o.addr.row == open.row);
-                        (!has_hits)
-                            .then(|| self.dram.earliest_precharge(sc, bank))
-                            .flatten()
+                    if counts.hits(bank) > 0 {
+                        if !(closed_policy && s.cols_since_act[bank as usize] >= 1) {
+                            wake = min_opt(wake, self.dram.earliest_column(sc, bank, open.row));
+                        }
+                        // Conflicts behind queued hits wait for the hits
+                        // (`has_hits` in the issue path); no candidate.
+                    } else if !hits_only {
+                        // Everything queued for this bank is a conflict:
+                        // close at the PRE gate.
+                        wake = min_opt(wake, self.dram.earliest_precharge(sc, bank));
                     }
                 }
                 None => {
-                    if hits_only {
-                        None
-                    } else {
-                        self.dram.earliest_activate(sc, bank)
+                    if !hits_only {
+                        wake = min_opt(wake, self.dram.earliest_activate(sc, bank));
                     }
                 }
-            };
-            wake = min_opt(wake, cand);
+            }
         }
         wake
     }
@@ -482,20 +590,17 @@ impl MemoryController {
     /// on an open bank, or — once every bank is closed — the cycle the
     /// REF/RFM itself becomes legal.
     fn drain_wake(&self, sc: u32) -> Option<Cycle> {
-        let banks = self.dram.config().geometry.banks_per_subchannel;
-        let mut any_open = false;
+        let mut m = self.dram.open_banks_mask(sc);
+        if m == 0 {
+            return self.dram.earliest_refresh(sc);
+        }
         let mut wake: Option<Cycle> = None;
-        for b in 0..banks {
-            if self.dram.open_row(sc, b).is_some() {
-                any_open = true;
-                wake = min_opt(wake, self.dram.earliest_precharge(sc, b));
-            }
+        while m != 0 {
+            let b = m.trailing_zeros();
+            m &= m - 1;
+            wake = min_opt(wake, self.dram.earliest_precharge(sc, b));
         }
-        if any_open {
-            wake
-        } else {
-            self.dram.earliest_refresh(sc)
-        }
+        wake
     }
 
     /// Bulk stat compensation for cycles an event-driven kernel skipped:
@@ -551,6 +656,7 @@ impl MemoryController {
                     && self.dram.earliest_refresh(sc).is_some_and(|e| e <= now)
                 {
                     self.dram.rfm(sc, now)?;
+                    self.idx[sc as usize].invalidate();
                     self.stats.rfms_issued += 1;
                     return Ok(true);
                 }
@@ -569,6 +675,7 @@ impl MemoryController {
             {
                 let t_refi = self.dram.timing_default().t_refi;
                 self.dram.refresh(sc, now)?;
+                self.idx[sc as usize].invalidate();
                 self.subs[sc as usize].next_ref += t_refi;
                 return Ok(true);
             }
@@ -607,16 +714,17 @@ impl MemoryController {
     /// Strict close-page: closes one bank whose open row has already
     /// serviced a column command.
     fn close_used_bank(&mut self, sc: u32, now: Cycle) -> MopacResult<bool> {
-        let banks = self.dram.config().geometry.banks_per_subchannel;
-        for b in 0..banks {
+        let mut m = self.dram.open_banks_mask(sc);
+        while m != 0 {
+            let b = m.trailing_zeros();
+            m &= m - 1;
             if self.subs[sc as usize].cols_since_act[b as usize] >= 1
-                && self.dram.open_row(sc, b).is_some()
                 && self
                     .dram
                     .earliest_precharge(sc, b)
                     .is_some_and(|e| e <= now)
             {
-                self.dram.precharge(sc, b, now)?;
+                self.issue_pre(sc, b, now)?;
                 return Ok(true);
             }
         }
@@ -705,7 +813,7 @@ impl MemoryController {
                         .earliest_precharge(sc, bank)
                         .is_some_and(|e| e <= now)
                     {
-                        self.dram.precharge(sc, bank, now)?;
+                        self.issue_pre(sc, bank, now)?;
                         return Ok(true);
                     }
                 }
@@ -722,19 +830,53 @@ impl MemoryController {
             }
         }
         // Phase (a): oldest ready row hit. Under strict close-page a
-        // bank serves exactly one column per activation.
+        // bank serves exactly one column per activation. A request can
+        // only be a ready hit if its bank has queued hits on the open
+        // row (`hits_mask`), the policy allows another column, and the
+        // bank's column gate has released — all per-bank facts. Build
+        // that eligibility mask once, then a single queue scan finds
+        // the oldest request matching an eligible bank's open row:
+        // exactly the request the per-request scan would pick, because
+        // `earliest_column(sc, bank, row)` releases only for the open
+        // row of an open bank.
         let closed_policy = self.cfg.page_policy == PagePolicy::Closed;
         let hit_idx = {
             let s = &self.subs[sc as usize];
-            let q = if writes { &s.writes } else { &s.reads };
-            q.iter().position(|p| {
-                let bank = p.addr.bank.bank;
-                (!closed_policy || s.cols_since_act[bank as usize] == 0)
-                    && self
-                        .dram
-                        .earliest_column(sc, bank, p.addr.row)
-                        .is_some_and(|e| e <= now)
-            })
+            let counts = if writes {
+                &self.idx[sc as usize].writes
+            } else {
+                &self.idx[sc as usize].reads
+            };
+            let mut elig: u64 = 0;
+            let mut rows = [0u32; 64];
+            let mut m = counts.hits_mask();
+            while m != 0 {
+                let bank = m.trailing_zeros();
+                m &= m - 1;
+                if closed_policy && s.cols_since_act[bank as usize] >= 1 {
+                    continue;
+                }
+                let Some(open) = self.dram.open_row(sc, bank) else {
+                    continue;
+                };
+                if self
+                    .dram
+                    .earliest_column(sc, bank, open.row)
+                    .is_some_and(|e| e <= now)
+                {
+                    elig |= 1 << bank;
+                    rows[bank as usize] = open.row;
+                }
+            }
+            if elig == 0 {
+                None
+            } else {
+                let q = if writes { &s.writes } else { &s.reads };
+                q.iter().position(|p| {
+                    let bank = p.addr.bank.bank;
+                    (elig >> bank) & 1 == 1 && p.addr.row == rows[bank as usize]
+                })
+            }
         };
         if let Some(idx) = hit_idx {
             self.issue_column(sc, now, writes, idx, completions)?;
@@ -743,46 +885,67 @@ impl MemoryController {
         if hits_only {
             return Ok(false);
         }
-        // Phase (b): oldest request needing bank preparation.
+        // Phase (b): oldest request needing bank preparation. Per bank:
+        // an open bank whose queued requests are all conflicts
+        // (`hits == 0` — the O(1) form of the old has-surviving-hits
+        // rescan) wants a PRE; a closed occupied bank wants an ACT.
+        // Gate each candidate bank by its device timing, then one queue
+        // scan picks the oldest request whose bank can act — preserving
+        // the per-request loop's selection order exactly (hits skip
+        // both masks: their bank is open with `hits > 0`).
         let prep = {
-            let s = &self.subs[sc as usize];
-            let q = if writes { &s.writes } else { &s.reads };
-            let mut action = None;
-            for p in q {
-                let bank = p.addr.bank.bank;
-                match self.dram.open_row(sc, bank) {
-                    Some(open) if open.row == p.addr.row => {
-                        // tCCD/tRCD not yet satisfied; keep waiting.
-                    }
-                    Some(open) => {
-                        // Conflict: close, unless queued hits still want
-                        // the open row.
-                        let has_hits = q
-                            .iter()
-                            .any(|o| o.addr.bank.bank == bank && o.addr.row == open.row);
-                        if !has_hits
-                            && self
-                                .dram
-                                .earliest_precharge(sc, bank)
-                                .is_some_and(|e| e <= now)
-                        {
-                            action = Some((bank, None));
-                            break;
-                        }
-                    }
-                    None => {
-                        if self
-                            .dram
-                            .earliest_activate(sc, bank)
-                            .is_some_and(|e| e <= now)
-                        {
-                            action = Some((bank, Some(p.addr.row)));
-                            break;
-                        }
-                    }
+            let counts = if writes {
+                &self.idx[sc as usize].writes
+            } else {
+                &self.idx[sc as usize].reads
+            };
+            let occ = counts.occ_mask();
+            let open_mask = self.dram.open_banks_mask(sc);
+            let mut pre_mask: u64 = 0;
+            let mut m = occ & open_mask & !counts.hits_mask();
+            while m != 0 {
+                let bank = m.trailing_zeros();
+                m &= m - 1;
+                if self
+                    .dram
+                    .earliest_precharge(sc, bank)
+                    .is_some_and(|e| e <= now)
+                {
+                    pre_mask |= 1 << bank;
                 }
             }
-            action
+            let mut act_mask: u64 = 0;
+            let mut m = occ & !open_mask;
+            while m != 0 {
+                let bank = m.trailing_zeros();
+                m &= m - 1;
+                if self
+                    .dram
+                    .earliest_activate(sc, bank)
+                    .is_some_and(|e| e <= now)
+                {
+                    act_mask |= 1 << bank;
+                }
+            }
+            if pre_mask | act_mask == 0 {
+                None
+            } else {
+                let s = &self.subs[sc as usize];
+                let q = if writes { &s.writes } else { &s.reads };
+                let mut action = None;
+                for p in q {
+                    let bank = p.addr.bank.bank;
+                    if (pre_mask >> bank) & 1 == 1 {
+                        action = Some((bank, None));
+                        break;
+                    }
+                    if (act_mask >> bank) & 1 == 1 {
+                        action = Some((bank, Some(p.addr.row)));
+                        break;
+                    }
+                }
+                action
+            }
         };
         match prep {
             Some((bank, Some(row))) => {
@@ -790,7 +953,7 @@ impl MemoryController {
                 Ok(true)
             }
             Some((bank, None)) => {
-                self.dram.precharge(sc, bank, now)?;
+                self.issue_pre(sc, bank, now)?;
                 Ok(true)
             }
             None => Ok(false),
@@ -809,6 +972,27 @@ impl MemoryController {
         let s = &mut self.subs[sc as usize];
         s.last_use[bank as usize] = now;
         s.cols_since_act[bank as usize] = 0;
+        // The ACT changed the bank's open row: recount its hits in both
+        // queues against the new row and kill the wake cache.
+        let s = &self.subs[sc as usize];
+        let idx = &mut self.idx[sc as usize];
+        idx.reads
+            .rescan_bank(bank, row, s.reads.iter().map(|p| (p.addr.bank.bank, p.addr.row)));
+        idx.writes
+            .rescan_bank(bank, row, s.writes.iter().map(|p| (p.addr.bank.bank, p.addr.row)));
+        idx.invalidate();
+        Ok(())
+    }
+
+    /// Issues a PRE and applies its index maintenance: a closed bank
+    /// can have no queued hits, and any DRAM command kills the cached
+    /// wake. Every controller PRE goes through here.
+    fn issue_pre(&mut self, sc: u32, bank: u32, now: Cycle) -> MopacResult<()> {
+        self.dram.precharge(sc, bank, now)?;
+        let idx = &mut self.idx[sc as usize];
+        idx.reads.clear_hits(bank);
+        idx.writes.clear_hits(bank);
+        idx.invalidate();
         Ok(())
     }
 
@@ -829,6 +1013,16 @@ impl MemoryController {
         };
         s.last_use[p.addr.bank.bank as usize] = now;
         s.cols_since_act[p.addr.bank.bank as usize] += 1;
+        // Column commands only serve row hits (both the phase (a) pick
+        // and the starved-front fast path check the open row first), so
+        // the dequeued request is always a hit.
+        let index = &mut self.idx[sc as usize];
+        if writes {
+            index.writes.on_dequeue_hit(p.addr.bank.bank);
+        } else {
+            index.reads.on_dequeue_hit(p.addr.bank.bank);
+        }
+        index.invalidate();
         if writes {
             let _ = self.dram.write(sc, p.addr.bank.bank, now)?;
         } else {
@@ -842,15 +1036,16 @@ impl MemoryController {
 
     /// Closes one open bank if legal; returns whether a PRE was issued.
     fn close_one_open_bank(&mut self, sc: u32, now: Cycle) -> MopacResult<bool> {
-        let banks = self.dram.config().geometry.banks_per_subchannel;
-        for b in 0..banks {
-            if self.dram.open_row(sc, b).is_some()
-                && self
-                    .dram
-                    .earliest_precharge(sc, b)
-                    .is_some_and(|e| e <= now)
+        let mut m = self.dram.open_banks_mask(sc);
+        while m != 0 {
+            let b = m.trailing_zeros();
+            m &= m - 1;
+            if self
+                .dram
+                .earliest_precharge(sc, b)
+                .is_some_and(|e| e <= now)
             {
-                self.dram.precharge(sc, b, now)?;
+                self.issue_pre(sc, b, now)?;
                 return Ok(true);
             }
         }
@@ -858,8 +1053,7 @@ impl MemoryController {
     }
 
     fn all_banks_closed(&self, sc: u32) -> bool {
-        let banks = self.dram.config().geometry.banks_per_subchannel;
-        (0..banks).all(|b| self.dram.open_row(sc, b).is_none())
+        self.dram.open_banks_mask(sc) == 0
     }
 
     /// Closes one bank whose row has been open (`force`) or idle since
@@ -871,8 +1065,10 @@ impl MemoryController {
         cap: Cycle,
         force: bool,
     ) -> MopacResult<bool> {
-        let banks = self.dram.config().geometry.banks_per_subchannel;
-        for b in 0..banks {
+        let mut m = self.dram.open_banks_mask(sc);
+        while m != 0 {
+            let b = m.trailing_zeros();
+            m &= m - 1;
             let Some(open) = self.dram.open_row(sc, b) else {
                 continue;
             };
@@ -887,7 +1083,7 @@ impl MemoryController {
                     .earliest_precharge(sc, b)
                     .is_some_and(|e| e <= now)
             {
-                self.dram.precharge(sc, b, now)?;
+                self.issue_pre(sc, b, now)?;
                 return Ok(true);
             }
         }
@@ -895,29 +1091,82 @@ impl MemoryController {
     }
 
     /// Close-page policy: closes one open bank with no queued hits.
+    /// "No queued hits" is the scheduler index's `hits == 0` — the
+    /// O(1) form of the old full-queue `wanted` scan.
     fn close_unreferenced_bank(&mut self, sc: u32, now: Cycle) -> MopacResult<bool> {
-        let banks = self.dram.config().geometry.banks_per_subchannel;
-        for b in 0..banks {
-            let Some(open) = self.dram.open_row(sc, b) else {
-                continue;
-            };
-            let s = &self.subs[sc as usize];
-            let wanted = s
-                .reads
-                .iter()
-                .chain(s.writes.iter())
-                .any(|p| p.addr.bank.bank == b && p.addr.row == open.row);
+        let mut m = self.dram.open_banks_mask(sc);
+        while m != 0 {
+            let b = m.trailing_zeros();
+            m &= m - 1;
+            let idx = &self.idx[sc as usize];
+            let wanted = idx.reads.hits(b) + idx.writes.hits(b) > 0;
             if !wanted
                 && self
                     .dram
                     .earliest_precharge(sc, b)
                     .is_some_and(|e| e <= now)
             {
-                self.dram.precharge(sc, b, now)?;
+                self.issue_pre(sc, b, now)?;
                 return Ok(true);
             }
         }
         Ok(false)
+    }
+
+    /// Parity check for the scheduler index (property tests): rebuilds
+    /// every [`QueueCounts`] from scratch and compares it with the
+    /// incrementally maintained one, checks the device's open-bank
+    /// mask against per-bank `open_row`, and — when a wake cache is
+    /// valid — recomputes the wake at the cycle it was cached and
+    /// demands an identical answer.
+    #[doc(hidden)]
+    pub fn debug_verify_index(&self) -> Result<(), String> {
+        let banks = self.dram.config().geometry.banks_per_subchannel as usize;
+        for sc in 0..self.subs.len() as u32 {
+            let s = &self.subs[sc as usize];
+            let idx = &self.idx[sc as usize];
+            let open = |b: u32| self.dram.open_row(sc, b).map(|o| o.row);
+            let fresh_r = QueueCounts::rebuild(
+                banks,
+                s.reads.iter().map(|p| (p.addr.bank.bank, p.addr.row)),
+                open,
+            );
+            if fresh_r != idx.reads {
+                return Err(format!("sc{sc}: read counts diverged: {fresh_r:?} vs {:?}", idx.reads));
+            }
+            let fresh_w = QueueCounts::rebuild(
+                banks,
+                s.writes.iter().map(|p| (p.addr.bank.bank, p.addr.row)),
+                open,
+            );
+            if fresh_w != idx.writes {
+                return Err(format!(
+                    "sc{sc}: write counts diverged: {fresh_w:?} vs {:?}",
+                    idx.writes
+                ));
+            }
+            let mut mask = 0u64;
+            for b in 0..banks as u32 {
+                if self.dram.open_row(sc, b).is_some() {
+                    mask |= 1 << b;
+                }
+            }
+            if mask != self.dram.open_banks_mask(sc) {
+                return Err(format!(
+                    "sc{sc}: open mask diverged: recomputed {mask:#x} vs device {:#x}",
+                    self.dram.open_banks_mask(sc)
+                ));
+            }
+            if let (Some(wake), Some(at)) = (idx.valid_wake(), idx.valid_computed_at()) {
+                let fresh = self.compute_wake(sc, at);
+                if fresh != Some(wake) {
+                    return Err(format!(
+                        "sc{sc}: cached wake {wake} (computed at {at}) vs fresh {fresh:?}"
+                    ));
+                }
+            }
+        }
+        Ok(())
     }
 }
 

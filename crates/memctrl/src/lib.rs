@@ -33,6 +33,7 @@
 
 pub mod controller;
 pub mod mapping;
+mod sched_index;
 
 pub use controller::{AccessKind, Completion, McConfig, MemRequest, MemoryController, PagePolicy};
 pub use mapping::{AddressMapper, Mapping};

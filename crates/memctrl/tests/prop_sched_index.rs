@@ -1,0 +1,192 @@
+//! Property tests for the incremental scheduler index.
+//!
+//! The tentpole invariant behind the event-driven fast path: the
+//! per-bank counts and cached wake the controller maintains
+//! incrementally must always agree with a from-scratch rebuild — under
+//! randomized request streams, page policies, injected faults, and
+//! ABO storms — and a published `next_wake` must never be late (no
+//! command can issue strictly before it).
+
+use mopac::config::MitigationConfig;
+use mopac_dram::device::{DramConfig, DramDevice};
+use mopac_memctrl::controller::{
+    AccessKind, Completion, McConfig, MemoryController, PagePolicy,
+};
+use mopac_memctrl::mapping::{AddressMapper, Mapping};
+use mopac_types::addr::PhysAddr;
+use mopac_types::check::prop_check;
+use mopac_types::geometry::DramGeometry;
+use mopac_types::prop_ensure;
+use mopac_types::rng::DetRng;
+use mopac_types::Cycle;
+
+fn mitigations() -> Vec<MitigationConfig> {
+    vec![
+        MitigationConfig::baseline(),
+        MitigationConfig::prac(500),
+        MitigationConfig::mopac_c(500),
+        MitigationConfig::mopac_d(500),
+    ]
+}
+
+fn policies() -> Vec<PagePolicy> {
+    vec![
+        PagePolicy::Open,
+        PagePolicy::Closed,
+        PagePolicy::ClosedIdle,
+        PagePolicy::TimeoutNs(120.0),
+    ]
+}
+
+fn build_mc(mit: MitigationConfig, policy: PagePolicy, seed: u64) -> MemoryController {
+    let mut dram_cfg = DramConfig::tiny(mit);
+    dram_cfg.enable_checker = false;
+    let dram = DramDevice::new(dram_cfg);
+    let cfg = McConfig {
+        seed,
+        page_policy: policy,
+        ..McConfig::default()
+    };
+    MemoryController::new(dram, cfg)
+}
+
+/// One random enqueue attempt with probability `p`.
+fn maybe_enqueue(
+    mc: &mut MemoryController,
+    rng: &mut DetRng,
+    mapper: &AddressMapper,
+    geom: DramGeometry,
+    id: &mut u64,
+    now: Cycle,
+    p: f64,
+) {
+    if rng.bernoulli(p) {
+        let kind = if rng.bernoulli(0.25) {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        let lines = geom.capacity_bytes() / u64::from(geom.line_bytes);
+        let addr = PhysAddr::from_line_index(rng.below(lines), geom.line_bytes);
+        if mc.enqueue_phys(*id, kind, addr, mapper, now) {
+            *id += 1;
+        }
+    }
+}
+
+/// The incremental index always agrees with a from-scratch rebuild
+/// under random request streams across mitigations and page policies.
+#[test]
+fn index_agrees_with_full_rescan_under_random_streams() {
+    prop_check("index_agrees_with_full_rescan_under_random_streams", 8, |rng| {
+        let mit = mitigations()[rng.below(4) as usize];
+        let policy = policies()[rng.below(4) as usize];
+        let mut mc = build_mc(mit, policy, rng.next_u64());
+        let geom = DramGeometry::tiny();
+        let mapper = AddressMapper::new(geom, Mapping::paper_default());
+        let mut done: Vec<Completion> = Vec::new();
+        let mut id = 0u64;
+        for now in 0..8_000u64 {
+            maybe_enqueue(&mut mc, rng, &mapper, geom, &mut id, now, 0.35);
+            if let Err(e) = mc.tick(now, &mut done) {
+                return Err(format!("tick({now}) errored: {e}"));
+            }
+            mc.debug_verify_index()
+                .map_err(|e| format!("cycle {now} ({mit:?}, {policy:?}): {e}"))?;
+        }
+        prop_ensure!(mc.stats().reads_done > 0, "run serviced no reads");
+        Ok(())
+    });
+}
+
+/// Same agreement under fault injection: RFM delays and drops, stuck
+/// banks, and ALERT storms (bursts of injected ALERTs that force the
+/// controller through its ABO drain path over and over).
+#[test]
+fn index_agrees_under_faults_and_abo_storms() {
+    prop_check("index_agrees_under_faults_and_abo_storms", 8, |rng| {
+        let mit = mitigations()[1 + rng.below(3) as usize]; // ALERT needs a PRAC-family engine
+        let policy = policies()[rng.below(4) as usize];
+        let mut mc = build_mc(mit, policy, rng.next_u64());
+        let geom = DramGeometry::tiny();
+        let mapper = AddressMapper::new(geom, Mapping::paper_default());
+        mc.dram_mut().inject_rfm_delay(rng.below(300));
+        if rng.bernoulli(0.5) {
+            mc.dram_mut().inject_rfm_drop(1 + rng.below(3) as u32);
+        }
+        let cycles: Cycle = 10_000;
+        let storm_at = 200 + rng.below(cycles / 2);
+        let storm_len = 1_000 + rng.below(2_000);
+        let stuck_at = 100 + rng.below(cycles / 2);
+        let stuck_len = 500 + rng.below(2_500);
+        let mut done: Vec<Completion> = Vec::new();
+        let mut id = 0u64;
+        for now in 0..cycles {
+            // ABO storm: a fresh ALERT every ~200 cycles for the storm
+            // window, alternating sub-channels.
+            if now >= storm_at && now < storm_at + storm_len && now % 200 == storm_at % 200 {
+                let sc = (now / 200 % 2) as u32;
+                if let Err(e) = mc.dram_mut().inject_alert(sc, now) {
+                    return Err(format!("inject_alert failed: {e}"));
+                }
+            }
+            if now == stuck_at {
+                let bank = rng.below(u64::from(geom.banks_per_subchannel)) as u32;
+                if let Err(e) = mc.dram_mut().inject_stuck_bank(0, bank, now + stuck_len) {
+                    return Err(format!("inject_stuck_bank failed: {e}"));
+                }
+            }
+            maybe_enqueue(&mut mc, rng, &mapper, geom, &mut id, now, 0.4);
+            if let Err(e) = mc.tick(now, &mut done) {
+                return Err(format!("tick({now}) errored under faults: {e}"));
+            }
+            mc.debug_verify_index()
+                .map_err(|e| format!("cycle {now} ({mit:?}, {policy:?}): {e}"))?;
+        }
+        Ok(())
+    });
+}
+
+/// `next_wake` may be early but never late: between `now` and the
+/// published wake, ticking every cycle issues nothing. Probed on a
+/// clone so the main run's schedule is undisturbed.
+#[test]
+fn published_wake_is_never_late() {
+    prop_check("published_wake_is_never_late", 6, |rng| {
+        let mit = mitigations()[rng.below(4) as usize];
+        let policy = policies()[rng.below(4) as usize];
+        let mut mc = build_mc(mit, policy, rng.next_u64());
+        let geom = DramGeometry::tiny();
+        let mapper = AddressMapper::new(geom, Mapping::paper_default());
+        let mut done: Vec<Completion> = Vec::new();
+        let mut id = 0u64;
+        let mut probes = 0u32;
+        for now in 0..6_000u64 {
+            maybe_enqueue(&mut mc, rng, &mapper, geom, &mut id, now, 0.3);
+            if let Err(e) = mc.tick(now, &mut done) {
+                return Err(format!("tick({now}) errored: {e}"));
+            }
+            if now % 97 == 0 {
+                if let Some(wake) = mc.next_wake(now) {
+                    prop_ensure!(wake > now, "wake {wake} not strictly after now {now}");
+                    let end = wake.min(now + 1 + 2_000);
+                    let mut probe = mc.clone();
+                    let mut sink: Vec<Completion> = Vec::new();
+                    for t in (now + 1)..end {
+                        let issued = probe
+                            .tick(t, &mut sink)
+                            .map_err(|e| format!("probe tick({t}) errored: {e}"))?;
+                        prop_ensure!(
+                            issued == 0,
+                            "next_wake({now}) = {wake} was late: {issued} command(s) \
+                             issued at {t} ({mit:?}, {policy:?})"
+                        );
+                    }
+                    probes += 1;
+                }
+            }
+        }
+        prop_ensure!(probes > 0, "no wake probes ran");
+        Ok(())
+    });
+}

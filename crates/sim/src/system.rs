@@ -23,11 +23,12 @@ use mopac_dram::device::{DramConfig, DramDevice, DramStats};
 use mopac_memctrl::controller::{AccessKind, Completion, McConfig, MemRequest, MemoryController};
 use mopac_memctrl::mapping::{AddressMapper, Mapping};
 use mopac_types::addr::PhysAddr;
+use mopac_types::collections::DetMap;
 use mopac_types::error::{MopacError, MopacResult};
 use mopac_types::geometry::DramGeometry;
 use mopac_types::time::Cycle;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 /// How the system advances time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -290,10 +291,11 @@ struct CoreDriver {
     pending: Option<(PhysAddr, bool)>,
     seq: u64,
     prefetcher: Option<StreamPrefetcher>,
-    /// Prefetched lines by line index.
-    pf_lines: HashMap<u64, PfEntry>,
+    /// Prefetched lines by line index. A [`DetMap`] so per-core
+    /// prefetch state is deterministic regardless of hasher seeding.
+    pf_lines: DetMap<PfEntry>,
     /// In-flight prefetch request id -> line.
-    pf_by_id: HashMap<u64, u64>,
+    pf_by_id: DetMap<u64>,
 }
 
 impl CoreDriver {
@@ -325,7 +327,7 @@ impl CoreDriver {
                 // A ready prefetched line absorbs the read; an in-flight
                 // one without a waiter registers a late hit. Both count
                 // as fetch progress.
-                if let Some(e) = self.pf_lines.get(&addr.line_index(line_bytes)) {
+                if let Some(e) = self.pf_lines.get(addr.line_index(line_bytes)) {
                     if e.ready || e.rob_waiter.is_none() {
                         return Some(now + 1);
                     }
@@ -425,8 +427,8 @@ impl System {
                 prefetcher: (cfg.prefetch_distance > 0).then(|| {
                     StreamPrefetcher::new(cfg.prefetch_trackers, cfg.prefetch_distance)
                 }),
-                pf_lines: HashMap::new(),
-                pf_by_id: HashMap::new(),
+                pf_lines: DetMap::new(),
+                pf_by_id: DetMap::new(),
             })
             .collect();
         let llc = cfg.use_llc.then(Llc::paper_default);
@@ -710,13 +712,13 @@ impl System {
             progress = true;
             self.dbg_sources |= 4;
             let d = &mut self.drivers[(c.id >> 48) as usize];
-            if let Some(line) = d.pf_by_id.remove(&c.id) {
-                if let Some(entry) = d.pf_lines.get_mut(&line) {
+            if let Some(line) = d.pf_by_id.remove(c.id) {
+                if let Some(entry) = d.pf_lines.get_mut(line) {
                     entry.ready = true;
                     if let Some(waiter) = entry.rob_waiter {
                         d.core.on_complete(waiter);
                         // Consumed by the demand stream.
-                        d.pf_lines.remove(&line);
+                        d.pf_lines.remove(line);
                     }
                 }
             } else {
@@ -1021,7 +1023,7 @@ impl System {
         // Bound outstanding prefetch state per core.
         const MAX_PF_LINES: usize = 512;
         for cand in pf.observe(line) {
-            if d.pf_lines.len() >= MAX_PF_LINES || d.pf_lines.contains_key(&cand) {
+            if d.pf_lines.len() >= MAX_PF_LINES || d.pf_lines.contains_key(cand) {
                 continue;
             }
             let addr = PhysAddr::from_line_index(cand, mapper.geometry().line_bytes);
@@ -1083,10 +1085,10 @@ impl System {
                 let line = addr.line_index(self.cfg.geometry.line_bytes);
                 // Demand read absorbed by the prefetcher?
                 if !is_write {
-                    match d.pf_lines.get_mut(&line) {
+                    match d.pf_lines.get_mut(line) {
                         Some(e) if e.ready => {
                             progress = true;
-                            d.pf_lines.remove(&line);
+                            d.pf_lines.remove(line);
                             self.pf_stats.hits += 1;
                             d.core.push_instrs(1);
                             d.fetch_credit -= 1.0;

@@ -1,0 +1,354 @@
+//! Deterministic, allocation-light collections for hot paths and
+//! reproducible accumulators.
+//!
+//! `std::collections::HashMap` seeds its hasher from process-global
+//! randomness, so iteration order — and therefore any accumulator that
+//! folds in iteration order — varies run to run. The simulator's
+//! determinism contract (bit-identical results for a given seed) bans
+//! that. [`DetMap`] is a fixed-hash, open-addressed replacement for the
+//! `u64`-keyed maps on simulator hot paths (prefetcher line tracking),
+//! and [`DetCounter`] is the shared accumulator used by workload
+//! statistics in tests and bench binaries.
+//!
+//! # Examples
+//!
+//! ```
+//! use mopac_types::collections::{DetCounter, DetMap};
+//!
+//! let mut m: DetMap<&str> = DetMap::new();
+//! m.insert(7, "seven");
+//! assert_eq!(m.get(7), Some(&"seven"));
+//! assert_eq!(m.remove(7), Some("seven"));
+//!
+//! let mut c = DetCounter::new();
+//! c.bump(3);
+//! c.bump(3);
+//! assert_eq!(c.get(3), 2);
+//! ```
+
+/// Multiplicative (Fibonacci) hash: the fixed odd constant is
+/// `2^64 / phi`, giving good bit diffusion for sequential keys without
+/// any per-process randomness.
+const FIB: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Minimum number of slots; always a power of two.
+const MIN_CAP: usize = 16;
+
+/// A deterministic open-addressed hash map with `u64` keys.
+///
+/// Linear probing with backward-shift deletion (no tombstones), capacity
+/// always a power of two, resized at 3/4 load. Hashing is a fixed
+/// multiplicative hash, so layout and iteration order depend only on the
+/// sequence of operations — never on process state.
+#[derive(Debug, Clone)]
+pub struct DetMap<V> {
+    slots: Vec<Option<(u64, V)>>,
+    len: usize,
+    shift: u32,
+}
+
+impl<V> Default for DetMap<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> DetMap<V> {
+    /// An empty map with the minimum capacity.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_capacity(MIN_CAP)
+    }
+
+    /// An empty map able to hold at least `cap` entries before resizing.
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> Self {
+        let slots = (cap.max(MIN_CAP) * 4 / 3 + 1).next_power_of_two();
+        let mut v = Vec::new();
+        v.resize_with(slots, || None);
+        Self {
+            slots: v,
+            len: 0,
+            // `slots` is a power of two >= 16, so this never underflows.
+            shift: 64 - slots.trailing_zeros(),
+        }
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn mask(&self) -> usize {
+        self.slots.len() - 1
+    }
+
+    fn home(&self, key: u64) -> usize {
+        (key.wrapping_mul(FIB) >> self.shift) as usize
+    }
+
+    /// Slot holding `key`, if present.
+    fn find(&self, key: u64) -> Option<usize> {
+        let mask = self.mask();
+        let mut i = self.home(key);
+        loop {
+            match &self.slots[i] {
+                None => return None,
+                Some((k, _)) if *k == key => return Some(i),
+                Some(_) => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    /// True if `key` is present.
+    #[must_use]
+    pub fn contains_key(&self, key: u64) -> bool {
+        self.find(key).is_some()
+    }
+
+    /// Shared reference to the value for `key`.
+    #[must_use]
+    pub fn get(&self, key: u64) -> Option<&V> {
+        self.find(key).and_then(|i| self.slots[i].as_ref()).map(|(_, v)| v)
+    }
+
+    /// Mutable reference to the value for `key`.
+    pub fn get_mut(&mut self, key: u64) -> Option<&mut V> {
+        let i = self.find(key)?;
+        self.slots[i].as_mut().map(|(_, v)| v)
+    }
+
+    /// Insert `value` under `key`, returning any previous value.
+    pub fn insert(&mut self, key: u64, value: V) -> Option<V> {
+        if (self.len + 1) * 4 > self.slots.len() * 3 {
+            self.grow();
+        }
+        let mask = self.mask();
+        let mut i = self.home(key);
+        loop {
+            match &mut self.slots[i] {
+                slot @ None => {
+                    *slot = Some((key, value));
+                    self.len += 1;
+                    return None;
+                }
+                Some((k, v)) if *k == key => {
+                    return Some(std::mem::replace(v, value));
+                }
+                Some(_) => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    /// Remove `key`, returning its value. Uses backward-shift deletion so
+    /// probe chains stay contiguous without tombstones.
+    pub fn remove(&mut self, key: u64) -> Option<V> {
+        let mut i = self.find(key)?;
+        let (_, value) = self.slots[i].take()?;
+        self.len -= 1;
+        let mask = self.mask();
+        let mut j = i;
+        loop {
+            j = (j + 1) & mask;
+            let Some((k, _)) = &self.slots[j] else {
+                break;
+            };
+            let home = self.home(*k);
+            // The entry at `j` may slide back to the hole at `i` only if
+            // `i` lies on its probe path, i.e. cyclically in [home, j).
+            if (j.wrapping_sub(home) & mask) >= (j.wrapping_sub(i) & mask) {
+                self.slots[i] = self.slots[j].take();
+                i = j;
+            }
+        }
+        Some(value)
+    }
+
+    /// Remove all entries, keeping the allocation.
+    pub fn clear(&mut self) {
+        for s in &mut self.slots {
+            *s = None;
+        }
+        self.len = 0;
+    }
+
+    /// Iterate entries in slot order — a pure function of the operation
+    /// history, identical across runs and platforms.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> {
+        self.slots.iter().filter_map(|s| s.as_ref().map(|(k, v)| (*k, v)))
+    }
+
+    fn grow(&mut self) {
+        let mut bigger = Self::with_capacity(self.slots.len());
+        for (k, v) in self.slots.drain(..).flatten() {
+            bigger.insert(k, v);
+        }
+        *self = bigger;
+    }
+}
+
+/// A deterministic counting accumulator over `u64` keys.
+///
+/// The shared replacement for ad-hoc `HashMap<_, u32>` tallies in
+/// workload tests and bench binaries: same counts, but iteration is in
+/// ascending key order, so any fold over the counts is reproducible.
+#[derive(Debug, Clone, Default)]
+pub struct DetCounter {
+    map: DetMap<u32>,
+}
+
+impl DetCounter {
+    /// An empty counter.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increment the count for `key`, returning the new count.
+    pub fn bump(&mut self, key: u64) -> u32 {
+        if let Some(c) = self.map.get_mut(key) {
+            *c += 1;
+            *c
+        } else {
+            self.map.insert(key, 1);
+            1
+        }
+    }
+
+    /// Current count for `key` (0 when never bumped).
+    #[must_use]
+    pub fn get(&self, key: u64) -> u32 {
+        self.map.get(key).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct keys seen.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no key has been bumped.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// `(key, count)` pairs in ascending key order.
+    #[must_use]
+    pub fn entries(&self) -> Vec<(u64, u32)> {
+        let mut v: Vec<(u64, u32)> = self.map.iter().map(|(k, c)| (k, *c)).collect();
+        v.sort_unstable_by_key(|&(k, _)| k);
+        v
+    }
+
+    /// Counts in ascending key order.
+    #[must_use]
+    pub fn counts(&self) -> Vec<u32> {
+        self.entries().into_iter().map(|(_, c)| c).collect()
+    }
+}
+
+/// Pack a `(bank, row)` coordinate into a `DetCounter`/`DetMap` key.
+#[must_use]
+pub fn bank_row_key(flat_bank: u32, row: u32) -> u64 {
+    (u64::from(flat_bank) << 32) | u64::from(row)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::DetRng;
+
+    #[test]
+    fn basic_ops() {
+        let mut m: DetMap<u32> = DetMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.insert(0, 10), None);
+        assert_eq!(m.insert(0, 11), Some(10));
+        assert_eq!(m.get(0), Some(&11));
+        assert!(m.contains_key(0));
+        assert_eq!(m.remove(0), Some(11));
+        assert_eq!(m.remove(0), None);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn grows_past_load_factor() {
+        let mut m: DetMap<usize> = DetMap::new();
+        for i in 0..10_000u64 {
+            m.insert(i, i as usize);
+        }
+        assert_eq!(m.len(), 10_000);
+        for i in 0..10_000u64 {
+            assert_eq!(m.get(i), Some(&(i as usize)));
+        }
+    }
+
+    /// Fuzz insert/remove/get against the std map (std is fine as a test
+    /// oracle; only simulator results must be hasher-independent).
+    #[test]
+    fn matches_std_hashmap_under_fuzz() {
+        let mut rng = DetRng::from_seed(0xC0_11EC);
+        let mut det: DetMap<u64> = DetMap::new();
+        let mut std_map: std::collections::HashMap<u64, u64> = Default::default();
+        for _ in 0..50_000 {
+            let key = rng.below(512);
+            match rng.below(10) {
+                0..=4 => {
+                    let v = rng.next_u64();
+                    assert_eq!(det.insert(key, v), std_map.insert(key, v));
+                }
+                5..=7 => assert_eq!(det.remove(key), std_map.remove(&key)),
+                8 => assert_eq!(det.get(key), std_map.get(&key)),
+                _ => assert_eq!(det.contains_key(key), std_map.contains_key(&key)),
+            }
+            assert_eq!(det.len(), std_map.len());
+        }
+        let mut det_entries: Vec<(u64, u64)> = det.iter().map(|(k, v)| (k, *v)).collect();
+        det_entries.sort_unstable();
+        let mut std_entries: Vec<(u64, u64)> = std_map.iter().map(|(k, v)| (*k, *v)).collect();
+        std_entries.sort_unstable();
+        assert_eq!(det_entries, std_entries);
+    }
+
+    #[test]
+    fn iteration_is_deterministic() {
+        let build = || {
+            let mut m: DetMap<u64> = DetMap::new();
+            for i in 0..200u64 {
+                m.insert(i * 37, i);
+            }
+            for i in 0..100u64 {
+                m.remove(i * 74);
+            }
+            m.iter().map(|(k, v)| (k, *v)).collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn counter_entries_sorted() {
+        let mut c = DetCounter::new();
+        for k in [5u64, 3, 5, 9, 3, 5] {
+            c.bump(k);
+        }
+        assert_eq!(c.entries(), vec![(3, 2), (5, 3), (9, 1)]);
+        assert_eq!(c.counts(), vec![2, 3, 1]);
+        assert_eq!(c.get(5), 3);
+        assert_eq!(c.get(42), 0);
+    }
+
+    #[test]
+    fn bank_row_key_is_injective() {
+        assert_ne!(bank_row_key(1, 0), bank_row_key(0, 1));
+        assert_eq!(bank_row_key(2, 7) >> 32, 2);
+        assert_eq!(bank_row_key(2, 7) & 0xFFFF_FFFF, 7);
+    }
+}

@@ -21,6 +21,7 @@
 
 pub mod addr;
 pub mod check;
+pub mod collections;
 pub mod error;
 pub mod geometry;
 pub mod jedec;

@@ -286,6 +286,7 @@ mod tests {
     use super::*;
     use crate::spec::find;
     use mopac_memctrl::mapping::Mapping;
+    use mopac_types::collections::{bank_row_key, DetCounter};
     use mopac_types::geometry::DramGeometry;
 
     fn mapper() -> AddressMapper {
@@ -313,14 +314,19 @@ mod tests {
         for name in ["parest", "mcf", "xz"] {
             let mut t = trace(name, 0);
             let spec = *t.spec();
-            let mut open: std::collections::HashMap<BankRef, u32> = Default::default();
             let m = mapper();
+            let geom = *m.geometry();
+            // Flat-indexed open-row tracker: deterministic and
+            // allocation-free, unlike a hashed map.
+            let mut open: Vec<Option<u32>> =
+                vec![None; (geom.subchannels * geom.banks_per_subchannel) as usize];
             let (mut hits, mut total) = (0u64, 0u64);
             for _ in 0..40_000 {
                 let r = t.next_record();
                 let d = m.decode(r.addr);
                 total += 1;
-                if open.insert(d.bank, d.row) == Some(d.row) {
+                let flat = geom.flat_bank(d.bank.subchannel, d.bank.bank) as usize;
+                if open[flat].replace(d.row) == Some(d.row) {
                     hits += 1;
                 }
             }
@@ -360,13 +366,17 @@ mod tests {
     #[test]
     fn hot_set_produces_hot_rows() {
         let m = mapper();
+        let geom = *m.geometry();
         let mut t = trace("parest", 0);
-        let mut counts: std::collections::HashMap<(BankRef, u32), u32> = Default::default();
+        let mut counts = DetCounter::new();
         for _ in 0..300_000 {
             let d = m.decode(t.next_record().addr);
-            *counts.entry((d.bank, d.row)).or_default() += 1;
+            counts.bump(bank_row_key(
+                geom.flat_bank(d.bank.subchannel, d.bank.bank),
+                d.row,
+            ));
         }
-        let hot = counts.values().filter(|&&c| c >= 32).count();
+        let hot = counts.counts().iter().filter(|&&c| c >= 32).count();
         assert!(hot > 10, "only {hot} hot rows");
     }
 
@@ -383,14 +393,12 @@ mod tests {
     fn zipf_skews_popularity() {
         let m = mapper();
         let mut t = trace("masstree", 0);
-        let mut counts: std::collections::HashMap<u64, u32> = Default::default();
+        let mut counts = DetCounter::new();
         for _ in 0..100_000 {
             let d = m.decode(t.next_record().addr);
-            *counts
-                .entry(u64::from(d.row) << 8 | u64::from(d.bank.bank))
-                .or_default() += 1;
+            counts.bump(u64::from(d.row) << 8 | u64::from(d.bank.bank));
         }
-        let mut v: Vec<u32> = counts.values().copied().collect();
+        let mut v: Vec<u32> = counts.counts();
         v.sort_unstable_by(|a, b| b.cmp(a));
         // Top row should be dramatically more popular than the median.
         assert!(v[0] > 20 * v[v.len() / 2].max(1), "top {} median {}", v[0], v[v.len() / 2]);
