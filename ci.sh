@@ -59,6 +59,29 @@ if [[ $fast -eq 0 ]]; then
     echo "no committed BENCH_kernel.json baseline; regression gate skipped"
   fi
 
+  # Metrics-overhead gate: the same saturated-attack run with the
+  # observability sink enabled (MOPAC_METRICS=1, writes
+  # BENCH_kernel_metrics.json) must stay within 10% of the committed
+  # metrics-off baseline — the sink's enabled cost is bounded, and its
+  # disabled cost is zero by the bit-identity suite above.
+  step "kernel throughput bench with metrics sink (overhead gate)"
+  extract_metrics_cps() {
+    awk -F'"cycles_per_sec": ' "/$1\\/$2/ {gsub(/[^0-9.]/, \"\", \$2); print \$2}" BENCH_kernel_metrics.json
+  }
+  MOPAC_METRICS=1 cargo bench --bench kernel_throughput
+  if [[ -n "$baseline_cps" ]]; then
+    metrics_cps=$(extract_metrics_cps saturated_attack event)
+    awk -v new="$metrics_cps" -v old="$baseline_cps" 'BEGIN {
+      if (new + 0 < 0.9 * old) {
+        printf "FAIL: saturated_attack/event with metrics enabled: %.0f < 90%% of metrics-off baseline %.0f cycles/sec\n", new, old
+        exit 1
+      }
+      printf "saturated_attack/event with metrics: %.0f cycles/sec (metrics-off baseline %.0f, gate 90%%)\n", new, old
+    }'
+  else
+    echo "no committed BENCH_kernel.json baseline; metrics-overhead gate skipped"
+  fi
+
   # Security gate: every engine in the mitigation registry versus the
   # attack battery at a reduced cycle budget; any oracle violation
   # fails the binary (exit 1).
@@ -77,9 +100,9 @@ if [[ $fast -eq 0 ]]; then
 fi
 
 # Lint gate. The robustness contract: the core and simulation
-# libraries (mopac, mopac-dram, mopac-memctrl, mopac-sim) carry no
-# unwrap/expect in non-test code — misuse must surface as
-# MopacResult. Those crates opt
+# libraries (mopac, mopac-dram, mopac-memctrl, mopac-sim,
+# mopac-workloads) carry no unwrap/expect in non-test code — misuse
+# must surface as MopacResult. Those crates opt
 # in via `#![warn(clippy::unwrap_used, clippy::expect_used)]` in their
 # lib.rs (promoted to errors by -D warnings here); tests and bench
 # binaries are exempt via clippy.toml (allow-unwrap-in-tests).

@@ -17,19 +17,32 @@
 //! `BENCH_kernel.json` for the CI trend line (ci.sh fails if
 //! `saturated_attack/event` drops more than 10% below the committed
 //! baseline).
+//!
+//! `MOPAC_METRICS=1` runs the same matrix with the observability sink
+//! enabled and writes `BENCH_kernel_metrics.json` instead — ci.sh
+//! gates that run against the committed metrics-off baseline, bounding
+//! the sink's overhead.
 
 use mopac::config::MitigationConfig;
 use mopac_cpu::trace::{ReplayTrace, TraceRecord, TraceSource};
 use mopac_sim::system::{KernelMode, System, SystemConfig};
 use mopac_types::addr::PhysAddr;
 use mopac_types::geometry::DramGeometry;
+use mopac_types::obs::SinkConfig;
 use std::fmt::Write as _;
 use std::time::Instant;
+
+fn metrics_enabled() -> bool {
+    std::env::var("MOPAC_METRICS").is_ok_and(|v| v == "1")
+}
 
 fn config(instrs: u64, kernel: KernelMode) -> SystemConfig {
     let mut cfg = SystemConfig::paper_default(MitigationConfig::prac(500), instrs);
     cfg.geometry = DramGeometry::tiny();
     cfg.kernel = kernel;
+    if metrics_enabled() {
+        cfg.metrics = Some(SinkConfig::default());
+    }
     cfg
 }
 
@@ -172,13 +185,15 @@ fn main() {
         let speedup = pair[1].cps() / pair[0].cps();
         println!("{:<18} event/lockstep speedup: {speedup:.2}x", pair[0].workload);
     }
+    let file = if metrics_enabled() {
+        "BENCH_kernel_metrics.json"
+    } else {
+        "BENCH_kernel.json"
+    };
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
         .nth(2)
-        .map_or_else(
-            || std::path::PathBuf::from("BENCH_kernel.json"),
-            |root| root.join("BENCH_kernel.json"),
-        );
-    std::fs::write(&path, json).expect("write BENCH_kernel.json");
+        .map_or_else(|| std::path::PathBuf::from(file), |root| root.join(file));
+    std::fs::write(&path, json).expect("write kernel bench json");
     println!("wrote {}", path.display());
 }

@@ -20,6 +20,7 @@
 
 use crate::config::MitigationConfig;
 use crate::engine::{build_engine, MitigationEngine, TimingDemands};
+use mopac_types::obs::{Counter, MetricsRegistry, MetricsSink};
 use mopac_types::rng::DetRng;
 use std::ops::Range;
 
@@ -77,6 +78,24 @@ pub struct MitigationStats {
     /// Deferred counter write-backs drained during REF windows
     /// (MoPAC-D's SRQ drain, CnC-PRAC's bulk write-back).
     pub ref_drained_updates: u64,
+}
+
+impl MitigationStats {
+    /// Publishes these counters onto a metrics registry under the
+    /// `engine.*` namespace. The struct stays the source of truth; the
+    /// registry copy exists for unified snapshot export (DESIGN.md
+    /// §11), so this overwrites rather than accumulates.
+    pub fn export_metrics(&self, reg: &mut MetricsRegistry) {
+        reg.set_counter(Counter::EngineActivations, self.activations);
+        reg.set_counter(Counter::EngineCounterUpdates, self.counter_updates);
+        reg.set_counter(Counter::EngineSrqInsertions, self.srq_insertions);
+        reg.set_counter(Counter::EngineSrqOverflows, self.srq_overflows);
+        reg.set_counter(Counter::EngineMitigations, self.mitigations);
+        reg.set_counter(Counter::EngineUpdatePrecharges, self.update_precharges);
+        reg.set_counter(Counter::EngineAboMitigations, self.abo_mitigations);
+        reg.set_counter(Counter::EngineProactiveMitigations, self.proactive_mitigations);
+        reg.set_counter(Counter::EngineRefDrainedUpdates, self.ref_drained_updates);
+    }
 }
 
 /// The mitigation host embedded in one simulated DRAM bank.
@@ -188,6 +207,12 @@ impl BankMitigation {
     #[must_use]
     pub fn demands_epoch(&self) -> u64 {
         self.engine.demands_epoch()
+    }
+
+    /// Publishes the engine's observability metrics onto `sink` (see
+    /// [`crate::engine::MitigationEngine::record_metrics`]).
+    pub fn record_metrics(&self, flat_bank: u32, sink: &mut MetricsSink) {
+        self.engine.record_metrics(flat_bank, sink);
     }
 }
 

@@ -27,6 +27,7 @@
 use crate::bank::{AboService, AlertCause, MitigationStats};
 use crate::config::{MitigationConfig, MitigationKind};
 use crate::engines::{BaselineEngine, CncPracEngine, MopacDEngine, PracEngine, QpracEngine};
+use mopac_types::obs::{Hist, MetricsSink};
 use mopac_types::rng::DetRng;
 use std::ops::Range;
 use std::sync::OnceLock;
@@ -153,6 +154,20 @@ pub trait MitigationEngine: std::fmt::Debug + Send {
     /// constant default.
     fn demands_epoch(&self) -> u64 {
         0
+    }
+
+    /// Publishes this engine's observability metrics onto `sink`
+    /// (called by the device at snapshot time, never on the command
+    /// path). `flat_bank` labels per-bank series. The default
+    /// implementation samples any deferred-work queue occupancies into
+    /// the [`Hist::SrqOccupancy`] histogram; engines with richer
+    /// internal state (tracker pressure, per-chip skew) may record
+    /// additional series. A disabled sink makes every record call a
+    /// no-op, so implementations need no enablement check.
+    fn record_metrics(&self, flat_bank: u32, sink: &mut MetricsSink) {
+        for occ in self.srq_occupancy() {
+            sink.record(Hist::SrqOccupancy, flat_bank, occ as u64);
+        }
     }
 
     /// Clones the engine behind the trait object

@@ -8,6 +8,7 @@
 //! property tests.
 
 use mopac_types::addr::PhysAddr;
+use mopac_types::obs::{Counter, MetricsRegistry};
 
 /// Result of a cache access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,6 +58,16 @@ impl LlcStats {
         } else {
             self.misses as f64 / self.accesses as f64
         }
+    }
+
+    /// Publishes these counters onto a metrics registry under the
+    /// `llc.*` namespace. The struct stays the source of truth; the
+    /// registry copy exists for unified snapshot export (DESIGN.md
+    /// §11), so this overwrites rather than accumulates.
+    pub fn export_metrics(&self, reg: &mut MetricsRegistry) {
+        reg.set_counter(Counter::LlcAccesses, self.accesses);
+        reg.set_counter(Counter::LlcMisses, self.misses);
+        reg.set_counter(Counter::LlcWritebacks, self.writebacks);
     }
 }
 

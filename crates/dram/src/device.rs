@@ -16,6 +16,9 @@ use mopac::config::MitigationConfig;
 use mopac::engine::TimingDemands;
 use mopac_types::error::{MopacError, MopacResult};
 use mopac_types::geometry::DramGeometry;
+use mopac_types::obs::{
+    Counter, Hist, MetricsRegistry, MetricsSink, SinkConfig, TraceEvent, TraceEventKind,
+};
 use mopac_types::rng::DetRng;
 use mopac_types::time::{Cycle, MemClock};
 
@@ -97,6 +100,26 @@ impl DramStats {
     pub fn alerts(&self) -> u64 {
         self.alerts_mitigation + self.alerts_srq_full + self.alerts_tardiness
     }
+
+    /// Publishes these counters onto a metrics registry under the
+    /// `dram.*` namespace. The struct stays the source of truth; the
+    /// registry copy exists for unified snapshot export (DESIGN.md
+    /// §11), so this overwrites rather than accumulates.
+    pub fn export_metrics(&self, reg: &mut MetricsRegistry) {
+        reg.set_counter(Counter::DramActivates, self.activates);
+        reg.set_counter(Counter::DramReads, self.reads);
+        reg.set_counter(Counter::DramWrites, self.writes);
+        reg.set_counter(Counter::DramPrecharges, self.precharges);
+        reg.set_counter(Counter::DramPrechargesCu, self.precharges_cu);
+        reg.set_counter(Counter::DramRefreshes, self.refreshes);
+        reg.set_counter(Counter::DramRfms, self.rfms);
+        reg.set_counter(Counter::DramAlertsMitigation, self.alerts_mitigation);
+        reg.set_counter(Counter::DramAlertsSrqFull, self.alerts_srq_full);
+        reg.set_counter(Counter::DramAlertsTardiness, self.alerts_tardiness);
+        reg.set_counter(Counter::DramMitigations, self.mitigations);
+        reg.set_counter(Counter::DramDeferredUpdates, self.deferred_updates);
+        reg.set_counter(Counter::DramInjectedFaults, self.injected_faults);
+    }
 }
 
 /// Per-sub-channel shared state.
@@ -153,6 +176,11 @@ pub struct DramDevice {
     /// Last [`mopac::engine::MitigationEngine::demands_epoch`] observed
     /// per flat bank.
     demands_seen: Vec<u64>,
+    /// Observability sink: protocol trace events and device-side
+    /// histograms (inter-ACT gap, row-open time, ABO service time).
+    /// Disabled by default — every record call is then an inlined
+    /// no-op, keeping uninstrumented runs bit-identical.
+    sink: MetricsSink,
 }
 
 impl DramDevice {
@@ -226,7 +254,49 @@ impl DramDevice {
             rfm_extra_stall: 0,
             demands_generation: 0,
             demands_seen,
+            sink: MetricsSink::disabled(),
         }
+    }
+
+    /// Enables the observability sink: subsequent commands record trace
+    /// events and device-side histograms. Enabling mid-run is legal
+    /// (the sink simply starts empty).
+    pub fn enable_metrics(&mut self, cfg: SinkConfig) {
+        self.sink = MetricsSink::enabled(cfg);
+    }
+
+    /// The device's metrics sink (disabled unless
+    /// [`DramDevice::enable_metrics`] was called).
+    #[must_use]
+    pub fn metrics(&self) -> &MetricsSink {
+        &self.sink
+    }
+
+    /// Exports the device's aggregate statistics ([`DramStats`], the
+    /// summed per-bank [`mopac::bank::MitigationStats`]) onto the sink's
+    /// registry and gives every bank engine its
+    /// [`mopac::engine::MitigationEngine::record_metrics`] hook. Called
+    /// at snapshot time; a no-op while the sink is disabled.
+    pub fn export_metrics(&mut self) {
+        if !self.sink.is_enabled() {
+            return;
+        }
+        let stats = self.stats;
+        let mitigation = self.mitigation_stats();
+        if let Some(reg) = self.sink.registry_mut() {
+            stats.export_metrics(reg);
+            mitigation.export_metrics(reg);
+        }
+        // The engines borrow the sub-channels while recording; move the
+        // sink out for the sweep so the borrows stay disjoint.
+        let mut sink = std::mem::take(&mut self.sink);
+        for (sc, sub) in self.subchannels.iter().enumerate() {
+            for (bank, b) in sub.banks.iter().enumerate() {
+                let flat = self.cfg.geometry.flat_bank(sc as u32, bank as u32);
+                b.mitigation().record_metrics(flat, &mut sink);
+            }
+        }
+        self.sink = sink;
     }
 
     /// Validates a (sub-channel, bank) pair, so command methods return a
@@ -405,6 +475,19 @@ impl DramDevice {
         // coin engine (MoPAC-C) honors the controller's per-ACT draw.
         let selected = self.demands.always_prac_timings
             || (self.demands.precu_probability.is_some() && update_selected);
+        if self.sink.is_enabled() {
+            if let Some(last) = self.sub(sc).last_act {
+                self.sink
+                    .record(Hist::InterActGap, sc, now.saturating_sub(last));
+            }
+            self.sink.event(TraceEvent {
+                cycle: now,
+                kind: TraceEventKind::Act,
+                subchannel: sc,
+                bank,
+                value: u64::from(row),
+            });
+        }
         let (base, prac) = (self.base, self.prac);
         let s = self.sub_mut(sc);
         s.banks[bank as usize].activate(row, now, selected, &base, &prac);
@@ -523,6 +606,22 @@ impl DramDevice {
         } else {
             PrechargeKind::Normal
         };
+        if self.sink.is_enabled() {
+            if let Some(open) = self.open_row(sc, bank) {
+                self.sink
+                    .record(Hist::RowOpenTime, sc, now.saturating_sub(open.opened_at));
+                self.sink.event(TraceEvent {
+                    cycle: now,
+                    kind: match kind {
+                        PrechargeKind::Normal => TraceEventKind::Pre,
+                        PrechargeKind::CounterUpdate => TraceEventKind::PreCu,
+                    },
+                    subchannel: sc,
+                    bank,
+                    value: u64::from(open.row),
+                });
+            }
+        }
         let (base, prac) = (self.base, self.prac);
         let ns_per_cycle = 1.0 / self.clock.freq_ghz();
         let s = self.sub_mut(sc);
@@ -661,6 +760,24 @@ impl DramDevice {
         self.stats.refreshes += 1;
         self.stats.deferred_updates += deferred;
         self.stats.mitigations += mitigations;
+        if self.sink.is_enabled() {
+            self.sink.event(TraceEvent {
+                cycle: now,
+                kind: TraceEventKind::Ref,
+                subchannel: sc,
+                bank: 0,
+                value: u64::from(start),
+            });
+            if mitigations > 0 {
+                self.sink.event(TraceEvent {
+                    cycle: now,
+                    kind: TraceEventKind::Mitigation,
+                    subchannel: sc,
+                    bank: 0,
+                    value: mitigations,
+                });
+            }
+        }
         self.poll_demands_all(sc);
         self.refresh_alert_line(sc, now);
         Ok(())
@@ -690,6 +807,23 @@ impl DramDevice {
             });
         }
         let stall = self.abo.stall + self.rfm_extra_stall;
+        // ALERT-to-service latency: how long the pending ABO waited for
+        // this RFM (0 when no ALERT was asserted, e.g. a speculative or
+        // dropped-fault retry).
+        let service_time = self
+            .sub(sc)
+            .alert_since
+            .map_or(0, |a| now.saturating_sub(a));
+        if self.sink.is_enabled() {
+            self.sink.record(Hist::AboServiceTime, sc, service_time);
+            self.sink.event(TraceEvent {
+                cycle: now,
+                kind: TraceEventKind::Rfm,
+                subchannel: sc,
+                bank: 0,
+                value: service_time,
+            });
+        }
         if self.drop_rfms > 0 {
             // Dropped-RFM fault: the command occupies the bus and stalls
             // the sub-channel but never reaches the mitigation engines.
@@ -729,6 +863,15 @@ impl DramDevice {
         self.stats.rfms += 1;
         self.stats.mitigations += mitigations;
         self.stats.deferred_updates += updates;
+        if mitigations > 0 {
+            self.sink.event(TraceEvent {
+                cycle: now,
+                kind: TraceEventKind::Mitigation,
+                subchannel: sc,
+                bank: 0,
+                value: mitigations,
+            });
+        }
         self.poll_demands_all(sc);
         // A bank may *still* need service (e.g. more SRQ entries than one
         // ABO drains); it may re-assert after the next activation.
@@ -749,6 +892,13 @@ impl DramDevice {
             s.alert_since = Some(now);
             self.stats.alerts_mitigation += 1;
             self.stats.injected_faults += 1;
+            self.sink.event(TraceEvent {
+                cycle: now,
+                kind: TraceEventKind::Alert,
+                subchannel: sc,
+                bank: 0,
+                value: 0,
+            });
         }
         Ok(())
     }
@@ -877,6 +1027,17 @@ impl DramDevice {
                 AlertCause::SrqFull => self.stats.alerts_srq_full += 1,
                 AlertCause::Tardiness => self.stats.alerts_tardiness += 1,
             }
+            self.sink.event(TraceEvent {
+                cycle: now,
+                kind: TraceEventKind::Alert,
+                subchannel: sc,
+                bank: 0,
+                value: match cause {
+                    AlertCause::Mitigation => 0,
+                    AlertCause::SrqFull => 1,
+                    AlertCause::Tardiness => 2,
+                },
+            });
         }
     }
 }

@@ -11,6 +11,7 @@ use crate::sched_index::{QueueCounts, SubIndex};
 use mopac_dram::device::DramDevice;
 use mopac_types::addr::{DecodedAddr, PhysAddr};
 use mopac_types::error::{MopacError, MopacResult};
+use mopac_types::obs::{Counter, Hist, MetricsRegistry, MetricsSink, SinkConfig};
 use mopac_types::rng::DetRng;
 use mopac_types::time::Cycle;
 use std::collections::VecDeque;
@@ -119,6 +120,20 @@ impl McStats {
             self.read_latency_sum as f64 / self.reads_done as f64
         }
     }
+
+    /// Publishes these counters onto a metrics registry under the
+    /// `mc.*` namespace. The struct stays the source of truth; the
+    /// registry copy exists for unified snapshot export (DESIGN.md
+    /// §11), so this overwrites rather than accumulates.
+    pub fn export_metrics(&self, reg: &mut MetricsRegistry) {
+        reg.set_counter(Counter::McReadsDone, self.reads_done);
+        reg.set_counter(Counter::McWritesDone, self.writes_done);
+        reg.set_counter(Counter::McReadLatencySum, self.read_latency_sum);
+        reg.set_counter(Counter::McRfmsIssued, self.rfms_issued);
+        reg.set_counter(Counter::McAboStallCycles, self.abo_stall_cycles);
+        reg.set_counter(Counter::McIdleWithWork, self.idle_with_work);
+        reg.set_counter(Counter::McRefreshModeCycles, self.refresh_mode_cycles);
+    }
 }
 
 /// Minimum of two optional cycles, treating `None` as "no constraint".
@@ -168,6 +183,11 @@ pub struct MemoryController {
     /// Last [`DramDevice::demands_generation`] observed; on change the
     /// demand-derived knobs refresh and every index invalidates.
     demands_gen_seen: u64,
+    /// Observability sink: the per-cycle stat increments (including the
+    /// fast-path replication) mirror into its typed counters, and the
+    /// read-latency histogram records here. Disabled by default, which
+    /// keeps uninstrumented runs bit-identical.
+    sink: MetricsSink,
 }
 
 impl MemoryController {
@@ -206,7 +226,82 @@ impl MemoryController {
             cfg,
             subs,
             stats: McStats::default(),
+            sink: MetricsSink::disabled(),
         }
+    }
+
+    /// Enables observability on the controller *and* its DRAM device:
+    /// stat increments mirror into typed registry counters, command
+    /// latencies record into histograms, and the device traces protocol
+    /// events. Enabling changes no simulated behaviour — only what gets
+    /// recorded alongside it.
+    pub fn enable_metrics(&mut self, cfg: SinkConfig) {
+        self.sink = MetricsSink::enabled(cfg);
+        self.dram.enable_metrics(cfg);
+    }
+
+    /// The controller's metrics sink (disabled unless
+    /// [`MemoryController::enable_metrics`] was called). The device has
+    /// its own, reachable through [`MemoryController::dram`].
+    #[must_use]
+    pub fn metrics(&self) -> &MetricsSink {
+        &self.sink
+    }
+
+    /// Exports the controller's [`McStats`] onto the sink's registry
+    /// and asks the device to do the same for its side. In debug
+    /// builds, first cross-checks the incrementally maintained registry
+    /// counters against the stats struct — the shadow recount that
+    /// validates the fast-path replication (DESIGN.md §11).
+    pub fn export_metrics(&mut self) {
+        if !self.sink.is_enabled() {
+            return;
+        }
+        #[cfg(debug_assertions)]
+        {
+            if let Some(reg) = self.sink.registry() {
+                debug_assert_eq!(
+                    reg.counter(Counter::McAboStallCycles),
+                    self.stats.abo_stall_cycles,
+                    "registry abo_stall_cycles diverged from McStats"
+                );
+                debug_assert_eq!(
+                    reg.counter(Counter::McRefreshModeCycles),
+                    self.stats.refresh_mode_cycles,
+                    "registry refresh_mode_cycles diverged from McStats"
+                );
+                debug_assert_eq!(
+                    reg.counter(Counter::McIdleWithWork),
+                    self.stats.idle_with_work,
+                    "registry idle_with_work diverged from McStats"
+                );
+                debug_assert_eq!(
+                    reg.counter(Counter::McReadsDone),
+                    self.stats.reads_done,
+                    "registry reads_done diverged from McStats"
+                );
+                debug_assert_eq!(
+                    reg.counter(Counter::McReadLatencySum),
+                    self.stats.read_latency_sum,
+                    "registry read_latency_sum diverged from McStats"
+                );
+                debug_assert_eq!(
+                    reg.counter(Counter::McWritesDone),
+                    self.stats.writes_done,
+                    "registry writes_done diverged from McStats"
+                );
+                debug_assert_eq!(
+                    reg.counter(Counter::McRfmsIssued),
+                    self.stats.rfms_issued,
+                    "registry rfms_issued diverged from McStats"
+                );
+            }
+        }
+        let stats = self.stats;
+        if let Some(reg) = self.sink.registry_mut() {
+            stats.export_metrics(reg);
+        }
+        self.dram.export_metrics();
     }
 
     /// The DRAM device (for stats and oracle queries).
@@ -273,6 +368,7 @@ impl MemoryController {
                 s.writes.push_back(p);
                 idx.writes.on_enqueue(bank, hit);
                 self.stats.writes_done += 1;
+                self.sink.add(Counter::McWritesDone, 1);
             }
         }
         idx.invalidate();
@@ -361,13 +457,27 @@ impl MemoryController {
                 .dram
                 .alert_since(sc)
                 .is_some_and(|a| now >= a + self.dram.abo_timing().normal_window);
+            let in_refresh = !abo_stalled && now >= s.next_ref;
+            let has_work = !s.reads.is_empty() || !s.writes.is_empty();
+            // Shadow recount (debug builds): re-derive the same
+            // classification by walking `tick_subchannel_inner`'s mode
+            // ladder, so any drift between the replication above and
+            // the sequential tick's accounting trips immediately.
+            debug_assert_eq!(
+                (abo_stalled, in_refresh, has_work),
+                self.shadow_noop_class(sc, now),
+                "fast-path stat classification diverged from the sequential tick (sc{sc} @ {now})"
+            );
             if abo_stalled {
                 self.stats.abo_stall_cycles += 1;
-            } else if now >= s.next_ref {
+                self.sink.add(Counter::McAboStallCycles, 1);
+            } else if in_refresh {
                 self.stats.refresh_mode_cycles += 1;
+                self.sink.add(Counter::McRefreshModeCycles, 1);
             }
-            if !s.reads.is_empty() || !s.writes.is_empty() {
+            if has_work {
                 self.stats.idle_with_work += 1;
+                self.sink.add(Counter::McIdleWithWork, 1);
             }
             return Ok(false);
         }
@@ -378,6 +488,7 @@ impl MemoryController {
         let issued = self.tick_subchannel_inner(sc, now, completions)?;
         if had_work && !issued {
             self.stats.idle_with_work += 1;
+            self.sink.add(Counter::McIdleWithWork, 1);
         }
         if !issued {
             // A full tick found nothing to do: cache when something
@@ -387,6 +498,26 @@ impl MemoryController {
             self.idx[sc as usize].store_wake(wake, now);
         }
         Ok(issued)
+    }
+
+    /// Re-derives the fast path's per-cycle stat classification by
+    /// walking [`MemoryController::tick_subchannel_inner`]'s sequential
+    /// mode ladder (ABO stall first, then refresh drain; work presence
+    /// is independent), without consulting the scheduler index. Only
+    /// invoked from a `debug_assert!` — the shadow recount that
+    /// validates the fast-path replication (DESIGN.md §11); release
+    /// builds optimize it away.
+    fn shadow_noop_class(&self, sc: u32, now: Cycle) -> (bool, bool, bool) {
+        let s = &self.subs[sc as usize];
+        // Ladder step 1: past the ABO normal window the tick stalls.
+        let abo = match self.dram.alert_since(sc) {
+            Some(asserted) => now >= asserted + self.dram.abo_timing().normal_window,
+            None => false,
+        };
+        // Step 2: refresh drain, reached only when not ABO-stalled.
+        let refresh = !abo && now >= s.next_ref;
+        let work = !(s.reads.is_empty() && s.writes.is_empty());
+        (abo, refresh, work)
     }
 
     /// Earliest cycle *strictly after* `now` at which a tick could
@@ -626,11 +757,14 @@ impl MemoryController {
                 .is_some_and(|a| from >= a + self.dram.abo_timing().normal_window);
             if abo_stalled {
                 self.stats.abo_stall_cycles += cycles;
+                self.sink.add(Counter::McAboStallCycles, cycles);
             } else if from >= s.next_ref {
                 self.stats.refresh_mode_cycles += cycles;
+                self.sink.add(Counter::McRefreshModeCycles, cycles);
             }
             if had_work {
                 self.stats.idle_with_work += cycles;
+                self.sink.add(Counter::McIdleWithWork, cycles);
             }
         }
     }
@@ -646,6 +780,7 @@ impl MemoryController {
         if let Some(asserted) = self.dram.alert_since(sc) {
             if now >= asserted + self.dram.abo_timing().normal_window {
                 self.stats.abo_stall_cycles += 1;
+                self.sink.add(Counter::McAboStallCycles, 1);
                 if self.close_one_open_bank(sc, now)? {
                     return Ok(true);
                 }
@@ -658,6 +793,7 @@ impl MemoryController {
                     self.dram.rfm(sc, now)?;
                     self.idx[sc as usize].invalidate();
                     self.stats.rfms_issued += 1;
+                    self.sink.add(Counter::McRfmsIssued, 1);
                     return Ok(true);
                 }
                 return Ok(false);
@@ -666,6 +802,7 @@ impl MemoryController {
         // 2. Refresh, when due.
         if now >= self.subs[sc as usize].next_ref {
             self.stats.refresh_mode_cycles += 1;
+            self.sink.add(Counter::McRefreshModeCycles, 1);
             if self.close_one_open_bank(sc, now)? {
                 return Ok(true);
             }
@@ -1028,7 +1165,26 @@ impl MemoryController {
         } else {
             let done = self.dram.read(sc, p.addr.bank.bank, now)?;
             self.stats.reads_done += 1;
-            self.stats.read_latency_sum += done.saturating_sub(p.arrival);
+            self.sink.add(Counter::McReadsDone, 1);
+            // A completion earlier than the request's arrival is an
+            // ordering bug (a scheduler or device regression); clamping
+            // it to zero latency would silently poison the latency
+            // average, so surface it as a typed internal error instead.
+            let Some(latency) = done.checked_sub(p.arrival) else {
+                debug_assert!(
+                    false,
+                    "read {} completed at {done}, before its arrival at {}",
+                    p.id, p.arrival
+                );
+                return Err(MopacError::internal(format!(
+                    "read {} completed at {done}, before its arrival at {} \
+                     (sc{sc}/bank{}): latency accounting would underflow",
+                    p.id, p.arrival, p.addr.bank.bank
+                )));
+            };
+            self.stats.read_latency_sum += latency;
+            self.sink.add(Counter::McReadLatencySum, latency);
+            self.sink.record(Hist::ReadLatency, sc, latency);
             completions.push(Completion { id: p.id, at: done });
         }
         Ok(())

@@ -180,8 +180,17 @@ impl SubIndex {
     /// Kills the cached wake. Called on: enqueue/dequeue, every DRAM
     /// command issued on this sub-channel, any external device mutation
     /// (`dram_mut`), and an observed `TimingDemands` change.
+    ///
+    /// The cache entry is dropped eagerly, not just epoch-orphaned:
+    /// `wrapping_add` alone would let a stale entry validate again once
+    /// the epoch wraps back to the value it was computed under (2^64
+    /// bumps away, but a correctness cliff, not a latency one — the
+    /// revalidated wake could suppress ticks that must run). With the
+    /// entry gone, a wrapped epoch can never resurrect it; see the
+    /// `wrapped_epoch_cannot_revalidate_stale_cache` regression test.
     pub(crate) fn invalidate(&mut self) {
         self.epoch = self.epoch.wrapping_add(1);
+        self.cache = None;
     }
 
     /// The cached wake, if still valid (epoch unchanged since it was
@@ -198,6 +207,14 @@ impl SubIndex {
         self.cache
             .filter(|c| c.epoch == self.epoch)
             .map(|c| c.computed_at)
+    }
+
+    /// Test-only: pins the epoch to an arbitrary value, so tests can
+    /// park it at the wrap boundary and simulate a full trip around
+    /// the `u64` space without 2^64 invalidations.
+    #[cfg(test)]
+    pub(crate) fn set_epoch_for_test(&mut self, epoch: u64) {
+        self.epoch = epoch;
     }
 
     /// Stores the wake computed at `now` under the current epoch. A
@@ -277,5 +294,32 @@ mod tests {
         assert_eq!(s.valid_wake(), None);
         s.store_wake(None, 10);
         assert_eq!(s.valid_wake(), None);
+    }
+
+    #[test]
+    fn wrapped_epoch_cannot_revalidate_stale_cache() {
+        let mut s = SubIndex::new(4);
+        // Cache a wake with the epoch parked at the wrap boundary.
+        s.set_epoch_for_test(u64::MAX);
+        s.store_wake(Some(500), 10);
+        assert_eq!(s.valid_wake(), Some(500));
+        // The next invalidation wraps the epoch to 0; the cache must
+        // die with it.
+        s.invalidate();
+        assert_eq!(s.valid_wake(), None);
+        // Simulate the epoch coming all the way back around to the
+        // value the stale entry was computed under. Before the
+        // eager-clear fix this revalidated the dead entry (epoch match
+        // on a reused value); it must stay invalid.
+        s.set_epoch_for_test(u64::MAX);
+        assert_eq!(
+            s.valid_wake(),
+            None,
+            "stale wake cache revalidated after epoch wrap-around"
+        );
+        assert_eq!(s.valid_computed_at(), None);
+        // A fresh store at the reused epoch works normally.
+        s.store_wake(Some(900), 20);
+        assert_eq!(s.valid_wake(), Some(900));
     }
 }

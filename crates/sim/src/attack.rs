@@ -8,8 +8,9 @@
 use mopac::config::MitigationConfig;
 use mopac_dram::device::{DramConfig, DramDevice, DramStats};
 use mopac_memctrl::controller::{AccessKind, McConfig, MemRequest, MemoryController, PagePolicy};
-use mopac_types::error::MopacResult;
+use mopac_types::error::{MopacError, MopacResult};
 use mopac_types::geometry::DramGeometry;
+use mopac_types::obs::{Gauge, Hist, MetricsSink, MetricsSnapshot, SinkConfig};
 use mopac_types::time::Cycle;
 use mopac_workloads::attack::AttackPattern;
 
@@ -105,6 +106,38 @@ pub fn attack_suite_configs(t_rh: u64, cycles: Cycle) -> Vec<(&'static str, Atta
 /// controller drives the device into an illegal sequence (never in a
 /// healthy configuration).
 pub fn run_attack(cfg: &AttackConfig, pattern: &mut dyn AttackPattern) -> MopacResult<AttackResult> {
+    run_attack_inner(cfg, pattern, None).map(|(r, _)| r)
+}
+
+/// Like [`run_attack`] but with the observability sink enabled:
+/// returns the attack result together with a [`MetricsSnapshot`]
+/// carrying the protocol trace ring, command histograms (inter-ACT
+/// gap, ABO service time, per-bank SRQ occupancy) and all registry
+/// counters. The simulation itself is bit-identical to [`run_attack`]
+/// — the sink only records alongside it.
+///
+/// # Errors
+///
+/// See [`run_attack`]; additionally returns
+/// [`MopacError::Internal`] if the enabled sink produced no snapshot
+/// (unreachable in practice).
+pub fn run_attack_instrumented(
+    cfg: &AttackConfig,
+    pattern: &mut dyn AttackPattern,
+    sink_cfg: SinkConfig,
+) -> MopacResult<(AttackResult, MetricsSnapshot)> {
+    let (result, snapshot) = run_attack_inner(cfg, pattern, Some(sink_cfg))?;
+    let snapshot = snapshot.ok_or_else(|| {
+        MopacError::internal("instrumented attack run produced no metrics snapshot")
+    })?;
+    Ok((result, snapshot))
+}
+
+fn run_attack_inner(
+    cfg: &AttackConfig,
+    pattern: &mut dyn AttackPattern,
+    metrics: Option<SinkConfig>,
+) -> MopacResult<(AttackResult, Option<MetricsSnapshot>)> {
     let dram = DramDevice::new(DramConfig {
         geometry: cfg.geometry,
         mitigation: cfg.mitigation,
@@ -123,6 +156,9 @@ pub fn run_attack(cfg: &AttackConfig, pattern: &mut dyn AttackPattern) -> MopacR
             seed: cfg.seed ^ 0xF00,
         },
     );
+    if let Some(sink_cfg) = metrics {
+        mc.enable_metrics(sink_cfg);
+    }
     let mut done = Vec::new();
     let mut id = 0u64;
     for now in 0..cfg.cycles {
@@ -144,12 +180,29 @@ pub fn run_attack(cfg: &AttackConfig, pattern: &mut dyn AttackPattern) -> MopacR
         done.clear();
         mc.tick(now, &mut done)?;
     }
-    Ok(AttackResult {
-        activations: mc.dram().stats().activates,
-        cycles: cfg.cycles,
-        dram: mc.dram().stats(),
-        violations: mc.dram().violations(),
-    })
+    let snapshot = metrics.and_then(|sink_cfg| {
+        mc.export_metrics();
+        let mut merged = MetricsSink::enabled(sink_cfg);
+        merged.absorb(mc.metrics());
+        merged.absorb(mc.dram().metrics());
+        merged.set_gauge(Gauge::Cycles, cfg.cycles);
+        merged.set_gauge(Gauge::McQueued, mc.queued() as u64);
+        merged.set_gauge(Gauge::OracleViolations, mc.dram().violations());
+        let srq_max = merged
+            .registry()
+            .map_or(0, |r| r.hist_merged(Hist::SrqOccupancy).max());
+        merged.set_gauge(Gauge::EngineSrqOccupancyMax, srq_max);
+        merged.snapshot()
+    });
+    Ok((
+        AttackResult {
+            activations: mc.dram().stats().activates,
+            cycles: cfg.cycles,
+            dram: mc.dram().stats(),
+            violations: mc.dram().violations(),
+        },
+        snapshot,
+    ))
 }
 
 #[cfg(test)]

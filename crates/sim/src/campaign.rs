@@ -28,6 +28,7 @@ use crate::runner::{IsolatedRunner, RunReport, RunStatus};
 use crate::system::{RunResult, System, SystemConfig};
 use mopac::config::MitigationConfig;
 use mopac_types::geometry::DramGeometry;
+use mopac_types::obs::{Hist, MetricsSnapshot, SinkConfig};
 use mopac_types::rng::DetRng;
 use mopac_types::MopacResult;
 use std::num::NonZeroUsize;
@@ -190,6 +191,30 @@ pub const FAULT_CAMPAIGN_HEADERS: [&str; 11] = [
     "detail",
 ];
 
+/// CSV schema when [`FaultCampaignSpec::collect_metrics`] is on: the
+/// base columns plus merged histogram percentiles from each cell's
+/// metrics snapshot. A separate constant so the default schema (and
+/// the byte-identity tests joined against it) never moves.
+pub const FAULT_CAMPAIGN_METRICS_HEADERS: [&str; 17] = [
+    "mitigation",
+    "fault",
+    "status",
+    "attempts",
+    "violations",
+    "faults_applied",
+    "trace_corruptions",
+    "alerts",
+    "rfms",
+    "cycles",
+    "detail",
+    "read_lat_p50",
+    "read_lat_p95",
+    "read_lat_p99",
+    "act_gap_p50",
+    "act_gap_p95",
+    "act_gap_p99",
+];
+
 /// One (mitigation × fault) cell of the fault-injection campaign.
 #[derive(Debug, Clone)]
 pub struct FaultCell {
@@ -330,6 +355,11 @@ pub struct FaultCampaignSpec {
     /// Deliberately panic in the named `mitigation/fault` cell
     /// (isolation demo; `MOPAC_INJECT_PANIC`).
     pub inject_panic: Option<String>,
+    /// Enable the per-cell metrics sink and append the percentile
+    /// columns of [`FAULT_CAMPAIGN_METRICS_HEADERS`] to each row.
+    /// Off by default: rows then match [`FAULT_CAMPAIGN_HEADERS`]
+    /// byte-for-byte, and the cells run with every sink call a no-op.
+    pub collect_metrics: bool,
 }
 
 impl Default for FaultCampaignSpec {
@@ -340,6 +370,7 @@ impl Default for FaultCampaignSpec {
             timeout: Duration::from_secs(300),
             threads: 0,
             inject_panic: None,
+            collect_metrics: false,
         }
     }
 }
@@ -362,33 +393,53 @@ pub struct FaultCellOutcome {
 
 /// One isolated cell run: workload `xz` on the tiny geometry with the
 /// checker on and the fault plan active. `attempt` bumps the seed so a
-/// retried cell does not replay the identical failure.
+/// retried cell does not replay the identical failure. The snapshot is
+/// `None` unless `collect_metrics` was requested.
 fn run_fault_cell(
     cell: &FaultCell,
     instrs: u64,
     seed: u64,
     attempt: u32,
-) -> MopacResult<RunResult> {
+    collect_metrics: bool,
+) -> MopacResult<(RunResult, Option<MetricsSnapshot>)> {
     let mut cfg = SystemConfig::paper_default(cell.mitigation, instrs);
     cfg.geometry = DramGeometry::tiny();
     cfg.enable_checker = true;
     cfg.seed = seed.wrapping_add(u64::from(attempt));
     cfg.livelock_window = 2_000_000;
     cfg.fault_plan = Some(cell.plan.clone());
+    cfg.metrics = collect_metrics.then(SinkConfig::default);
     let traces = build_traces("xz", &cfg)?;
-    System::new(cfg, traces)?.run()
+    System::new(cfg, traces)?.run_with_metrics()
+}
+
+/// Appends the p50/p95/p99 of one merged histogram to `row` ("0"s when
+/// the cell produced no snapshot or never recorded the histogram).
+fn push_percentiles(row: &mut Vec<String>, snapshot: Option<&MetricsSnapshot>, h: Hist) {
+    let (p50, p95, p99) = snapshot
+        .and_then(|s| s.hist_merged(h))
+        .map_or((0, 0, 0), |m| (m.p50, m.p95, m.p99));
+    row.push(p50.to_string());
+    row.push(p95.to_string());
+    row.push(p99.to_string());
 }
 
 /// Renders one cell report into its CSV row.
-fn fault_cell_outcome(cell: &FaultCell, report: &RunReport<RunResult>) -> FaultCellOutcome {
+fn fault_cell_outcome(
+    cell: &FaultCell,
+    report: &RunReport<(RunResult, Option<MetricsSnapshot>)>,
+    collect_metrics: bool,
+) -> FaultCellOutcome {
     let status = match report.status {
         RunStatus::Done => "done",
         RunStatus::Failed => "failed",
         RunStatus::Panicked => "panicked",
         RunStatus::TimedOut => "timed-out",
     };
+    let result = report.value.as_ref().map(|(r, _)| r);
+    let snapshot = report.value.as_ref().and_then(|(_, s)| s.as_ref());
     let (violations, faults, corruptions, alerts, rfms, cycles) =
-        report.value.as_ref().map_or((0, 0, 0, 0, 0, 0), |r| {
+        result.map_or((0, 0, 0, 0, 0, 0), |r| {
             (
                 r.violations,
                 r.faults_applied,
@@ -399,7 +450,7 @@ fn fault_cell_outcome(cell: &FaultCell, report: &RunReport<RunResult>) -> FaultC
             )
         });
     // Oracle escapes become a structured note, never an abort.
-    let detail = report.value.as_ref().map_or_else(
+    let detail = result.map_or_else(
         || {
             report
                 .error
@@ -412,23 +463,28 @@ fn fault_cell_outcome(cell: &FaultCell, report: &RunReport<RunResult>) -> FaultC
                 .map_or(String::new(), |e| e.to_string())
         },
     );
+    let mut row = vec![
+        cell.mitigation_name.to_string(),
+        cell.fault_name.to_string(),
+        status.to_string(),
+        report.attempts.to_string(),
+        violations.to_string(),
+        faults.to_string(),
+        corruptions.to_string(),
+        alerts.to_string(),
+        rfms.to_string(),
+        cycles.to_string(),
+        detail,
+    ];
+    if collect_metrics {
+        push_percentiles(&mut row, snapshot, Hist::ReadLatency);
+        push_percentiles(&mut row, snapshot, Hist::InterActGap);
+    }
     FaultCellOutcome {
         label: cell.label(),
         status: report.status.clone(),
         violations,
-        row: vec![
-            cell.mitigation_name.to_string(),
-            cell.fault_name.to_string(),
-            status.to_string(),
-            report.attempts.to_string(),
-            violations.to_string(),
-            faults.to_string(),
-            corruptions.to_string(),
-            alerts.to_string(),
-            rfms.to_string(),
-            cycles.to_string(),
-            detail,
-        ],
+        row,
     }
 }
 
@@ -445,6 +501,7 @@ pub fn run_fault_campaign_cells(
         .with_threads(spec.threads);
     let instrs = spec.instrs;
     let inject_panic = spec.inject_panic.clone();
+    let collect_metrics = spec.collect_metrics;
     campaign.run(
         cells,
         FaultCell::label,
@@ -453,9 +510,9 @@ pub fn run_fault_campaign_cells(
                 inject_panic.as_deref() != Some(cell.label().as_str()),
                 "MOPAC_INJECT_PANIC: simulated crash in cell (attempt {attempt})"
             );
-            run_fault_cell(&cell, instrs, seed, attempt)
+            run_fault_cell(&cell, instrs, seed, attempt, collect_metrics)
         },
-        |idx, report| sink(fault_cell_outcome(&cells[idx], &report)),
+        |idx, report| sink(fault_cell_outcome(&cells[idx], &report, collect_metrics)),
     );
 }
 

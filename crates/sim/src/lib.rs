@@ -38,7 +38,7 @@ pub mod fault;
 pub mod runner;
 pub mod system;
 
-pub use attack::{run_attack, AttackConfig, AttackResult};
+pub use attack::{run_attack, run_attack_instrumented, AttackConfig, AttackResult};
 pub use campaign::{
     run_fault_campaign, run_fault_campaign_cells, FaultCampaignSpec, FaultCellOutcome,
     ParallelCampaign,

@@ -26,6 +26,9 @@ use mopac_types::addr::PhysAddr;
 use mopac_types::collections::DetMap;
 use mopac_types::error::{MopacError, MopacResult};
 use mopac_types::geometry::DramGeometry;
+use mopac_types::obs::{
+    Counter, Gauge, Hist, MetricsRegistry, MetricsSink, MetricsSnapshot, SinkConfig,
+};
 use mopac_types::time::Cycle;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -74,6 +77,11 @@ pub struct SystemConfig {
     /// Simulation kernel (event-driven by default; lockstep is the
     /// golden reference).
     pub kernel: KernelMode,
+    /// Observability: `Some` enables the metrics sink (registry +
+    /// trace ring) on the controller and device. `None` (the default)
+    /// keeps every sink call a no-op; runs are bit-identical either
+    /// way — the sink only records alongside the simulation.
+    pub metrics: Option<SinkConfig>,
 }
 
 impl SystemConfig {
@@ -96,6 +104,7 @@ impl SystemConfig {
             livelock_window: 10_000_000,
             fault_plan: None,
             kernel: KernelMode::EventDriven,
+            metrics: None,
         }
     }
 }
@@ -120,6 +129,18 @@ pub struct PrefetchStats {
     pub hits: u64,
     /// Demand reads that piggybacked on an in-flight prefetch.
     pub late_hits: u64,
+}
+
+impl PrefetchStats {
+    /// Publishes these counters onto a metrics registry under the
+    /// `prefetch.*` namespace. The struct stays the source of truth;
+    /// this overwrites the registry copies at export time (DESIGN.md
+    /// §11).
+    pub fn export_metrics(&self, reg: &mut MetricsRegistry) {
+        reg.set_counter(Counter::PrefetchIssued, self.issued);
+        reg.set_counter(Counter::PrefetchHits, self.hits);
+        reg.set_counter(Counter::PrefetchLateHits, self.late_hits);
+    }
 }
 
 /// Results of one simulation run. `PartialEq` is exact (including the
@@ -414,7 +435,10 @@ impl System {
         });
         let mut mc_cfg = cfg.mc;
         mc_cfg.seed = cfg.seed ^ 0x3C;
-        let mc = MemoryController::new(dram, mc_cfg);
+        let mut mc = MemoryController::new(dram, mc_cfg);
+        if let Some(sink_cfg) = cfg.metrics {
+            mc.enable_metrics(sink_cfg);
+        }
         let drivers = traces
             .into_iter()
             .map(|trace| CoreDriver {
@@ -460,6 +484,48 @@ impl System {
         let result = me.run_inner()?;
         let stats = me.mc.stats();
         Ok((result, stats))
+    }
+
+    /// Like [`System::run`] but also returns the merged metrics
+    /// snapshot (`None` unless [`SystemConfig::metrics`] was set).
+    ///
+    /// # Errors
+    ///
+    /// See [`System::run`].
+    pub fn run_with_metrics(self) -> MopacResult<(RunResult, Option<MetricsSnapshot>)> {
+        let mut me = self;
+        let result = me.run_inner()?;
+        let snapshot = me.metrics_snapshot();
+        Ok((result, snapshot))
+    }
+
+    /// Exports every subsystem's statistics onto the sinks and returns
+    /// one merged [`MetricsSnapshot`]: controller counters + latency
+    /// histograms, device counters + protocol trace events + per-bank
+    /// engine histograms, LLC and prefetcher counters, and the
+    /// system-level gauges. Returns `None` when metrics are disabled.
+    pub fn metrics_snapshot(&mut self) -> Option<MetricsSnapshot> {
+        let sink_cfg = self.cfg.metrics?;
+        self.mc.export_metrics();
+        let mut merged = MetricsSink::enabled(sink_cfg);
+        merged.absorb(self.mc.metrics());
+        merged.absorb(self.mc.dram().metrics());
+        let pf = self.pf_stats;
+        let llc = self.llc.as_ref().map(Llc::stats);
+        if let Some(reg) = merged.registry_mut() {
+            pf.export_metrics(reg);
+            if let Some(stats) = llc {
+                stats.export_metrics(reg);
+            }
+        }
+        merged.set_gauge(Gauge::Cycles, self.now);
+        merged.set_gauge(Gauge::McQueued, self.mc.queued() as u64);
+        merged.set_gauge(Gauge::OracleViolations, self.mc.dram().violations());
+        let srq_max = merged
+            .registry()
+            .map_or(0, |r| r.hist_merged(Hist::SrqOccupancy).max());
+        merged.set_gauge(Gauge::EngineSrqOccupancyMax, srq_max);
+        merged.snapshot()
     }
 
     /// Runs to completion (all cores reach the instruction budget) and

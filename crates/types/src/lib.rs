@@ -25,6 +25,7 @@ pub mod collections;
 pub mod error;
 pub mod geometry;
 pub mod jedec;
+pub mod obs;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -32,5 +33,6 @@ pub mod time;
 pub use addr::{DecodedAddr, PhysAddr};
 pub use error::{MopacError, MopacResult};
 pub use geometry::{BankRef, DramGeometry};
+pub use obs::{MetricsSink, MetricsSnapshot, SinkConfig};
 pub use rng::DetRng;
 pub use time::{Cycle, MemClock};

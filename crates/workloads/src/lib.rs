@@ -15,6 +15,11 @@
 //! assert_eq!(find("parest").unwrap().rbhr, 0.61);
 //! ```
 
+// The robustness contract (see DESIGN.md): library code surfaces
+// failures as `MopacResult`, never by unwrapping. Tests are exempt
+// via clippy.toml (`allow-unwrap-in-tests`).
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod attack;
 pub mod generator;
 pub mod spec;

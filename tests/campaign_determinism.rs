@@ -21,6 +21,7 @@ fn campaign_csv(threads: usize, master_seed: u64) -> String {
         timeout: Duration::from_secs(120),
         threads,
         inject_panic: None,
+        collect_metrics: false,
     };
     // A strided slice of the registry x fault matrix: the cells are
     // mitigation-major with six faults each, so every third index

@@ -17,6 +17,8 @@ use mopac_sim::system::{KernelMode, System, SystemConfig};
 use mopac_types::addr::PhysAddr;
 use mopac_types::error::MopacError;
 use mopac_types::geometry::DramGeometry;
+use mopac_types::obs::{Hist, SinkConfig};
+use mopac_types::rng::DetRng;
 
 fn tiny_cfg(mit: MitigationConfig, instrs: u64) -> SystemConfig {
     let mut cfg = SystemConfig::paper_default(mit, instrs);
@@ -148,6 +150,118 @@ fn equivalence_idle_heavy_bulk_regions() {
         let (fast, fast_mc) = run(KernelMode::EventDriven, gap);
         assert_eq!(golden, fast, "RunResult diverged: gap={gap}");
         assert_eq!(golden_mc, fast_mc, "McStats diverged: gap={gap}");
+    }
+}
+
+/// Property test over random fault plans: the per-mode `McStats`
+/// replication in the event kernel's saturated fast path (ABO-stall /
+/// refresh-mode / idle-with-work counters) must stay field-identical
+/// to lockstep under arbitrary mixes of ALERT storms, dropped and
+/// delayed RFMs, counter bit-flips and wedged banks. Every plan always
+/// carries an ABO storm so the stall classification is exercised; the
+/// rest of the plan is drawn from a deterministic RNG.
+#[test]
+fn stats_equivalence_under_random_fault_plans() {
+    let mut rng = DetRng::from_seed(0x0B5E_C0DE);
+    for case in 0..6u64 {
+        let mut plan = FaultPlan::new(rng.next_u64());
+        plan = plan.with(
+            500 + rng.next_u64() % 4_000,
+            FaultKind::AlertStorm {
+                subchannel: (rng.next_u64() % 2) as u32,
+                period: 900 + rng.next_u64() % 1_500,
+                count: (5 + rng.next_u64() % 20) as u32,
+            },
+        );
+        for _ in 0..rng.next_u64() % 3 {
+            let at = 500 + rng.next_u64() % 8_000;
+            let kind = match rng.next_u64() % 4 {
+                0 => FaultKind::DropRfm {
+                    count: (1 + rng.next_u64() % 3) as u32,
+                },
+                1 => FaultKind::DelayRfm {
+                    extra_cycles: 50 + rng.next_u64() % 250,
+                },
+                2 => FaultKind::CounterBitFlip {
+                    subchannel: (rng.next_u64() % 2) as u32,
+                    bank: (rng.next_u64() % 4) as u32,
+                    bit: (rng.next_u64() % 12) as u32,
+                },
+                _ => FaultKind::StuckBank {
+                    subchannel: (rng.next_u64() % 2) as u32,
+                    bank: (rng.next_u64() % 4) as u32,
+                    duration: 2_000 + rng.next_u64() % 8_000,
+                },
+            };
+            plan = plan.with(at, kind);
+        }
+        let mit = match case % 3 {
+            0 => MitigationConfig::mopac_c(500),
+            1 => MitigationConfig::mopac_d(500),
+            _ => MitigationConfig::prac(500),
+        };
+        let mut cfg = tiny_cfg(mit, 15_000);
+        cfg.fault_plan = Some(plan);
+        assert_equivalent(cfg, &format!("random fault plan #{case}"));
+    }
+}
+
+/// The observability invariant (DESIGN.md §11): enabling the metrics
+/// sink changes *nothing* about the simulation — same `RunResult` bit
+/// for bit (RNG streams included), under both kernels, with an ABO
+/// storm active. And the exported registry copies must mirror the
+/// stats structs exactly, including the read-latency histogram whose
+/// count/sum replicate the controller's latency accounting.
+#[test]
+fn metrics_sink_does_not_perturb_the_simulation() {
+    for kernel in [KernelMode::Lockstep, KernelMode::EventDriven] {
+        let mut cfg = tiny_cfg(MitigationConfig::mopac_d(500), 20_000);
+        cfg.kernel = kernel;
+        cfg.fault_plan = Some(FaultPlan::new(0xAB0).with(
+            1_000,
+            FaultKind::AlertStorm {
+                subchannel: 0,
+                period: 1_100,
+                count: 10,
+            },
+        ));
+        let traces = build_traces("xz", &cfg).unwrap();
+        let (off, off_mc) = System::new(cfg.clone(), traces)
+            .unwrap()
+            .run_with_mc_stats()
+            .unwrap();
+
+        let mut on_cfg = cfg.clone();
+        on_cfg.metrics = Some(SinkConfig::default());
+        let traces = build_traces("xz", &on_cfg).unwrap();
+        let (on, snapshot) = System::new(on_cfg, traces)
+            .unwrap()
+            .run_with_metrics()
+            .unwrap();
+        let snapshot = snapshot.expect("metrics were enabled");
+
+        assert_eq!(off, on, "metrics sink changed the simulation ({kernel:?})");
+        assert_eq!(snapshot.counter("mc.reads_done"), Some(off_mc.reads_done));
+        assert_eq!(snapshot.counter("mc.writes_done"), Some(off_mc.writes_done));
+        assert_eq!(
+            snapshot.counter("mc.read_latency_sum"),
+            Some(off_mc.read_latency_sum)
+        );
+        assert_eq!(
+            snapshot.counter("mc.abo_stall_cycles"),
+            Some(off_mc.abo_stall_cycles)
+        );
+        assert_eq!(snapshot.counter("dram.activates"), Some(off.dram.activates));
+        assert_eq!(snapshot.counter("dram.rfms"), Some(off.dram.rfms));
+        assert_eq!(
+            snapshot.counter("engine.mitigations"),
+            Some(off.mitigation.mitigations)
+        );
+        let lat = snapshot
+            .hist_merged(Hist::ReadLatency)
+            .expect("reads were recorded");
+        assert_eq!(lat.count, off_mc.reads_done, "latency hist count ({kernel:?})");
+        assert_eq!(lat.sum, off_mc.read_latency_sum, "latency hist sum ({kernel:?})");
     }
 }
 
