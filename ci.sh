@@ -93,6 +93,43 @@ if [[ $fast -eq 0 ]]; then
   step "mitigation slowdown bench (reduced budget)"
   MOPAC_INSTRS=40000 cargo run --release -q -p mopac-bench --bin bench_mitigations
 
+  # Crash-safety gate 1: kill-and-resume. Run the checkpointed fault
+  # campaign, SIGKILL it mid-flight, resume from the checkpoint, and
+  # require the final CSV to be byte-identical to an uninterrupted run.
+  step "checkpoint kill-and-resume gate"
+  ckpt_root=$(mktemp -d)
+  trap 'rm -rf "$ckpt_root"' EXIT
+  fc=./target/release/fault_campaign
+  MOPAC_FAULT_INSTRS=300000 MOPAC_DATA_DIR="$ckpt_root/ref" "$fc" >/dev/null
+  MOPAC_FAULT_INSTRS=300000 MOPAC_DATA_DIR="$ckpt_root/run" \
+    MOPAC_CKPT_DIR="$ckpt_root/ckpt" "$fc" >/dev/null 2>&1 &
+  fc_pid=$!
+  sleep 1
+  kill -9 "$fc_pid" 2>/dev/null || true
+  wait "$fc_pid" 2>/dev/null || true
+  committed=$(grep -c . "$ckpt_root/ckpt/cells.log" 2>/dev/null || echo 0)
+  MOPAC_FAULT_INSTRS=300000 MOPAC_DATA_DIR="$ckpt_root/run" \
+    MOPAC_CKPT_DIR="$ckpt_root/ckpt" "$fc" >/dev/null
+  if ! cmp -s "$ckpt_root/ref/fault_campaign.csv" "$ckpt_root/run/fault_campaign.csv"; then
+    echo "FAIL: resumed campaign CSV differs from the uninterrupted run"
+    diff "$ckpt_root/ref/fault_campaign.csv" "$ckpt_root/run/fault_campaign.csv" | head
+    exit 1
+  fi
+  echo "kill-and-resume OK: CSVs byte-identical ($committed cell(s) survived the SIGKILL)"
+
+  # Crash-safety gate 2: periodic snapshots on a saturated attack run
+  # (every 32 REF windows) must cost < 5% wall-clock.
+  step "snapshot overhead gate (saturated attack, < 5%)"
+  overhead=$(MOPAC_ATTACK_CYCLES=20000000 ./target/release/snapshot_overhead \
+    | tee /dev/stderr | awk -F': ' '/snapshot_overhead_pct/ {print $2}')
+  awk -v o="$overhead" 'BEGIN {
+    if (o + 0 >= 5.0) {
+      printf "FAIL: snapshot overhead %.2f%% >= 5%%\n", o
+      exit 1
+    }
+    printf "snapshot overhead %.2f%% (gate: < 5%%)\n", o
+  }'
+
   # Docs gate: rustdoc must build warning-free (broken intra-doc links
   # in the engine/registry API surface would land here first).
   step "cargo doc (no-deps, -D warnings)"

@@ -70,6 +70,6 @@ fn main() {
             || std::path::PathBuf::from("BENCH_mitigations.json"),
             |root| root.join("BENCH_mitigations.json"),
         );
-    std::fs::write(&path, json).expect("write BENCH_mitigations.json");
+    mopac_types::persist::atomic_write_str(&path, &json).expect("write BENCH_mitigations.json");
     println!("wrote {}", path.display());
 }

@@ -18,10 +18,16 @@
 //! - `MOPAC_INJECT_PANIC=<mitigation>/<fault>`: deliberately panic in
 //!   that cell, demonstrating that isolation keeps the rest of the
 //!   matrix alive and persisted.
+//! - `MOPAC_CKPT_DIR=<dir>`: checkpoint the campaign there
+//!   ([`CheckpointedFaultCampaign`]). Re-running with the same spec
+//!   resumes — completed cells replay from the checkpoint instead of
+//!   re-executing, and the final CSV is byte-identical to an
+//!   uninterrupted run (kill-and-resume is gated in `ci.sh`).
 
 use mopac_bench::{IncrementalCsv, Report};
 use mopac_sim::campaign::{
-    fault_cells, run_fault_campaign, FaultCampaignSpec, FAULT_CAMPAIGN_HEADERS,
+    fault_cells, run_fault_campaign, CheckpointedFaultCampaign, FaultCampaignSpec,
+    FAULT_CAMPAIGN_HEADERS,
 };
 use mopac_sim::runner::RunStatus;
 use std::time::Duration;
@@ -55,7 +61,7 @@ fn main() {
     let spec = spec_from_env();
     let mut escapes = 0u64;
     let mut not_done = 0u64;
-    run_fault_campaign(&spec, |outcome| {
+    let sink = |outcome: mopac_sim::FaultCellOutcome| {
         if outcome.status != RunStatus::Done {
             not_done += 1;
         }
@@ -63,7 +69,18 @@ fn main() {
         csv.append(&outcome.row).expect("append campaign row");
         table.row(&outcome.row);
         eprintln!("  [{}] {}", outcome.row[2], outcome.label);
-    });
+    };
+    if let Ok(dir) = std::env::var("MOPAC_CKPT_DIR") {
+        let cells = fault_cells();
+        let ckpt = CheckpointedFaultCampaign::new(spec, dir);
+        let summary = ckpt.run(&cells, sink).expect("checkpointed campaign");
+        eprintln!(
+            "checkpoint: {} cell(s) resumed, {} executed",
+            summary.resumed, summary.executed
+        );
+    } else {
+        run_fault_campaign(&spec, sink);
+    }
     println!("{}", table.to_table());
     println!(
         "campaign complete: {} cells, {} not-done, {} oracle escapes; rows persisted to {}",

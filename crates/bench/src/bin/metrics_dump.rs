@@ -41,9 +41,9 @@ fn dump(scenario: &str, snapshot: &MetricsSnapshot, table: &mut Report) {
     let dir = data_dir();
     std::fs::create_dir_all(&dir).expect("create data dir");
     let jsonl = dir.join(format!("metrics_{scenario}.jsonl"));
-    std::fs::write(&jsonl, snapshot.to_jsonl()).expect("write jsonl");
+    mopac_types::persist::atomic_write_str(&jsonl, &snapshot.to_jsonl()).expect("write jsonl");
     let hist_csv = dir.join(format!("metrics_{scenario}_hist.csv"));
-    std::fs::write(&hist_csv, snapshot.hists_to_csv()).expect("write hist csv");
+    mopac_types::persist::atomic_write_str(&hist_csv, &snapshot.hists_to_csv()).expect("write hist csv");
     let trace_csv = dir.join(format!("metrics_{scenario}_trace.csv"));
     let mut trace = String::from(TraceRing::CSV_HEADER);
     trace.push('\n');
@@ -51,7 +51,7 @@ fn dump(scenario: &str, snapshot: &MetricsSnapshot, table: &mut Report) {
         trace.push_str(&e.to_csv_row());
         trace.push('\n');
     }
-    std::fs::write(&trace_csv, trace).expect("write trace csv");
+    mopac_types::persist::atomic_write_str(&trace_csv, &trace).expect("write trace csv");
     for h in &snapshot.hists {
         table.row(&[
             scenario.to_string(),

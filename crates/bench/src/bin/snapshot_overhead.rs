@@ -1,0 +1,86 @@
+//! Measures the wall-clock cost of periodic crash-safety snapshots on a
+//! saturated attack run.
+//!
+//! Runs the same double-sided hammer twice: once straight through, once
+//! pausing every `MOPAC_SNAP_REF_WINDOWS` (default 32) REF intervals to
+//! take a full [`AttackRun::snapshot`]. Results must stay bit-identical
+//! (the snapshot is a pure observer), and the relative slowdown is
+//! printed as `snapshot_overhead_pct: <value>` — `ci.sh` gates it below
+//! 5% in release builds.
+
+use mopac::config::MitigationConfig;
+use mopac_bench::attack_cycle_budget;
+use mopac_dram::timing::TimingSet;
+use mopac_sim::{AttackConfig, AttackResult, AttackRun};
+use mopac_types::geometry::{BankRef, DramGeometry};
+use mopac_workloads::attack::DoubleSidedHammer;
+use std::time::Instant;
+
+fn run_once(cfg: &AttackConfig, snap_interval: Option<u64>) -> (AttackResult, f64, usize, usize) {
+    let mut pattern = DoubleSidedHammer::new(BankRef::new(0, 0), 100);
+    let mut run = AttackRun::new(cfg, &mut pattern);
+    let start = Instant::now();
+    let mut snaps = 0usize;
+    let mut bytes = 0usize;
+    match snap_interval {
+        None => run.run_until(run.end()).expect("attack run"),
+        Some(interval) => {
+            while run.now() < run.end() {
+                run.run_until(run.now() + interval).expect("attack run");
+                bytes += run.snapshot().len();
+                snaps += 1;
+            }
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    (run.result(), elapsed, snaps, bytes)
+}
+
+fn main() {
+    let ref_windows = std::env::var("MOPAC_SNAP_REF_WINDOWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32u64)
+        .max(1);
+    let interval = TimingSet::ddr5_base().t_refi * ref_windows;
+    let cfg = AttackConfig {
+        geometry: DramGeometry::tiny(),
+        ..AttackConfig::new(MitigationConfig::prac(500), attack_cycle_budget())
+    };
+
+    // Warm-up (page in code and allocator paths), then best-of-3 each
+    // to keep scheduler noise out of the ratio.
+    let _ = run_once(&cfg, None);
+    let mut plain = None;
+    let mut t_plain = f64::INFINITY;
+    let mut snapped = None;
+    let mut t_snap = f64::INFINITY;
+    let mut snaps = 0;
+    let mut bytes = 0;
+    for _ in 0..3 {
+        let (r, t, _, _) = run_once(&cfg, None);
+        if t < t_plain {
+            t_plain = t;
+        }
+        plain = Some(r);
+        let (r, t, s, b) = run_once(&cfg, Some(interval));
+        if t < t_snap {
+            t_snap = t;
+        }
+        (snapped, snaps, bytes) = (Some(r), s, b);
+    }
+    let (plain, snapped) = (plain.expect("measured"), snapped.expect("measured"));
+
+    assert_eq!(
+        plain.activations, snapped.activations,
+        "snapshots perturbed the run"
+    );
+    assert_eq!(plain.dram, snapped.dram, "snapshots perturbed DRAM state");
+
+    let overhead = (t_snap - t_plain) / t_plain.max(1e-9) * 100.0;
+    println!(
+        "saturated attack, {} cycles: plain {t_plain:.3}s, {snaps} snapshot(s) every {ref_windows} REF windows ({interval} cycles, {bytes} bytes total) {t_snap:.3}s",
+        cfg.cycles
+    );
+    println!("snapshot_overhead_pct: {overhead:.2}");
+}

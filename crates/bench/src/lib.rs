@@ -121,7 +121,8 @@ impl Report {
         }
     }
 
-    /// Writes the CSV file; returns the path written.
+    /// Writes the CSV file (atomically — a reader or a crash never sees
+    /// a half-written table); returns the path written.
     ///
     /// # Errors
     ///
@@ -131,19 +132,12 @@ impl Report {
         fs::create_dir_all(&dir)?;
         let path = dir.join(format!("{}.csv", self.experiment));
         let mut csv = String::new();
-        let esc = |s: &str| {
-            if s.contains(',') || s.contains('"') {
-                format!("\"{}\"", s.replace('"', "\"\""))
-            } else {
-                s.to_string()
-            }
-        };
         let _ = writeln!(
             csv,
             "{}",
             self.headers
                 .iter()
-                .map(|h| esc(h))
+                .map(|h| csv_escape(h))
                 .collect::<Vec<_>>()
                 .join(",")
         );
@@ -151,10 +145,13 @@ impl Report {
             let _ = writeln!(
                 csv,
                 "{}",
-                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+                row.iter()
+                    .map(|c| csv_escape(c))
+                    .collect::<Vec<_>>()
+                    .join(",")
             );
         }
-        fs::write(&path, csv)?;
+        mopac_types::persist::atomic_write_str(&path, &csv)?;
         Ok(path)
     }
 }
@@ -284,9 +281,11 @@ impl IncrementalCsv {
     }
 }
 
+/// RFC-4180 quoting: wrap in quotes when the cell contains a comma or
+/// quote, doubling embedded quotes.
 fn csv_escape(s: &str) -> String {
     if s.contains(',') || s.contains('"') {
-        format!("\"{}\"", s.replace('"', "\"\"\""))
+        format!("\"{}\"", s.replace('"', "\"\""))
     } else {
         s.to_string()
     }
@@ -335,6 +334,13 @@ mod tests {
         assert!(content.contains("\"a,b\""));
         assert!(content.contains("\"x\"\"y\""));
         std::env::remove_var("MOPAC_DATA_DIR");
+    }
+
+    #[test]
+    fn csv_escape_doubles_quotes() {
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("x\"y"), "\"x\"\"y\"");
     }
 
     #[test]

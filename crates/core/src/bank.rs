@@ -80,6 +80,36 @@ pub struct MitigationStats {
     pub ref_drained_updates: u64,
 }
 
+impl mopac_types::snapshot::Snapshottable for MitigationStats {
+    fn save_state(&self, w: &mut mopac_types::snapshot::SnapshotWriter) {
+        w.put_u64(self.activations);
+        w.put_u64(self.counter_updates);
+        w.put_u64(self.srq_insertions);
+        w.put_u64(self.srq_overflows);
+        w.put_u64(self.mitigations);
+        w.put_u64(self.update_precharges);
+        w.put_u64(self.abo_mitigations);
+        w.put_u64(self.proactive_mitigations);
+        w.put_u64(self.ref_drained_updates);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut mopac_types::snapshot::SnapshotReader<'_>,
+    ) -> mopac_types::MopacResult<()> {
+        self.activations = r.take_u64()?;
+        self.counter_updates = r.take_u64()?;
+        self.srq_insertions = r.take_u64()?;
+        self.srq_overflows = r.take_u64()?;
+        self.mitigations = r.take_u64()?;
+        self.update_precharges = r.take_u64()?;
+        self.abo_mitigations = r.take_u64()?;
+        self.proactive_mitigations = r.take_u64()?;
+        self.ref_drained_updates = r.take_u64()?;
+        Ok(())
+    }
+}
+
 impl MitigationStats {
     /// Publishes these counters onto a metrics registry under the
     /// `engine.*` namespace. The struct stays the source of truth; the
@@ -213,6 +243,19 @@ impl BankMitigation {
     /// [`crate::engine::MitigationEngine::record_metrics`]).
     pub fn record_metrics(&self, flat_bank: u32, sink: &mut MetricsSink) {
         self.engine.record_metrics(flat_bank, sink);
+    }
+}
+
+impl mopac_types::snapshot::Snapshottable for BankMitigation {
+    fn save_state(&self, w: &mut mopac_types::snapshot::SnapshotWriter) {
+        self.engine.save_state(w);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut mopac_types::snapshot::SnapshotReader<'_>,
+    ) -> mopac_types::MopacResult<()> {
+        self.engine.load_state(r)
     }
 }
 

@@ -166,6 +166,75 @@ impl RowhammerChecker {
     }
 }
 
+impl mopac_types::snapshot::Snapshottable for RowhammerChecker {
+    /// The exposure arrays serialize sparsely (non-zero entries only),
+    /// like the PRAC counters they mirror.
+    fn save_state(&self, w: &mut mopac_types::snapshot::SnapshotWriter) {
+        w.put_u32(self.t_rh);
+        w.put_usize(self.up.len());
+        for side in [&self.up, &self.dn] {
+            let nonzero = side.iter().filter(|&&c| c != 0).count();
+            w.put_usize(nonzero);
+            for (i, &c) in side.iter().enumerate() {
+                if c != 0 {
+                    w.put_u32(i as u32);
+                    w.put_u32(c);
+                }
+            }
+        }
+        w.put_u64(self.violations);
+        w.put_usize(self.first_violations.len());
+        for v in &self.first_violations {
+            w.put_u32(v.row);
+            w.put_u32(v.victim);
+            w.put_u32(v.count);
+        }
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut mopac_types::snapshot::SnapshotReader<'_>,
+    ) -> mopac_types::MopacResult<()> {
+        let err = mopac_types::MopacError::snapshot;
+        let t_rh = r.take_u32()?;
+        let rows = r.take_usize()?;
+        if t_rh != self.t_rh || rows != self.up.len() {
+            return Err(err(format!(
+                "checker shape mismatch: snapshot t_rh={t_rh}/rows={rows}, \
+                 configured t_rh={}/rows={}",
+                self.t_rh,
+                self.up.len()
+            )));
+        }
+        for side in [&mut self.up, &mut self.dn] {
+            side.fill(0);
+            let n = r.take_usize()?;
+            for _ in 0..n {
+                let i = r.take_u32()? as usize;
+                let c = r.take_u32()?;
+                let slot = side
+                    .get_mut(i)
+                    .ok_or_else(|| err(format!("checker row {i} out of range")))?;
+                *slot = c;
+            }
+        }
+        self.violations = r.take_u64()?;
+        let n = r.take_usize()?;
+        if n > MAX_RECORDED {
+            return Err(err(format!("checker holds {n} violation records, max {MAX_RECORDED}")));
+        }
+        self.first_violations.clear();
+        for _ in 0..n {
+            self.first_violations.push(Violation {
+                row: r.take_u32()?,
+                victim: r.take_u32()?,
+                count: r.take_u32()?,
+            });
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -93,6 +93,44 @@ impl PracCounters {
     }
 }
 
+impl mopac_types::snapshot::Snapshottable for PracCounters {
+    /// Serializes sparsely: only non-zero counters are written, so a
+    /// mostly-idle 64 K-row bank costs a few bytes instead of 256 KB.
+    fn save_state(&self, w: &mut mopac_types::snapshot::SnapshotWriter) {
+        w.put_u32(self.rows());
+        let nonzero = self.counts.iter().filter(|&&c| c != 0).count();
+        w.put_usize(nonzero);
+        for (row, count) in self.iter_nonzero() {
+            w.put_u32(row);
+            w.put_u32(count);
+        }
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut mopac_types::snapshot::SnapshotReader<'_>,
+    ) -> mopac_types::MopacResult<()> {
+        let rows = r.take_u32()?;
+        if rows != self.rows() {
+            return Err(mopac_types::MopacError::snapshot(format!(
+                "PRAC counter row-count mismatch: snapshot {rows}, configured {}",
+                self.rows()
+            )));
+        }
+        self.counts.fill(0);
+        let n = r.take_usize()?;
+        for _ in 0..n {
+            let row = r.take_u32()?;
+            let count = r.take_u32()?;
+            let slot = self.counts.get_mut(row as usize).ok_or_else(|| {
+                mopac_types::MopacError::snapshot(format!("PRAC counter row {row} out of range"))
+            })?;
+            *slot = count;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -170,6 +170,24 @@ pub trait MitigationEngine: std::fmt::Debug + Send {
         }
     }
 
+    /// Serializes all runtime state (counters, trackers, queues,
+    /// per-chip RNG streams) into `w`. Together with
+    /// [`MitigationEngine::load_state`] this must round-trip exactly:
+    /// restoring into a freshly built engine of the same configuration
+    /// and then driving any event sequence must behave bit-identically
+    /// to the original engine.
+    fn save_state(&self, w: &mut mopac_types::snapshot::SnapshotWriter);
+
+    /// Restores runtime state previously written by
+    /// [`MitigationEngine::save_state`] into a freshly built engine of
+    /// the same configuration. Configuration-derived shape (row count,
+    /// thresholds, queue capacities) is validated, not restored;
+    /// mismatches are reported as [`mopac_types::MopacError::Snapshot`].
+    fn load_state(
+        &mut self,
+        r: &mut mopac_types::snapshot::SnapshotReader<'_>,
+    ) -> mopac_types::MopacResult<()>;
+
     /// Clones the engine behind the trait object
     /// ([`crate::bank::BankMitigation`] and the DRAM device derive
     /// `Clone`).

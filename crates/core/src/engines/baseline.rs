@@ -64,6 +64,21 @@ impl MitigationEngine for BaselineEngine {
         self.counters.flip_bit(row, bit);
     }
 
+    fn save_state(&self, w: &mut mopac_types::snapshot::SnapshotWriter) {
+        use mopac_types::snapshot::Snapshottable;
+        self.counters.save_state(w);
+        self.stats.save_state(w);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut mopac_types::snapshot::SnapshotReader<'_>,
+    ) -> mopac_types::MopacResult<()> {
+        use mopac_types::snapshot::Snapshottable;
+        self.counters.load_state(r)?;
+        self.stats.load_state(r)
+    }
+
     fn clone_box(&self) -> Box<dyn MitigationEngine> {
         Box::new(self.clone())
     }

@@ -175,6 +175,45 @@ impl MitigationEngine for CncPracEngine {
         vec![self.queue.len()]
     }
 
+    fn save_state(&self, w: &mut mopac_types::snapshot::SnapshotWriter) {
+        use mopac_types::snapshot::Snapshottable;
+        self.counters.save_state(w);
+        self.moat.save_state(w);
+        // Queue order is serialized verbatim: `drain` breaks pending
+        // ties by position and removal uses `swap_remove`, so any
+        // reordering would change future behavior.
+        w.put_usize(self.queue.len());
+        for e in &self.queue {
+            w.put_u32(e.row);
+            w.put_u32(e.pending);
+        }
+        self.stats.save_state(w);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut mopac_types::snapshot::SnapshotReader<'_>,
+    ) -> mopac_types::MopacResult<()> {
+        use mopac_types::snapshot::Snapshottable;
+        self.counters.load_state(r)?;
+        self.moat.load_state(r)?;
+        let n = r.take_usize()?;
+        if n > self.cfg.srq_capacity {
+            return Err(mopac_types::MopacError::snapshot(format!(
+                "CnC queue holds {n} entries but capacity is {}",
+                self.cfg.srq_capacity
+            )));
+        }
+        self.queue.clear();
+        for _ in 0..n {
+            self.queue.push(PendingUpdate {
+                row: r.take_u32()?,
+                pending: r.take_u32()?,
+            });
+        }
+        self.stats.load_state(r)
+    }
+
     fn clone_box(&self) -> Box<dyn MitigationEngine> {
         Box::new(self.clone())
     }

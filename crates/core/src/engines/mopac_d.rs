@@ -204,6 +204,41 @@ impl MitigationEngine for MopacDEngine {
         self.chips.iter().map(|c| c.srq.len()).collect()
     }
 
+    fn save_state(&self, w: &mut mopac_types::snapshot::SnapshotWriter) {
+        use mopac_types::snapshot::Snapshottable;
+        w.put_usize(self.chips.len());
+        for chip in &self.chips {
+            chip.counters.save_state(w);
+            chip.moat.save_state(w);
+            chip.mint.save_state(w);
+            chip.srq.save_state(w);
+            chip.rng.save_state(w);
+        }
+        self.stats.save_state(w);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut mopac_types::snapshot::SnapshotReader<'_>,
+    ) -> mopac_types::MopacResult<()> {
+        use mopac_types::snapshot::Snapshottable;
+        let n = r.take_usize()?;
+        if n != self.chips.len() {
+            return Err(mopac_types::MopacError::snapshot(format!(
+                "chip count mismatch: snapshot {n}, configured {}",
+                self.chips.len()
+            )));
+        }
+        for chip in &mut self.chips {
+            chip.counters.load_state(r)?;
+            chip.moat.load_state(r)?;
+            chip.mint.load_state(r)?;
+            chip.srq.load_state(r)?;
+            chip.rng.load_state(r)?;
+        }
+        self.stats.load_state(r)
+    }
+
     fn clone_box(&self) -> Box<dyn MitigationEngine> {
         Box::new(self.clone())
     }

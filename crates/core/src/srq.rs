@@ -165,6 +165,50 @@ impl Srq {
     }
 }
 
+impl mopac_types::snapshot::Snapshottable for Srq {
+    /// Entry *order* is serialized verbatim: `pop_highest_actr` breaks
+    /// ACtr ties by position (`max_by_key` returns the last maximum) and
+    /// removal uses `swap_remove`, so re-inserting in any other order
+    /// would change future drain behavior.
+    fn save_state(&self, w: &mut mopac_types::snapshot::SnapshotWriter) {
+        w.put_usize(self.capacity);
+        w.put_usize(self.entries.len());
+        for e in &self.entries {
+            w.put_u32(e.row);
+            w.put_u32(e.actr);
+            w.put_u32(e.sctr);
+        }
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut mopac_types::snapshot::SnapshotReader<'_>,
+    ) -> mopac_types::MopacResult<()> {
+        let capacity = r.take_usize()?;
+        if capacity != self.capacity {
+            return Err(mopac_types::MopacError::snapshot(format!(
+                "SRQ capacity mismatch: snapshot {capacity}, configured {}",
+                self.capacity
+            )));
+        }
+        let n = r.take_usize()?;
+        if n > capacity {
+            return Err(mopac_types::MopacError::snapshot(format!(
+                "SRQ holds {n} entries but capacity is {capacity}"
+            )));
+        }
+        self.entries.clear();
+        for _ in 0..n {
+            self.entries.push(SrqEntry {
+                row: r.take_u32()?,
+                actr: r.take_u32()?,
+                sctr: r.take_u32()?,
+            });
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -386,6 +386,65 @@ impl Core {
     }
 }
 
+impl mopac_types::snapshot::Snapshottable for Core {
+    fn save_state(&self, w: &mut mopac_types::snapshot::SnapshotWriter) {
+        w.put_usize(self.rob.len());
+        for slot in &self.rob {
+            match *slot {
+                Slot::Instrs(n) => {
+                    w.put_u8(0);
+                    w.put_u32(n);
+                }
+                Slot::Read { id, done } => {
+                    w.put_u8(1);
+                    w.put_u64(id);
+                    w.put_bool(done);
+                }
+            }
+        }
+        w.put_usize(self.rob_instrs);
+        w.put_f64(self.credit);
+        w.put_u64(self.retired);
+        w.put_u64(self.stall_cycles);
+        w.put_opt_u64(self.finished_at);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut mopac_types::snapshot::SnapshotReader<'_>,
+    ) -> mopac_types::MopacResult<()> {
+        let n = r.take_usize()?;
+        self.rob.clear();
+        for _ in 0..n {
+            let slot = match r.take_u8()? {
+                0 => Slot::Instrs(r.take_u32()?),
+                1 => Slot::Read {
+                    id: r.take_u64()?,
+                    done: r.take_bool()?,
+                },
+                t => {
+                    return Err(mopac_types::MopacError::snapshot(format!(
+                        "unknown ROB slot tag {t}"
+                    )))
+                }
+            };
+            self.rob.push_back(slot);
+        }
+        self.rob_instrs = r.take_usize()?;
+        if self.rob_instrs > self.params.rob_size {
+            return Err(mopac_types::MopacError::snapshot(format!(
+                "ROB holds {} instructions but capacity is {}",
+                self.rob_instrs, self.params.rob_size
+            )));
+        }
+        self.credit = r.take_f64()?;
+        self.retired = r.take_u64()?;
+        self.stall_cycles = r.take_u64()?;
+        self.finished_at = r.take_opt_u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

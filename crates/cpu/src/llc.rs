@@ -175,6 +175,53 @@ impl Llc {
     }
 }
 
+impl mopac_types::snapshot::Snapshottable for Llc {
+    fn save_state(&self, w: &mut mopac_types::snapshot::SnapshotWriter) {
+        w.put_usize(self.sets.len());
+        w.put_usize(self.sets.first().map_or(0, Vec::len));
+        for set in &self.sets {
+            for way in set {
+                w.put_u64(way.tag);
+                w.put_bool(way.valid);
+                w.put_bool(way.dirty);
+                w.put_u32(way.lru);
+            }
+        }
+        w.put_u64(self.stats.accesses);
+        w.put_u64(self.stats.misses);
+        w.put_u64(self.stats.writebacks);
+        w.put_u32(self.tick);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut mopac_types::snapshot::SnapshotReader<'_>,
+    ) -> mopac_types::MopacResult<()> {
+        let sets = r.take_usize()?;
+        let ways = r.take_usize()?;
+        if sets != self.sets.len() || ways != self.sets.first().map_or(0, Vec::len) {
+            return Err(mopac_types::MopacError::snapshot(format!(
+                "LLC geometry mismatch: snapshot {sets}x{ways}, configured {}x{}",
+                self.sets.len(),
+                self.sets.first().map_or(0, Vec::len),
+            )));
+        }
+        for set in &mut self.sets {
+            for way in set {
+                way.tag = r.take_u64()?;
+                way.valid = r.take_bool()?;
+                way.dirty = r.take_bool()?;
+                way.lru = r.take_u32()?;
+            }
+        }
+        self.stats.accesses = r.take_u64()?;
+        self.stats.misses = r.take_u64()?;
+        self.stats.writebacks = r.take_u64()?;
+        self.tick = r.take_u32()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

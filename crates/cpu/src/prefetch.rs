@@ -112,6 +112,52 @@ impl StreamPrefetcher {
     }
 }
 
+impl mopac_types::snapshot::Snapshottable for StreamPrefetcher {
+    fn save_state(&self, w: &mut mopac_types::snapshot::SnapshotWriter) {
+        w.put_usize(self.entries.len());
+        for entry in &self.entries {
+            match entry {
+                Some(e) => {
+                    w.put_bool(true);
+                    w.put_u64(e.last_line);
+                    w.put_bool(e.confirmed);
+                    w.put_u64(e.frontier);
+                    w.put_u64(e.stamp);
+                }
+                None => w.put_bool(false),
+            }
+        }
+        w.put_u64(self.clock);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut mopac_types::snapshot::SnapshotReader<'_>,
+    ) -> mopac_types::MopacResult<()> {
+        let trackers = r.take_usize()?;
+        if trackers != self.entries.len() {
+            return Err(mopac_types::MopacError::snapshot(format!(
+                "prefetcher has {trackers} trackers in snapshot but {} configured",
+                self.entries.len(),
+            )));
+        }
+        for entry in &mut self.entries {
+            *entry = if r.take_bool()? {
+                Some(StreamEntry {
+                    last_line: r.take_u64()?,
+                    confirmed: r.take_bool()?,
+                    frontier: r.take_u64()?,
+                    stamp: r.take_u64()?,
+                })
+            } else {
+                None
+            };
+        }
+        self.clock = r.take_u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

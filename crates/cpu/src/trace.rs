@@ -32,6 +32,29 @@ pub trait TraceSource {
     fn corrupted_records(&self) -> u64 {
         0
     }
+
+    /// Serializes the trace's runtime position/state for a snapshot.
+    ///
+    /// Stateless traces (the default) write nothing; stateful sources
+    /// override this together with [`TraceSource::load_state`] so a
+    /// restored run replays the exact same record stream.
+    fn save_state(&self, w: &mut mopac_types::snapshot::SnapshotWriter) {
+        let _ = w;
+    }
+
+    /// Restores runtime state written by [`TraceSource::save_state`]
+    /// into a freshly constructed trace of the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on truncated or shape-mismatched input.
+    fn load_state(
+        &mut self,
+        r: &mut mopac_types::snapshot::SnapshotReader<'_>,
+    ) -> mopac_types::MopacResult<()> {
+        let _ = r;
+        Ok(())
+    }
 }
 
 /// A trivial trace that cycles through a fixed list of records (tests
@@ -83,6 +106,25 @@ impl TraceSource for ReplayTrace {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn save_state(&self, w: &mut mopac_types::snapshot::SnapshotWriter) {
+        w.put_usize(self.pos);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut mopac_types::snapshot::SnapshotReader<'_>,
+    ) -> mopac_types::MopacResult<()> {
+        let pos = r.take_usize()?;
+        if pos >= self.records.len() {
+            return Err(mopac_types::MopacError::snapshot(format!(
+                "replay position {pos} out of range for {} records",
+                self.records.len(),
+            )));
+        }
+        self.pos = pos;
+        Ok(())
     }
 }
 

@@ -216,6 +216,59 @@ impl Bank {
     }
 }
 
+impl mopac_types::snapshot::Snapshottable for Bank {
+    fn save_state(&self, w: &mut mopac_types::snapshot::SnapshotWriter) {
+        match self.open {
+            Some(o) => {
+                w.put_bool(true);
+                w.put_u32(o.row);
+                w.put_u64(o.opened_at);
+            }
+            None => w.put_bool(false),
+        }
+        w.put_bool(self.pending_update);
+        w.put_u64(self.act_allowed);
+        w.put_u64(self.pre_allowed);
+        w.put_u64(self.col_allowed);
+        self.mitigation.save_state(w);
+        w.put_bool(self.checker.is_some());
+        if let Some(ck) = &self.checker {
+            ck.save_state(w);
+        }
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut mopac_types::snapshot::SnapshotReader<'_>,
+    ) -> mopac_types::MopacResult<()> {
+        self.open = if r.take_bool()? {
+            Some(OpenRow {
+                row: r.take_u32()?,
+                opened_at: r.take_u64()?,
+            })
+        } else {
+            None
+        };
+        self.pending_update = r.take_bool()?;
+        self.act_allowed = r.take_u64()?;
+        self.pre_allowed = r.take_u64()?;
+        self.col_allowed = r.take_u64()?;
+        self.mitigation.load_state(r)?;
+        let had_checker = r.take_bool()?;
+        if had_checker != self.checker.is_some() {
+            return Err(mopac_types::MopacError::snapshot(format!(
+                "checker mode mismatch: snapshot {}, configured {}",
+                if had_checker { "enabled" } else { "disabled" },
+                if self.checker.is_some() { "enabled" } else { "disabled" },
+            )));
+        }
+        if let Some(ck) = self.checker.as_mut() {
+            ck.load_state(r)?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

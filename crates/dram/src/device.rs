@@ -20,6 +20,7 @@ use mopac_types::obs::{
     Counter, Hist, MetricsRegistry, MetricsSink, SinkConfig, TraceEvent, TraceEventKind,
 };
 use mopac_types::rng::DetRng;
+use mopac_types::snapshot::{SnapshotReader, SnapshotWriter, Snapshottable};
 use mopac_types::time::{Cycle, MemClock};
 
 /// Number of refresh groups per bank (tREFW / tREFI).
@@ -119,6 +120,45 @@ impl DramStats {
         reg.set_counter(Counter::DramMitigations, self.mitigations);
         reg.set_counter(Counter::DramDeferredUpdates, self.deferred_updates);
         reg.set_counter(Counter::DramInjectedFaults, self.injected_faults);
+    }
+}
+
+impl Snapshottable for DramStats {
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        for v in [
+            self.activates,
+            self.reads,
+            self.writes,
+            self.precharges,
+            self.precharges_cu,
+            self.refreshes,
+            self.rfms,
+            self.alerts_mitigation,
+            self.alerts_srq_full,
+            self.alerts_tardiness,
+            self.mitigations,
+            self.deferred_updates,
+            self.injected_faults,
+        ] {
+            w.put_u64(v);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> MopacResult<()> {
+        self.activates = r.take_u64()?;
+        self.reads = r.take_u64()?;
+        self.writes = r.take_u64()?;
+        self.precharges = r.take_u64()?;
+        self.precharges_cu = r.take_u64()?;
+        self.refreshes = r.take_u64()?;
+        self.rfms = r.take_u64()?;
+        self.alerts_mitigation = r.take_u64()?;
+        self.alerts_srq_full = r.take_u64()?;
+        self.alerts_tardiness = r.take_u64()?;
+        self.mitigations = r.take_u64()?;
+        self.deferred_updates = r.take_u64()?;
+        self.injected_faults = r.take_u64()?;
+        Ok(())
     }
 }
 
@@ -1008,6 +1048,56 @@ impl DramDevice {
         &mut self.subchannels[sc as usize]
     }
 
+    /// Serializes one sub-channel's shared state (banks delegate to
+    /// their own [`Snapshottable`] impls).
+    fn save_sub(s: &SubChannel, w: &mut SnapshotWriter) {
+        w.put_usize(s.banks.len());
+        for b in &s.banks {
+            b.save_state(w);
+        }
+        w.put_opt_u64(s.last_act);
+        for &c in &s.faw {
+            w.put_u64(c);
+        }
+        w.put_usize(s.faw_idx);
+        w.put_usize(s.faw_filled);
+        w.put_u64(s.bus_busy_until);
+        w.put_u64(s.blocked_until);
+        w.put_u32(s.ref_group);
+        w.put_opt_u64(s.alert_since);
+        w.put_u64(s.acts_since_alert);
+        w.put_u64(s.open_mask);
+    }
+
+    fn load_sub(s: &mut SubChannel, r: &mut SnapshotReader<'_>) -> MopacResult<()> {
+        let n = r.take_usize()?;
+        if n != s.banks.len() {
+            return Err(MopacError::snapshot(format!(
+                "bank count mismatch: snapshot {n}, configured {}",
+                s.banks.len()
+            )));
+        }
+        for b in &mut s.banks {
+            b.load_state(r)?;
+        }
+        s.last_act = r.take_opt_u64()?;
+        for c in &mut s.faw {
+            *c = r.take_u64()?;
+        }
+        s.faw_idx = r.take_usize()?;
+        if s.faw_idx >= 4 {
+            return Err(MopacError::snapshot(format!("faw index {} out of range", s.faw_idx)));
+        }
+        s.faw_filled = r.take_usize()?;
+        s.bus_busy_until = r.take_u64()?;
+        s.blocked_until = r.take_u64()?;
+        s.ref_group = r.take_u32()?;
+        s.alert_since = r.take_opt_u64()?;
+        s.acts_since_alert = r.take_u64()?;
+        s.open_mask = r.take_u64()?;
+        Ok(())
+    }
+
     /// Re-evaluates the ALERT pin for a sub-channel. ALERT asserts when
     /// any bank wants service, provided at least one activation happened
     /// since the previous ALERT completed (ABO's anti-livelock rule).
@@ -1039,6 +1129,63 @@ impl DramDevice {
                 },
             });
         }
+    }
+}
+
+impl Snapshottable for DramDevice {
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.put_usize(self.subchannels.len());
+        for s in &self.subchannels {
+            Self::save_sub(s, w);
+        }
+        self.stats.save_state(w);
+        w.put_u32(self.drop_rfms);
+        w.put_u64(self.rfm_extra_stall);
+        w.put_u64(self.demands_generation);
+        w.put_usize(self.demands_seen.len());
+        for &e in &self.demands_seen {
+            w.put_u64(e);
+        }
+        // The cached demands themselves: for all shipped engines these
+        // equal the config-derived defaults, but an adaptive engine may
+        // have switched them before the snapshot.
+        w.put_bool(self.demands.always_prac_timings);
+        w.put_opt_f64(self.demands.precu_probability);
+        w.put_opt_f64(self.demands.row_open_cap_ns);
+        self.sink.save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> MopacResult<()> {
+        let n = r.take_usize()?;
+        if n != self.subchannels.len() {
+            return Err(MopacError::snapshot(format!(
+                "sub-channel count mismatch: snapshot {n}, configured {}",
+                self.subchannels.len()
+            )));
+        }
+        for s in &mut self.subchannels {
+            Self::load_sub(s, r)?;
+        }
+        self.stats.load_state(r)?;
+        self.drop_rfms = r.take_u32()?;
+        self.rfm_extra_stall = r.take_u64()?;
+        self.demands_generation = r.take_u64()?;
+        let n = r.take_usize()?;
+        if n != self.demands_seen.len() {
+            return Err(MopacError::snapshot(format!(
+                "demands-epoch table mismatch: snapshot {n}, configured {}",
+                self.demands_seen.len()
+            )));
+        }
+        for e in &mut self.demands_seen {
+            *e = r.take_u64()?;
+        }
+        self.demands = TimingDemands {
+            always_prac_timings: r.take_bool()?,
+            precu_probability: r.take_opt_f64()?,
+            row_open_cap_ns: r.take_opt_f64()?,
+        };
+        self.sink.load_state(r)
     }
 }
 

@@ -13,6 +13,7 @@ use mopac_types::addr::{DecodedAddr, PhysAddr};
 use mopac_types::error::{MopacError, MopacResult};
 use mopac_types::obs::{Counter, Hist, MetricsRegistry, MetricsSink, SinkConfig};
 use mopac_types::rng::DetRng;
+use mopac_types::snapshot::{SnapshotReader, SnapshotWriter, Snapshottable};
 use mopac_types::time::Cycle;
 use std::collections::VecDeque;
 
@@ -1321,6 +1322,126 @@ impl MemoryController {
                     ));
                 }
             }
+        }
+        Ok(())
+    }
+}
+
+impl Snapshottable for MemoryController {
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        self.dram.save_state(w);
+        self.rng.save_state(w);
+        for v in [
+            self.stats.reads_done,
+            self.stats.writes_done,
+            self.stats.read_latency_sum,
+            self.stats.rfms_issued,
+            self.stats.abo_stall_cycles,
+            self.stats.idle_with_work,
+            self.stats.refresh_mode_cycles,
+        ] {
+            w.put_u64(v);
+        }
+        w.put_usize(self.subs.len());
+        let save_queue = |q: &VecDeque<Pending>, w: &mut SnapshotWriter| {
+            w.put_usize(q.len());
+            for p in q {
+                w.put_u64(p.id);
+                p.addr.save_state(w);
+                w.put_u64(p.arrival);
+            }
+        };
+        for s in &self.subs {
+            save_queue(&s.reads, w);
+            save_queue(&s.writes, w);
+            w.put_bool(s.draining_writes);
+            w.put_u64(s.next_ref);
+            w.put_usize(s.last_use.len());
+            for &c in &s.last_use {
+                w.put_u64(c);
+            }
+            for &c in &s.cols_since_act {
+                w.put_u32(c);
+            }
+        }
+        w.put_opt_f64(self.precu_p);
+        w.put_opt_u64(self.row_press_cap);
+        w.put_u64(self.demands_gen_seen);
+        self.sink.save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> MopacResult<()> {
+        self.dram.load_state(r)?;
+        self.rng.load_state(r)?;
+        self.stats.reads_done = r.take_u64()?;
+        self.stats.writes_done = r.take_u64()?;
+        self.stats.read_latency_sum = r.take_u64()?;
+        self.stats.rfms_issued = r.take_u64()?;
+        self.stats.abo_stall_cycles = r.take_u64()?;
+        self.stats.idle_with_work = r.take_u64()?;
+        self.stats.refresh_mode_cycles = r.take_u64()?;
+        let n = r.take_usize()?;
+        if n != self.subs.len() {
+            return Err(MopacError::snapshot(format!(
+                "sub-channel count mismatch: snapshot {n}, configured {}",
+                self.subs.len()
+            )));
+        }
+        let load_queue = |q: &mut VecDeque<Pending>, r: &mut SnapshotReader<'_>| {
+            let n = r.take_usize()?;
+            q.clear();
+            for _ in 0..n {
+                let id = r.take_u64()?;
+                let mut addr = DecodedAddr::new(mopac_types::geometry::BankRef::new(0, 0), 0, 0);
+                addr.load_state(r)?;
+                let arrival = r.take_u64()?;
+                q.push_back(Pending { id, addr, arrival });
+            }
+            Ok::<(), MopacError>(())
+        };
+        let banks = self.dram.config().geometry.banks_per_subchannel as usize;
+        for s in &mut self.subs {
+            load_queue(&mut s.reads, r)?;
+            load_queue(&mut s.writes, r)?;
+            s.draining_writes = r.take_bool()?;
+            s.next_ref = r.take_u64()?;
+            let n = r.take_usize()?;
+            if n != banks {
+                return Err(MopacError::snapshot(format!(
+                    "bank count mismatch: snapshot {n}, configured {banks}"
+                )));
+            }
+            for c in &mut s.last_use {
+                *c = r.take_u64()?;
+            }
+            for c in &mut s.cols_since_act {
+                *c = r.take_u32()?;
+            }
+        }
+        self.precu_p = r.take_opt_f64()?;
+        self.row_press_cap = r.take_opt_u64()?;
+        self.demands_gen_seen = r.take_u64()?;
+        self.sink.load_state(r)?;
+        // The scheduler index is pure cache: rebuild the per-bank queue
+        // counts from the restored queues and leave the wake cache cold.
+        // An invalid cache is behaviorally identical to a valid one —
+        // the next tick recomputes and re-stores it (the "invalid-cache
+        // path is bit-identical" contract the index tests pin down).
+        for (sc, s) in self.subs.iter().enumerate() {
+            let sc32 = sc as u32;
+            let open = |b: u32| self.dram.open_row(sc32, b).map(|o| o.row);
+            let mut idx = SubIndex::new(banks);
+            idx.reads = QueueCounts::rebuild(
+                banks,
+                s.reads.iter().map(|p| (p.addr.bank.bank, p.addr.row)),
+                open,
+            );
+            idx.writes = QueueCounts::rebuild(
+                banks,
+                s.writes.iter().map(|p| (p.addr.bank.bank, p.addr.row)),
+                open,
+            );
+            self.idx[sc] = idx;
         }
         Ok(())
     }

@@ -133,76 +133,203 @@ pub fn run_attack_instrumented(
     Ok((result, snapshot))
 }
 
-fn run_attack_inner(
-    cfg: &AttackConfig,
-    pattern: &mut dyn AttackPattern,
-    metrics: Option<SinkConfig>,
-) -> MopacResult<(AttackResult, Option<MetricsSnapshot>)> {
-    let dram = DramDevice::new(DramConfig {
-        geometry: cfg.geometry,
-        mitigation: cfg.mitigation,
-        enable_checker: cfg.enable_checker,
-        seed: cfg.seed,
-    });
-    let mut mc = MemoryController::new(
-        dram,
-        McConfig {
-            // Threat model: the attacker picks the policy that suits the
-            // attack; close-page turns every access into an activation.
-            page_policy: PagePolicy::Closed,
-            read_queue_capacity: cfg.window,
-            write_queue_capacity: 8,
-            starvation_cycles: 100_000,
-            seed: cfg.seed ^ 0xF00,
-        },
-    );
-    if let Some(sink_cfg) = metrics {
-        mc.enable_metrics(sink_cfg);
+/// Section tag for an [`AttackRun`] snapshot ("ATK\x01").
+const SNAP_ATTACK: u32 = 0x4154_4B01;
+
+/// A resumable attack run: the same maximum-rate drive loop as
+/// [`run_attack`], but steppable in cycle increments and snapshottable
+/// at any step boundary.
+///
+/// The replay tooling (`alert_replay`) uses this to re-materialize the
+/// machine state shortly before a trace-ring event and re-run the
+/// window around it: [`AttackRun::snapshot`] captures the controller,
+/// device, mitigation engine, metrics sink, pattern cursor, and drive
+/// loop state; [`AttackRun::restore`] into a freshly constructed run of
+/// the same configuration continues bit-identically.
+pub struct AttackRun<'p> {
+    cfg: AttackConfig,
+    mc: MemoryController,
+    pattern: &'p mut dyn AttackPattern,
+    done: Vec<mopac_memctrl::controller::Completion>,
+    id: u64,
+    now: Cycle,
+}
+
+impl std::fmt::Debug for AttackRun<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AttackRun")
+            .field("pattern", &self.pattern.name())
+            .field("now", &self.now)
+            .field("id", &self.id)
+            .finish_non_exhaustive()
     }
-    let mut done = Vec::new();
-    let mut id = 0u64;
-    for now in 0..cfg.cycles {
-        // Keep the window full.
-        while mc.queued() < cfg.window {
-            let target = pattern.next_target();
-            if !mc.enqueue(
-                MemRequest {
-                    id,
-                    kind: AccessKind::Read,
-                    addr: target,
-                },
-                now,
-            ) {
-                break;
-            }
-            id += 1;
+}
+
+impl<'p> AttackRun<'p> {
+    /// Builds the run (device + controller) without executing a cycle.
+    #[must_use]
+    pub fn new(cfg: &AttackConfig, pattern: &'p mut dyn AttackPattern) -> Self {
+        let dram = DramDevice::new(DramConfig {
+            geometry: cfg.geometry,
+            mitigation: cfg.mitigation,
+            enable_checker: cfg.enable_checker,
+            seed: cfg.seed,
+        });
+        let mc = MemoryController::new(
+            dram,
+            McConfig {
+                // Threat model: the attacker picks the policy that suits
+                // the attack; close-page turns every access into an
+                // activation.
+                page_policy: PagePolicy::Closed,
+                read_queue_capacity: cfg.window,
+                write_queue_capacity: 8,
+                starvation_cycles: 100_000,
+                seed: cfg.seed ^ 0xF00,
+            },
+        );
+        Self {
+            cfg: cfg.clone(),
+            mc,
+            pattern,
+            done: Vec::new(),
+            id: 0,
+            now: 0,
         }
-        done.clear();
-        mc.tick(now, &mut done)?;
     }
-    let snapshot = metrics.and_then(|sink_cfg| {
-        mc.export_metrics();
+
+    /// Enables the observability sink (call before the first step).
+    pub fn enable_metrics(&mut self, sink_cfg: SinkConfig) {
+        self.mc.enable_metrics(sink_cfg);
+    }
+
+    /// The next cycle to execute.
+    #[must_use]
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// The configured run length.
+    #[must_use]
+    pub fn end(&self) -> Cycle {
+        self.cfg.cycles
+    }
+
+    /// Runs cycles `[now, end)` (clamped to the configured length).
+    ///
+    /// # Errors
+    ///
+    /// See [`run_attack`].
+    pub fn run_until(&mut self, end: Cycle) -> MopacResult<()> {
+        let end = end.min(self.cfg.cycles);
+        while self.now < end {
+            let now = self.now;
+            // Keep the window full.
+            while self.mc.queued() < self.cfg.window {
+                let target = self.pattern.next_target();
+                if !self.mc.enqueue(
+                    MemRequest {
+                        id: self.id,
+                        kind: AccessKind::Read,
+                        addr: target,
+                    },
+                    now,
+                ) {
+                    break;
+                }
+                self.id += 1;
+            }
+            self.done.clear();
+            self.mc.tick(now, &mut self.done)?;
+            self.now += 1;
+        }
+        Ok(())
+    }
+
+    /// Runs to the configured end and reports the result.
+    ///
+    /// # Errors
+    ///
+    /// See [`run_attack`].
+    pub fn finish(mut self) -> MopacResult<AttackResult> {
+        self.run_until(self.cfg.cycles)?;
+        Ok(self.result())
+    }
+
+    /// The result as of the cycles executed so far.
+    #[must_use]
+    pub fn result(&self) -> AttackResult {
+        AttackResult {
+            activations: self.mc.dram().stats().activates,
+            cycles: self.now,
+            dram: self.mc.dram().stats(),
+            violations: self.mc.dram().violations(),
+        }
+    }
+
+    /// Drains the metrics sink into a merged [`MetricsSnapshot`] (see
+    /// [`run_attack_instrumented`]); `None` when metrics are disabled.
+    pub fn metrics_snapshot(&mut self, sink_cfg: SinkConfig) -> Option<MetricsSnapshot> {
+        self.mc.export_metrics();
         let mut merged = MetricsSink::enabled(sink_cfg);
-        merged.absorb(mc.metrics());
-        merged.absorb(mc.dram().metrics());
-        merged.set_gauge(Gauge::Cycles, cfg.cycles);
-        merged.set_gauge(Gauge::McQueued, mc.queued() as u64);
-        merged.set_gauge(Gauge::OracleViolations, mc.dram().violations());
+        merged.absorb(self.mc.metrics());
+        merged.absorb(self.mc.dram().metrics());
+        merged.set_gauge(Gauge::Cycles, self.now);
+        merged.set_gauge(Gauge::McQueued, self.mc.queued() as u64);
+        merged.set_gauge(Gauge::OracleViolations, self.mc.dram().violations());
         let srq_max = merged
             .registry()
             .map_or(0, |r| r.hist_merged(Hist::SrqOccupancy).max());
         merged.set_gauge(Gauge::EngineSrqOccupancyMax, srq_max);
         merged.snapshot()
-    });
-    Ok((
-        AttackResult {
-            activations: mc.dram().stats().activates,
-            cycles: cfg.cycles,
-            dram: mc.dram().stats(),
-            violations: mc.dram().violations(),
-        },
-        snapshot,
-    ))
+    }
+
+    /// Serializes the full run state at the current step boundary.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<u8> {
+        use mopac_types::snapshot::Snapshottable;
+        let mut w = mopac_types::snapshot::SnapshotWriter::new();
+        w.begin_section(SNAP_ATTACK);
+        w.put_u64(self.now);
+        w.put_u64(self.id);
+        self.mc.save_state(&mut w);
+        self.pattern.save_state(&mut w);
+        w.end_section();
+        w.finish()
+    }
+
+    /// Restores state captured by [`AttackRun::snapshot`] into a run
+    /// freshly constructed with the same configuration and pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MopacError::Snapshot`] on corrupt input or a
+    /// configuration mismatch.
+    pub fn restore(&mut self, bytes: &[u8]) -> MopacResult<()> {
+        use mopac_types::snapshot::Snapshottable;
+        let mut r = mopac_types::snapshot::SnapshotReader::new(bytes)?;
+        r.begin_section(SNAP_ATTACK)?;
+        self.now = r.take_u64()?;
+        self.id = r.take_u64()?;
+        self.mc.load_state(&mut r)?;
+        self.pattern.load_state(&mut r)?;
+        r.end_section()?;
+        mopac_types::snapshot::expect_exhausted(&r)
+    }
+}
+
+fn run_attack_inner(
+    cfg: &AttackConfig,
+    pattern: &mut dyn AttackPattern,
+    metrics: Option<SinkConfig>,
+) -> MopacResult<(AttackResult, Option<MetricsSnapshot>)> {
+    let mut run = AttackRun::new(cfg, pattern);
+    if let Some(sink_cfg) = metrics {
+        run.enable_metrics(sink_cfg);
+    }
+    run.run_until(cfg.cycles)?;
+    let snapshot = metrics.and_then(|sink_cfg| run.metrics_snapshot(sink_cfg));
+    Ok((run.result(), snapshot))
 }
 
 #[cfg(test)]
@@ -252,6 +379,28 @@ mod tests {
         // some slack for refresh interference.
         let per = r.acts_per_alert().unwrap();
         assert!((20.0..90.0).contains(&per), "ACTs per ALERT {per}");
+    }
+
+    #[test]
+    fn restored_attack_run_is_bit_identical() {
+        let cfg = tiny(MitigationConfig::mopac_c(500), 120_000);
+        let mut p_ref = DoubleSidedHammer::new(BankRef::new(0, 0), 100);
+        let reference = run_attack(&cfg, &mut p_ref).unwrap();
+
+        let mut p_a = DoubleSidedHammer::new(BankRef::new(0, 0), 100);
+        let mut a = AttackRun::new(&cfg, &mut p_a);
+        a.run_until(50_000).unwrap();
+        let snap = a.snapshot();
+
+        let mut p_b = DoubleSidedHammer::new(BankRef::new(0, 0), 100);
+        let mut b = AttackRun::new(&cfg, &mut p_b);
+        b.restore(&snap).unwrap();
+        assert_eq!(b.now(), 50_000);
+        let resumed = b.finish().unwrap();
+
+        assert_eq!(resumed.activations, reference.activations);
+        assert_eq!(resumed.violations, reference.violations);
+        assert_eq!(resumed.dram, reference.dram);
     }
 
     #[test]

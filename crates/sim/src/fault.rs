@@ -285,6 +285,39 @@ impl FaultInjector {
     }
 }
 
+impl mopac_types::snapshot::Snapshottable for FaultInjector {
+    fn save_state(&self, w: &mut mopac_types::snapshot::SnapshotWriter) {
+        w.put_usize(self.events.len());
+        w.put_usize(self.next_idx);
+        self.rng.save_state(w);
+        w.put_u64(self.applied);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut mopac_types::snapshot::SnapshotReader<'_>,
+    ) -> MopacResult<()> {
+        let events = r.take_usize()?;
+        if events != self.events.len() {
+            return Err(MopacError::snapshot(format!(
+                "fault injector has {events} events in snapshot but {} expanded from plan",
+                self.events.len(),
+            )));
+        }
+        let next_idx = r.take_usize()?;
+        if next_idx > self.events.len() {
+            return Err(MopacError::snapshot(format!(
+                "fault injector cursor {next_idx} past {} events",
+                self.events.len(),
+            )));
+        }
+        self.next_idx = next_idx;
+        self.rng.load_state(r)?;
+        self.applied = r.take_u64()?;
+        Ok(())
+    }
+}
+
 /// A [`TraceSource`] wrapper that corrupts records on the way through:
 /// with probability `rate` per record, random bits are XORed into the
 /// line index (the address mapper decodes modulo the device capacity,
@@ -336,6 +369,24 @@ impl TraceSource for CorruptingTrace {
 
     fn corrupted_records(&self) -> u64 {
         self.corrupted
+    }
+
+    fn save_state(&self, w: &mut mopac_types::snapshot::SnapshotWriter) {
+        use mopac_types::snapshot::Snapshottable;
+        self.inner.save_state(w);
+        self.rng.save_state(w);
+        w.put_u64(self.corrupted);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut mopac_types::snapshot::SnapshotReader<'_>,
+    ) -> MopacResult<()> {
+        use mopac_types::snapshot::Snapshottable;
+        self.inner.load_state(r)?;
+        self.rng.load_state(r)?;
+        self.corrupted = r.take_u64()?;
+        Ok(())
     }
 }
 

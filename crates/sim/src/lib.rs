@@ -38,9 +38,10 @@ pub mod fault;
 pub mod runner;
 pub mod system;
 
-pub use attack::{run_attack, run_attack_instrumented, AttackConfig, AttackResult};
+pub use attack::{run_attack, run_attack_instrumented, AttackConfig, AttackResult, AttackRun};
 pub use campaign::{
-    run_fault_campaign, run_fault_campaign_cells, FaultCampaignSpec, FaultCellOutcome,
+    run_fault_campaign, run_fault_campaign_cells, run_fault_campaign_cells_from,
+    CheckpointSummary, CheckpointedFaultCampaign, FaultCampaignSpec, FaultCellOutcome,
     ParallelCampaign,
 };
 pub use experiment::{mean_slowdown, run_workload, slowdown_sweep};

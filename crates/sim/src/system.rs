@@ -29,6 +29,7 @@ use mopac_types::geometry::DramGeometry;
 use mopac_types::obs::{
     Counter, Gauge, Hist, MetricsRegistry, MetricsSink, MetricsSnapshot, SinkConfig,
 };
+use mopac_types::snapshot::{expect_exhausted, SnapshotReader, SnapshotWriter, Snapshottable};
 use mopac_types::time::Cycle;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -371,6 +372,11 @@ impl CoreDriver {
     }
 }
 
+/// Snapshot section tags ([`mopac_types::snapshot`]).
+const SNAP_SYSTEM: u32 = 0x5359_5301; // "SYS\x01"
+const SNAP_DRIVER: u32 = 0x4452_5601; // "DRV\x01"
+const SNAP_MC: u32 = 0x4D43_5401; // "MCT\x01"
+
 /// Minimum of two optional cycles, treating `None` as "no constraint".
 fn min_opt(a: Option<Cycle>, b: Option<Cycle>) -> Option<Cycle> {
     match (a, b) {
@@ -392,6 +398,13 @@ pub struct System {
     now: Cycle,
     pf_stats: PrefetchStats,
     injector: Option<FaultInjector>,
+    /// Livelock-watchdog state: instructions retired at the last
+    /// observed progress, and the cycle it was observed. Fields (not
+    /// run-loop locals) so a snapshot preserves the watchdog's phase and
+    /// a restored run trips it at exactly the cycle an uninterrupted run
+    /// would have.
+    last_retired: u64,
+    last_progress_at: Cycle,
     /// Progress-source bitmask of the last step (diagnostics only).
     dbg_sources: u32,
 }
@@ -467,6 +480,8 @@ impl System {
             now: 0,
             pf_stats: PrefetchStats::default(),
             injector,
+            last_retired: 0,
+            last_progress_at: 0,
             dbg_sources: 0,
         })
     }
@@ -542,7 +557,40 @@ impl System {
         self.run_inner()
     }
 
+    /// Runs until the device has executed at least `refs` REF commands
+    /// (cumulative since construction), pausing at that boundary, or to
+    /// completion if every core finishes first.
+    ///
+    /// Returns `Ok(None)` on a pause — the system is between cycles and
+    /// can be [`snapshot`](System::snapshot)ted, resumed with a further
+    /// `run_until_refs`, or driven to the end with
+    /// [`run_to_completion`](System::run_to_completion) — and
+    /// `Ok(Some(result))` when the run completed before the boundary.
+    ///
+    /// # Errors
+    ///
+    /// See [`System::run`].
+    pub fn run_until_refs(&mut self, refs: u64) -> MopacResult<Option<RunResult>> {
+        self.run_loop(Some(refs))
+    }
+
+    /// Runs a (possibly restored) system to completion; the borrowing
+    /// counterpart of [`System::run`] for checkpointed flows.
+    ///
+    /// # Errors
+    ///
+    /// See [`System::run`].
+    pub fn run_to_completion(&mut self) -> MopacResult<RunResult> {
+        self.run_inner()
+    }
+
     fn run_inner(&mut self) -> MopacResult<RunResult> {
+        self.run_loop(None)?.ok_or_else(|| {
+            MopacError::internal("run without a pause boundary returned no result")
+        })
+    }
+
+    fn run_loop(&mut self, pause_at_refs: Option<u64>) -> MopacResult<Option<RunResult>> {
         let budget = self.cfg.instrs_per_core;
         let n_cores = self.drivers.len();
         let event_driven = self.cfg.kernel == KernelMode::EventDriven;
@@ -565,10 +613,14 @@ impl System {
         // one extra tick before the jump.
         let mut stall_streak = 0u32;
         let mut finished = 0usize;
-        let mut last_retired = 0u64;
-        let mut last_progress_at: Cycle = 0;
         let trace_kernel = std::env::var("MOPAC_TRACE_KERNEL").is_ok_and(|v| v == "1");
         while finished < n_cores {
+            // Pause boundary: between full cycles every invariant the
+            // snapshot relies on holds (scratch empty, no half-delivered
+            // completion), so this is the only place a pause can land.
+            if pause_at_refs.is_some_and(|t| self.mc.dram().stats().refreshes >= t) {
+                return Ok(None);
+            }
             let progress = self.step()?;
             if trace_kernel && progress {
                 let retired: u64 = self.drivers.iter().map(|d| d.core.retired()).sum();
@@ -601,13 +653,13 @@ impl System {
                 .sum();
             if self.cfg.livelock_window > 0 {
                 let retired: u64 = self.drivers.iter().map(|d| d.core.retired()).sum();
-                if retired > last_retired {
-                    last_retired = retired;
-                    last_progress_at = self.now;
-                } else if self.now - last_progress_at >= self.cfg.livelock_window {
+                if retired > self.last_retired {
+                    self.last_retired = retired;
+                    self.last_progress_at = self.now;
+                } else if self.now - self.last_progress_at >= self.cfg.livelock_window {
                     return Err(MopacError::Livelock {
                         cycle: self.now,
-                        stalled_for: self.now - last_progress_at,
+                        stalled_for: self.now - self.last_progress_at,
                         retired,
                     });
                 }
@@ -639,20 +691,14 @@ impl System {
                         .map_or(self.now + bound, |w| w.min(self.now + bound))
                         .max(self.now);
                     if end > self.now + 8 {
-                        self.fast_forward_gaps(
-                            end,
-                            budget,
-                            &mut finished,
-                            &mut last_retired,
-                            &mut last_progress_at,
-                        )?;
+                        self.fast_forward_gaps(end, budget, &mut finished)?;
                         continue;
                     }
                 }
             }
             stall_streak = if progress { 0 } else { stall_streak + 1 };
             if event_driven && !progress && stall_streak >= 2 {
-                if let Some(target) = self.skip_target(last_progress_at) {
+                if let Some(target) = self.skip_target(self.last_progress_at) {
                     if paranoid {
                         pending_skip = Some(target);
                         continue;
@@ -664,12 +710,12 @@ impl System {
                     // exactly the fields — the lockstep kernel would
                     // have reported.
                     if self.cfg.livelock_window > 0
-                        && self.now - last_progress_at >= self.cfg.livelock_window
+                        && self.now - self.last_progress_at >= self.cfg.livelock_window
                     {
                         return Err(MopacError::Livelock {
                             cycle: self.now,
-                            stalled_for: self.now - last_progress_at,
-                            retired: last_retired,
+                            stalled_for: self.now - self.last_progress_at,
+                            retired: self.last_retired,
                         });
                     }
                     if self.now >= self.cfg.max_cycles {
@@ -696,7 +742,7 @@ impl System {
                 })
             })
             .collect::<MopacResult<Vec<_>>>()?;
-        Ok(RunResult {
+        Ok(Some(RunResult {
             cores,
             cycles: self.now,
             dram: self.mc.dram().stats(),
@@ -710,7 +756,7 @@ impl System {
                 .iter()
                 .map(|d| d.trace.corrupted_records())
                 .sum(),
-        })
+        }))
     }
 
     /// Test/diagnostic hook: advances one cycle.
@@ -742,6 +788,188 @@ impl System {
     #[must_use]
     pub fn debug_inflight(&self) -> usize {
         self.inflight.len()
+    }
+
+    /// Serializes the system's full mutable state — cores, traces,
+    /// prefetchers, LLC, in-flight completions, fault injector, memory
+    /// controller, device and every RNG stream — into a self-describing
+    /// snapshot ([`mopac_types::snapshot`]). Call only between cycles
+    /// (e.g. at a [`System::run_until_refs`] pause); a restored system
+    /// of the same configuration continues bit-identically.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        w.begin_section(SNAP_SYSTEM);
+        w.put_u64(self.now);
+        w.put_u64(self.last_retired);
+        w.put_u64(self.last_progress_at);
+        w.put_u64(self.pf_stats.issued);
+        w.put_u64(self.pf_stats.hits);
+        w.put_u64(self.pf_stats.late_hits);
+        w.put_usize(self.drivers.len());
+        for d in &self.drivers {
+            w.begin_section(SNAP_DRIVER);
+            d.core.save_state(&mut w);
+            d.trace.save_state(&mut w);
+            w.put_f64(d.fetch_credit);
+            w.put_u32(d.gap_left);
+            match d.pending {
+                Some((addr, is_write)) => {
+                    w.put_bool(true);
+                    w.put_u64(addr.get());
+                    w.put_bool(is_write);
+                }
+                None => w.put_bool(false),
+            }
+            w.put_u64(d.seq);
+            match d.prefetcher.as_ref() {
+                Some(pf) => {
+                    w.put_bool(true);
+                    pf.save_state(&mut w);
+                }
+                None => w.put_bool(false),
+            }
+            d.pf_lines.save_state_with(&mut w, |e, w| {
+                w.put_bool(e.ready);
+                w.put_opt_u64(e.rob_waiter);
+            });
+            d.pf_by_id.save_state_with(&mut w, |v, w| w.put_u64(*v));
+            w.end_section();
+        }
+        // In-flight completions in (at, seq) order: the heap's internal
+        // layout is not deterministic, the delivery order is.
+        let mut entries: Vec<InflightEntry> = self
+            .inflight
+            .heap
+            .iter()
+            .map(|Reverse(e)| *e)
+            .collect();
+        entries.sort_unstable();
+        w.put_usize(entries.len());
+        for e in &entries {
+            w.put_u64(e.seq);
+            w.put_u64(e.completion.id);
+            w.put_u64(e.completion.at);
+        }
+        w.put_u64(self.inflight.seq);
+        match self.llc.as_ref() {
+            Some(llc) => {
+                w.put_bool(true);
+                llc.save_state(&mut w);
+            }
+            None => w.put_bool(false),
+        }
+        match self.injector.as_ref() {
+            Some(inj) => {
+                w.put_bool(true);
+                inj.save_state(&mut w);
+            }
+            None => w.put_bool(false),
+        }
+        w.begin_section(SNAP_MC);
+        self.mc.save_state(&mut w);
+        w.end_section();
+        w.end_section();
+        w.finish()
+    }
+
+    /// Restores a snapshot taken by [`System::snapshot`] into this
+    /// system, which must be freshly constructed with the same
+    /// configuration and traces.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MopacError::Snapshot`] on a corrupt or truncated
+    /// snapshot, or when its shape does not match this system's
+    /// configuration (core count, LLC/prefetcher/injector presence,
+    /// geometry).
+    pub fn restore(&mut self, bytes: &[u8]) -> MopacResult<()> {
+        let mut r = SnapshotReader::new(bytes)?;
+        r.begin_section(SNAP_SYSTEM)?;
+        self.now = r.take_u64()?;
+        self.last_retired = r.take_u64()?;
+        self.last_progress_at = r.take_u64()?;
+        self.pf_stats.issued = r.take_u64()?;
+        self.pf_stats.hits = r.take_u64()?;
+        self.pf_stats.late_hits = r.take_u64()?;
+        let cores = r.take_usize()?;
+        if cores != self.drivers.len() {
+            return Err(MopacError::snapshot(format!(
+                "snapshot has {cores} cores but {} configured",
+                self.drivers.len(),
+            )));
+        }
+        for d in &mut self.drivers {
+            r.begin_section(SNAP_DRIVER)?;
+            d.core.load_state(&mut r)?;
+            d.trace.load_state(&mut r)?;
+            d.fetch_credit = r.take_f64()?;
+            d.gap_left = r.take_u32()?;
+            d.pending = if r.take_bool()? {
+                let addr = PhysAddr::new(r.take_u64()?);
+                let is_write = r.take_bool()?;
+                Some((addr, is_write))
+            } else {
+                None
+            };
+            d.seq = r.take_u64()?;
+            match (r.take_bool()?, d.prefetcher.as_mut()) {
+                (true, Some(pf)) => pf.load_state(&mut r)?,
+                (false, None) => {}
+                (snap, _) => {
+                    return Err(MopacError::snapshot(format!(
+                        "prefetcher presence mismatch: snapshot {snap}, configured {}",
+                        d.prefetcher.is_some(),
+                    )));
+                }
+            }
+            d.pf_lines.load_state_with(&mut r, |r| {
+                Ok(PfEntry {
+                    ready: r.take_bool()?,
+                    rob_waiter: r.take_opt_u64()?,
+                })
+            })?;
+            d.pf_by_id.load_state_with(&mut r, |r| r.take_u64())?;
+            r.end_section()?;
+        }
+        let inflight = r.take_usize()?;
+        self.inflight.heap.clear();
+        for _ in 0..inflight {
+            let seq = r.take_u64()?;
+            let id = r.take_u64()?;
+            let at = r.take_u64()?;
+            self.inflight.heap.push(Reverse(InflightEntry {
+                at,
+                seq,
+                completion: Completion { id, at },
+            }));
+        }
+        self.inflight.seq = r.take_u64()?;
+        match (r.take_bool()?, self.llc.as_mut()) {
+            (true, Some(llc)) => llc.load_state(&mut r)?,
+            (false, None) => {}
+            (snap, _) => {
+                return Err(MopacError::snapshot(format!(
+                    "LLC presence mismatch: snapshot {snap}, configured {}",
+                    self.llc.is_some(),
+                )));
+            }
+        }
+        match (r.take_bool()?, self.injector.as_mut()) {
+            (true, Some(inj)) => inj.load_state(&mut r)?,
+            (false, None) => {}
+            (snap, _) => {
+                return Err(MopacError::snapshot(format!(
+                    "fault-injector presence mismatch: snapshot {snap}, configured {}",
+                    self.injector.is_some(),
+                )));
+            }
+        }
+        r.begin_section(SNAP_MC)?;
+        self.mc.load_state(&mut r)?;
+        r.end_section()?;
+        r.end_section()?;
+        expect_exhausted(&r)
     }
 
     /// Advances one DRAM cycle. Returns whether the cycle made any
@@ -888,8 +1116,6 @@ impl System {
         end: Cycle,
         budget: u64,
         finished: &mut usize,
-        last_retired: &mut u64,
-        last_progress_at: &mut Cycle,
     ) -> MopacResult<()> {
         let start = self.now;
         let n_cores = self.drivers.len();
@@ -939,7 +1165,7 @@ impl System {
                             }
                         }
                     } else if self.cfg.livelock_window > 0 {
-                        let deadline = *last_progress_at + self.cfg.livelock_window;
+                        let deadline = self.last_progress_at + self.cfg.livelock_window;
                         cycles = cycles.min(deadline.saturating_sub(bstart));
                     }
                     if cycles >= 16 {
@@ -968,15 +1194,17 @@ impl System {
                             .sum();
                         if self.cfg.livelock_window > 0 {
                             if any_plain {
-                                *last_retired =
+                                self.last_retired =
                                     self.drivers.iter().map(|d| d.core.retired()).sum();
-                                *last_progress_at = self.now;
-                            } else if self.now - *last_progress_at >= self.cfg.livelock_window {
+                                self.last_progress_at = self.now;
+                            } else if self.now - self.last_progress_at
+                                >= self.cfg.livelock_window
+                            {
                                 self.mc.note_idle_cycles(start, self.now - start);
                                 return Err(MopacError::Livelock {
                                     cycle: self.now,
-                                    stalled_for: self.now - *last_progress_at,
-                                    retired: *last_retired,
+                                    stalled_for: self.now - self.last_progress_at,
+                                    retired: self.last_retired,
                                 });
                             }
                         }
@@ -1018,14 +1246,14 @@ impl System {
                 .sum();
             if self.cfg.livelock_window > 0 {
                 let retired: u64 = self.drivers.iter().map(|d| d.core.retired()).sum();
-                if retired > *last_retired {
-                    *last_retired = retired;
-                    *last_progress_at = self.now;
-                } else if self.now - *last_progress_at >= self.cfg.livelock_window {
+                if retired > self.last_retired {
+                    self.last_retired = retired;
+                    self.last_progress_at = self.now;
+                } else if self.now - self.last_progress_at >= self.cfg.livelock_window {
                     self.mc.note_idle_cycles(start, self.now - start);
                     return Err(MopacError::Livelock {
                         cycle: self.now,
-                        stalled_for: self.now - *last_progress_at,
+                        stalled_for: self.now - self.last_progress_at,
                         retired,
                     });
                 }

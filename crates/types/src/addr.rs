@@ -110,6 +110,26 @@ impl std::fmt::Display for DecodedAddr {
     }
 }
 
+impl crate::snapshot::Snapshottable for DecodedAddr {
+    fn save_state(&self, w: &mut crate::snapshot::SnapshotWriter) {
+        w.put_u32(self.bank.subchannel);
+        w.put_u32(self.bank.bank);
+        w.put_u32(self.row);
+        w.put_u32(self.col);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut crate::snapshot::SnapshotReader<'_>,
+    ) -> crate::error::MopacResult<()> {
+        self.bank.subchannel = r.take_u32()?;
+        self.bank.bank = r.take_u32()?;
+        self.row = r.take_u32()?;
+        self.col = r.take_u32()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

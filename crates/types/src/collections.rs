@@ -192,6 +192,80 @@ impl<V> DetMap<V> {
         }
         *self = bigger;
     }
+
+    /// Serializes the map for a snapshot, including the exact slot
+    /// layout.
+    ///
+    /// Layout is a pure function of operation history (probe chains and
+    /// backward-shift deletions), so re-inserting entries on restore
+    /// would diverge from the original map's future behavior. Instead
+    /// the raw `(slot, key, value)` triples are written so restore
+    /// reproduces the layout bit-for-bit. `save_value` serializes one
+    /// `V`.
+    pub fn save_state_with(
+        &self,
+        w: &mut crate::snapshot::SnapshotWriter,
+        mut save_value: impl FnMut(&V, &mut crate::snapshot::SnapshotWriter),
+    ) {
+        w.put_usize(self.slots.len());
+        w.put_u32(self.shift);
+        w.put_usize(self.len);
+        for (i, slot) in self.slots.iter().enumerate() {
+            if let Some((k, v)) = slot {
+                w.put_usize(i);
+                w.put_u64(*k);
+                save_value(v, w);
+            }
+        }
+    }
+
+    /// Restores a map written by [`DetMap::save_state_with`], replacing
+    /// `self` entirely. `load_value` deserializes one `V`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::error::MopacError::Snapshot`] on truncation, an
+    /// invalid slot count, an out-of-range slot index, or a duplicate
+    /// slot.
+    pub fn load_state_with(
+        &mut self,
+        r: &mut crate::snapshot::SnapshotReader<'_>,
+        mut load_value: impl FnMut(
+            &mut crate::snapshot::SnapshotReader<'_>,
+        ) -> crate::error::MopacResult<V>,
+    ) -> crate::error::MopacResult<()> {
+        let err = crate::error::MopacError::snapshot;
+        let n_slots = r.take_usize()?;
+        if !n_slots.is_power_of_two() || n_slots < MIN_CAP {
+            return Err(err(format!("invalid DetMap slot count {n_slots}")));
+        }
+        let shift = r.take_u32()?;
+        if shift != 64 - n_slots.trailing_zeros() {
+            return Err(err(format!("DetMap shift {shift} inconsistent with {n_slots} slots")));
+        }
+        let len = r.take_usize()?;
+        if len * 4 > n_slots * 3 {
+            return Err(err(format!("DetMap len {len} over load factor for {n_slots} slots")));
+        }
+        let mut slots: Vec<Option<(u64, V)>> = Vec::new();
+        slots.resize_with(n_slots, || None);
+        for _ in 0..len {
+            let i = r.take_usize()?;
+            let key = r.take_u64()?;
+            let value = load_value(r)?;
+            let slot = slots
+                .get_mut(i)
+                .ok_or_else(|| err(format!("DetMap slot index {i} out of range")))?;
+            if slot.is_some() {
+                return Err(err(format!("DetMap slot {i} written twice")));
+            }
+            *slot = Some((key, value));
+        }
+        self.slots = slots;
+        self.len = len;
+        self.shift = shift;
+        Ok(())
+    }
 }
 
 /// A deterministic counting accumulator over `u64` keys.
@@ -343,6 +417,59 @@ mod tests {
         assert_eq!(c.counts(), vec![2, 3, 1]);
         assert_eq!(c.get(5), 3);
         assert_eq!(c.get(42), 0);
+    }
+
+    /// The property that forces raw-slot serialization: after a restore,
+    /// the map must behave bit-identically under *future* operations,
+    /// which depend on probe-chain layout, not just contents.
+    #[test]
+    fn snapshot_round_trip_preserves_slot_layout() {
+        use crate::snapshot::{SnapshotReader, SnapshotWriter};
+        let mut rng = DetRng::from_seed(0x51A9);
+        let mut m: DetMap<u64> = DetMap::new();
+        for _ in 0..5_000 {
+            let key = rng.below(256);
+            if rng.below(3) == 0 {
+                m.remove(key);
+            } else {
+                m.insert(key, rng.next_u64());
+            }
+        }
+        let mut w = SnapshotWriter::new();
+        m.save_state_with(&mut w, |v, w| w.put_u64(*v));
+        let bytes = w.finish();
+
+        let mut restored: DetMap<u64> = DetMap::new();
+        let mut r = SnapshotReader::new(&bytes).unwrap();
+        restored
+            .load_state_with(&mut r, |r| r.take_u64())
+            .unwrap();
+
+        // Identical iteration (slot) order, not just identical contents.
+        let orig: Vec<(u64, u64)> = m.iter().map(|(k, v)| (k, *v)).collect();
+        let rest: Vec<(u64, u64)> = restored.iter().map(|(k, v)| (k, *v)).collect();
+        assert_eq!(orig, rest);
+
+        // Identical behavior under further mutation.
+        let mut rng2 = rng.clone();
+        for _ in 0..2_000 {
+            let key = rng.below(256);
+            let key2 = rng2.below(256);
+            assert_eq!(key, key2);
+            if rng.below(3) == 0 {
+                let _ = rng2.below(3);
+                assert_eq!(m.remove(key), restored.remove(key));
+            } else {
+                let _ = rng2.below(3);
+                let v = rng.next_u64();
+                let v2 = rng2.next_u64();
+                assert_eq!(v, v2);
+                assert_eq!(m.insert(key, v), restored.insert(key, v));
+            }
+        }
+        let orig: Vec<(u64, u64)> = m.iter().map(|(k, v)| (k, *v)).collect();
+        let rest: Vec<(u64, u64)> = restored.iter().map(|(k, v)| (k, *v)).collect();
+        assert_eq!(orig, rest);
     }
 
     #[test]

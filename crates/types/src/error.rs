@@ -105,6 +105,26 @@ pub enum MopacError {
         /// The rendered `std::io::Error`.
         message: String,
     },
+    /// A snapshot could not be written or restored (bad magic, version
+    /// mismatch, checksum failure, or a shape mismatch against the
+    /// current configuration).
+    Snapshot {
+        /// What was wrong.
+        message: String,
+    },
+    /// Every retry attempt of an isolated experiment failed.
+    ///
+    /// Carries the final underlying error so campaign reports keep the
+    /// root cause while callers can still distinguish "ran out of
+    /// retries" from a single hard failure.
+    RetriesExhausted {
+        /// The experiment label.
+        label: String,
+        /// Total attempts made (initial try plus retries).
+        attempts: u32,
+        /// The error from the final attempt.
+        last: Box<MopacError>,
+    },
 }
 
 impl MopacError {
@@ -128,6 +148,14 @@ impl MopacError {
     #[must_use]
     pub fn trace(message: impl Into<String>) -> Self {
         Self::Trace {
+            message: message.into(),
+        }
+    }
+
+    /// Shorthand constructor for [`MopacError::Snapshot`].
+    #[must_use]
+    pub fn snapshot(message: impl Into<String>) -> Self {
+        Self::Snapshot {
             message: message.into(),
         }
     }
@@ -201,6 +229,11 @@ impl std::fmt::Display for MopacError {
             }
             Self::Internal { message } => write!(f, "internal error: {message}"),
             Self::Io { message } => write!(f, "I/O error: {message}"),
+            Self::Snapshot { message } => write!(f, "snapshot error: {message}"),
+            Self::RetriesExhausted { label, attempts, last } => write!(
+                f,
+                "experiment '{label}' failed after {attempts} attempt(s); last error: {last}"
+            ),
         }
     }
 }

@@ -26,7 +26,9 @@ pub mod error;
 pub mod geometry;
 pub mod jedec;
 pub mod obs;
+pub mod persist;
 pub mod rng;
+pub mod snapshot;
 pub mod stats;
 pub mod time;
 
@@ -35,4 +37,5 @@ pub use error::{MopacError, MopacResult};
 pub use geometry::{BankRef, DramGeometry};
 pub use obs::{MetricsSink, MetricsSnapshot, SinkConfig};
 pub use rng::DetRng;
+pub use snapshot::{SnapshotReader, SnapshotWriter, Snapshottable};
 pub use time::{Cycle, MemClock};

@@ -33,6 +33,8 @@
 //! onto a registry via `Counter` entries when a snapshot is taken. See
 //! DESIGN.md §11.
 
+use crate::error::{MopacError, MopacResult};
+use crate::snapshot::{SnapshotReader, SnapshotWriter, Snapshottable};
 use crate::time::Cycle;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -270,6 +272,26 @@ impl Hist {
             Hist::RowOpenTime => "dram.row_open_time",
         }
     }
+
+    /// Stable on-disk tag for snapshots (the `#[repr(u8)]`
+    /// discriminant).
+    #[must_use]
+    pub fn tag(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`Hist::tag`].
+    #[must_use]
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(Hist::ReadLatency),
+            1 => Some(Hist::InterActGap),
+            2 => Some(Hist::AboServiceTime),
+            3 => Some(Hist::SrqOccupancy),
+            4 => Some(Hist::RowOpenTime),
+            _ => None,
+        }
+    }
 }
 
 /// A log2-bucketed histogram over `u64` values: bucket 0 holds the
@@ -424,6 +446,35 @@ impl TraceEventKind {
             TraceEventKind::Rfm => "RFM",
             TraceEventKind::Alert => "ALERT",
             TraceEventKind::Mitigation => "MITIGATION",
+        }
+    }
+
+    /// Stable on-disk tag for snapshots.
+    #[must_use]
+    pub fn tag(self) -> u8 {
+        match self {
+            TraceEventKind::Act => 0,
+            TraceEventKind::Pre => 1,
+            TraceEventKind::PreCu => 2,
+            TraceEventKind::Ref => 3,
+            TraceEventKind::Rfm => 4,
+            TraceEventKind::Alert => 5,
+            TraceEventKind::Mitigation => 6,
+        }
+    }
+
+    /// Inverse of [`TraceEventKind::tag`].
+    #[must_use]
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(TraceEventKind::Act),
+            1 => Some(TraceEventKind::Pre),
+            2 => Some(TraceEventKind::PreCu),
+            3 => Some(TraceEventKind::Ref),
+            4 => Some(TraceEventKind::Rfm),
+            5 => Some(TraceEventKind::Alert),
+            6 => Some(TraceEventKind::Mitigation),
+            _ => None,
         }
     }
 }
@@ -809,6 +860,148 @@ impl MetricsSink {
     }
 }
 
+impl Snapshottable for Log2Histogram {
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        for &b in &self.buckets {
+            w.put_u64(b);
+        }
+        w.put_u64(self.count);
+        w.put_u64(self.sum);
+        w.put_u64(self.min);
+        w.put_u64(self.max);
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> MopacResult<()> {
+        for b in &mut self.buckets {
+            *b = r.take_u64()?;
+        }
+        self.count = r.take_u64()?;
+        self.sum = r.take_u64()?;
+        self.min = r.take_u64()?;
+        self.max = r.take_u64()?;
+        Ok(())
+    }
+}
+
+impl Snapshottable for MetricsRegistry {
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        for &c in &self.counters {
+            w.put_u64(c);
+        }
+        for &g in &self.gauges {
+            w.put_u64(g);
+        }
+        w.put_usize(self.hists.len());
+        for (&(h, label), hist) in &self.hists {
+            w.put_u8(h.tag());
+            w.put_u32(label);
+            hist.save_state(w);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> MopacResult<()> {
+        for c in &mut self.counters {
+            *c = r.take_u64()?;
+        }
+        for g in &mut self.gauges {
+            *g = r.take_u64()?;
+        }
+        let n = r.take_usize()?;
+        self.hists.clear();
+        for _ in 0..n {
+            let tag = r.take_u8()?;
+            let h = Hist::from_tag(tag)
+                .ok_or_else(|| MopacError::snapshot(format!("unknown histogram tag {tag}")))?;
+            let label = r.take_u32()?;
+            let mut hist = Log2Histogram::default();
+            hist.load_state(r)?;
+            self.hists.insert((h, label), hist);
+        }
+        Ok(())
+    }
+}
+
+impl Snapshottable for TraceRing {
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        w.put_usize(self.capacity);
+        w.put_u64(self.dropped);
+        w.put_usize(self.buf.len());
+        for e in &self.buf {
+            w.put_u64(e.cycle);
+            w.put_u8(e.kind.tag());
+            w.put_u32(e.subchannel);
+            w.put_u32(e.bank);
+            w.put_u64(e.value);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> MopacResult<()> {
+        let capacity = r.take_usize()?;
+        if capacity != self.capacity {
+            return Err(MopacError::snapshot(format!(
+                "trace-ring capacity mismatch: snapshot {capacity}, configured {}",
+                self.capacity
+            )));
+        }
+        self.dropped = r.take_u64()?;
+        let n = r.take_usize()?;
+        if n > capacity {
+            return Err(MopacError::snapshot(format!(
+                "trace ring holds {n} events but capacity is {capacity}"
+            )));
+        }
+        self.buf.clear();
+        for _ in 0..n {
+            let cycle = r.take_u64()?;
+            let tag = r.take_u8()?;
+            let kind = TraceEventKind::from_tag(tag)
+                .ok_or_else(|| MopacError::snapshot(format!("unknown trace-event tag {tag}")))?;
+            let subchannel = r.take_u32()?;
+            let bank = r.take_u32()?;
+            let value = r.take_u64()?;
+            self.buf.push_back(TraceEvent {
+                cycle,
+                kind,
+                subchannel,
+                bank,
+                value,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Snapshottable for MetricsSink {
+    fn save_state(&self, w: &mut SnapshotWriter) {
+        match self.0.as_deref() {
+            None => w.put_bool(false),
+            Some(inner) => {
+                w.put_bool(true);
+                inner.registry.save_state(w);
+                inner.ring.save_state(w);
+            }
+        }
+    }
+
+    /// Restores a sink saved by [`Snapshottable::save_state`]. The sink
+    /// must already be in the same enabled/disabled mode (that is
+    /// configuration, not runtime state).
+    fn load_state(&mut self, r: &mut SnapshotReader<'_>) -> MopacResult<()> {
+        let was_enabled = r.take_bool()?;
+        match (was_enabled, self.0.as_deref_mut()) {
+            (false, None) => Ok(()),
+            (true, Some(inner)) => {
+                inner.registry.load_state(r)?;
+                inner.ring.load_state(r)
+            }
+            (snap, _) => Err(MopacError::snapshot(format!(
+                "metrics-sink mode mismatch: snapshot enabled={snap}, configured enabled={}",
+                self.is_enabled()
+            ))),
+        }
+    }
+}
+
 /// Percentile summary of one labeled histogram.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HistSnapshot {
@@ -1146,6 +1339,38 @@ mod tests {
         let mut d = MetricsSink::disabled();
         d.absorb(&a);
         assert!(d.snapshot().is_none());
+    }
+
+    #[test]
+    fn sink_snapshot_round_trip_is_exact() {
+        let cfg = SinkConfig { trace_capacity: 4 };
+        let mut sink = MetricsSink::enabled(cfg);
+        sink.add(Counter::DramActivates, 7);
+        sink.set_gauge(Gauge::Cycles, 99);
+        sink.record(Hist::ReadLatency, 2, 300);
+        for i in 0..6u64 {
+            sink.event(TraceEvent {
+                cycle: i,
+                kind: TraceEventKind::Alert,
+                subchannel: 0,
+                bank: 0,
+                value: i,
+            });
+        }
+        let mut w = crate::snapshot::SnapshotWriter::new();
+        sink.save_state(&mut w);
+        let bytes = w.finish();
+
+        let mut restored = MetricsSink::enabled(cfg);
+        let mut r = crate::snapshot::SnapshotReader::new(&bytes).unwrap();
+        restored.load_state(&mut r).unwrap();
+        assert_eq!(restored, sink);
+        assert_eq!(restored.ring().unwrap().dropped(), 2);
+
+        // Mode mismatch is a loud error, not silent divergence.
+        let mut disabled = MetricsSink::disabled();
+        let mut r = crate::snapshot::SnapshotReader::new(&bytes).unwrap();
+        assert!(disabled.load_state(&mut r).is_err());
     }
 
     #[test]

@@ -1,0 +1,103 @@
+//! Torn-write-safe file persistence.
+//!
+//! A campaign killed mid-write (SIGKILL, OOM) must never leave a
+//! truncated CSV, JSONL export, or benchmark summary behind — resume
+//! logic and downstream plotting both assume an artifact either exists
+//! complete or not at all. [`atomic_write`] gives that guarantee the
+//! standard way: write to a temporary file in the *same directory* (so
+//! the final step is a same-filesystem rename, which POSIX makes
+//! atomic), flush, then rename over the destination.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Writes `bytes` to `path` atomically: all-or-nothing even under
+/// SIGKILL. An existing file at `path` is replaced atomically.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating, writing, syncing, or renaming
+/// the temporary file; the temporary is removed on failure.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let tmp = tmp_sibling(path);
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        // Make the data durable before the rename publishes it; a rename
+        // that survives a crash must not point at unflushed blocks.
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, path)?;
+        if let Some(d) = dir {
+            // Best effort: persist the directory entry too. Failure here
+            // (e.g. an unsyncable filesystem) does not lose data.
+            if let Ok(dirf) = std::fs::File::open(d) {
+                let _ = dirf.sync_all();
+            }
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Writes a UTF-8 string to `path` atomically. See [`atomic_write`].
+///
+/// # Errors
+///
+/// Propagates I/O errors from [`atomic_write`].
+pub fn atomic_write_str(path: &Path, text: &str) -> std::io::Result<()> {
+    atomic_write(path, text.as_bytes())
+}
+
+/// Names a temporary sibling of `path` in the same directory.
+///
+/// Uses the process id plus a per-process counter so concurrent writers
+/// in the same directory never collide, without needing a randomness
+/// source.
+fn tmp_sibling(path: &Path) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    let pid = std::process::id();
+    let name = path
+        .file_name()
+        .map_or_else(|| "out".to_string(), |f| f.to_string_lossy().into_owned());
+    path.with_file_name(format!(".{name}.tmp.{pid}.{n}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_and_replaces() {
+        let dir = std::env::temp_dir().join(format!("mopac-persist-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.csv");
+        atomic_write_str(&path, "first").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "first");
+        atomic_write_str(&path, "second").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second");
+        // No temp litter left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tmp_siblings_are_unique() {
+        let p = Path::new("/some/dir/file.json");
+        let a = tmp_sibling(p);
+        let b = tmp_sibling(p);
+        assert_ne!(a, b);
+        assert_eq!(a.parent(), p.parent());
+    }
+}

@@ -15,6 +15,26 @@ pub trait AttackPattern {
 
     /// A short display name.
     fn name(&self) -> &str;
+
+    /// Serializes the pattern's cursor state for a snapshot. Stateless
+    /// patterns (the default) write nothing.
+    fn save_state(&self, w: &mut mopac_types::snapshot::SnapshotWriter) {
+        let _ = w;
+    }
+
+    /// Restores cursor state written by [`AttackPattern::save_state`]
+    /// into a freshly constructed pattern of the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on truncated input.
+    fn load_state(
+        &mut self,
+        r: &mut mopac_types::snapshot::SnapshotReader<'_>,
+    ) -> mopac_types::MopacResult<()> {
+        let _ = r;
+        Ok(())
+    }
 }
 
 /// Classic double-sided hammer: alternate the two aggressor rows
@@ -58,6 +78,18 @@ impl AttackPattern for DoubleSidedHammer {
 
     fn name(&self) -> &str {
         "double-sided"
+    }
+
+    fn save_state(&self, w: &mut mopac_types::snapshot::SnapshotWriter) {
+        w.put_bool(self.toggle);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut mopac_types::snapshot::SnapshotReader<'_>,
+    ) -> mopac_types::MopacResult<()> {
+        self.toggle = r.take_bool()?;
+        Ok(())
     }
 }
 
@@ -106,6 +138,18 @@ impl AttackPattern for SingleRowHammer {
     fn name(&self) -> &str {
         "single-row"
     }
+
+    fn save_state(&self, w: &mut mopac_types::snapshot::SnapshotWriter) {
+        w.put_u32(self.i);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut mopac_types::snapshot::SnapshotReader<'_>,
+    ) -> mopac_types::MopacResult<()> {
+        self.i = r.take_u32()?;
+        Ok(())
+    }
 }
 
 /// The multi-bank performance attack of Figure 14(b): one row per bank,
@@ -138,6 +182,18 @@ impl AttackPattern for MultiBankRoundRobin {
 
     fn name(&self) -> &str {
         "multi-bank"
+    }
+
+    fn save_state(&self, w: &mut mopac_types::snapshot::SnapshotWriter) {
+        w.put_u32(self.next_bank);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut mopac_types::snapshot::SnapshotReader<'_>,
+    ) -> mopac_types::MopacResult<()> {
+        self.next_bank = r.take_u32()?;
+        Ok(())
     }
 }
 
@@ -175,6 +231,18 @@ impl AttackPattern for SrqFillAttack {
     fn name(&self) -> &str {
         "srq-fill"
     }
+
+    fn save_state(&self, w: &mut mopac_types::snapshot::SnapshotWriter) {
+        w.put_u32(self.i);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut mopac_types::snapshot::SnapshotReader<'_>,
+    ) -> mopac_types::MopacResult<()> {
+        self.i = r.take_u32()?;
+        Ok(())
+    }
 }
 
 /// The tardiness attack of Section 7.4 (multi-bank): hammer one row per
@@ -202,6 +270,17 @@ impl AttackPattern for TardinessAttack {
 
     fn name(&self) -> &str {
         "tardiness"
+    }
+
+    fn save_state(&self, w: &mut mopac_types::snapshot::SnapshotWriter) {
+        self.inner.save_state(w);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut mopac_types::snapshot::SnapshotReader<'_>,
+    ) -> mopac_types::MopacResult<()> {
+        self.inner.load_state(r)
     }
 }
 

@@ -260,6 +260,42 @@ impl TraceSource for CalibratedTrace {
     fn name(&self) -> &str {
         self.spec.name
     }
+
+    fn save_state(&self, w: &mut mopac_types::snapshot::SnapshotWriter) {
+        use mopac_types::snapshot::Snapshottable;
+        self.rng.save_state(w);
+        self.current.save_state(w);
+        w.put_u64(self.run_left);
+        w.put_usize(self.stream_cursors.len());
+        for &c in &self.stream_cursors {
+            w.put_u64(c);
+        }
+        w.put_usize(self.stream_next);
+        w.put_u32(self.burst_left);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut mopac_types::snapshot::SnapshotReader<'_>,
+    ) -> mopac_types::MopacResult<()> {
+        use mopac_types::snapshot::Snapshottable;
+        self.rng.load_state(r)?;
+        self.current.load_state(r)?;
+        self.run_left = r.take_u64()?;
+        let cursors = r.take_usize()?;
+        if cursors != self.stream_cursors.len() {
+            return Err(mopac_types::MopacError::snapshot(format!(
+                "trace has {cursors} stream cursors in snapshot but {} configured",
+                self.stream_cursors.len(),
+            )));
+        }
+        for c in &mut self.stream_cursors {
+            *c = r.take_u64()?;
+        }
+        self.stream_next = r.take_usize()?;
+        self.burst_left = r.take_u32()?;
+        Ok(())
+    }
 }
 
 /// Builds normalized cumulative weights for `n` ranks.
