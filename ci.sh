@@ -130,6 +130,32 @@ if [[ $fast -eq 0 ]]; then
     printf "snapshot overhead %.2f%% (gate: < 5%%)\n", o
   }'
 
+  # Shard-determinism gate: a 4-channel saturated run sharded across
+  # worker threads must be bit-identical to the serial loop — report
+  # CSV, metrics JSONL, and the mid-run snapshot digest all byte-equal
+  # at MOPAC_SHARD_THREADS in {1, 4}. (The 2x wall-clock speedup is a
+  # multicore expectation, not gated: this runner may have one CPU.)
+  step "shard determinism gate (MOPAC_SHARD_THREADS 1 vs 4)"
+  shard_dir=$(mktemp -d)
+  sd=./target/release/shard_determinism
+  MOPAC_INSTRS=20000 MOPAC_SHARD_THREADS=1 MOPAC_SHARD_TAG=gate \
+    MOPAC_DATA_DIR="$shard_dir/t1" "$sd" >/dev/null
+  MOPAC_INSTRS=20000 MOPAC_SHARD_THREADS=4 MOPAC_SHARD_TAG=gate \
+    MOPAC_DATA_DIR="$shard_dir/t4" "$sd" >/dev/null
+  for f in shard_det_gate.csv shard_det_gate_metrics.jsonl; do
+    if ! cmp -s "$shard_dir/t1/$f" "$shard_dir/t4/$f"; then
+      echo "FAIL: $f differs between MOPAC_SHARD_THREADS=1 and =4"
+      diff "$shard_dir/t1/$f" "$shard_dir/t4/$f" | head
+      exit 1
+    fi
+  done
+  rm -rf "$shard_dir"
+  echo "shard determinism OK: CSV + metrics JSONL + snapshot digest byte-identical"
+
+  # Examples must keep building (they are the documented entry points).
+  step "cargo build --release --examples"
+  cargo build --release --examples
+
   # Docs gate: rustdoc must build warning-free (broken intra-doc links
   # in the engine/registry API surface would land here first).
   step "cargo doc (no-deps, -D warnings)"

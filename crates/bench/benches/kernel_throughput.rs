@@ -46,6 +46,69 @@ fn config(instrs: u64, kernel: KernelMode) -> SystemConfig {
     cfg
 }
 
+/// 4-channel variant of `config`, with the shard thread count pinned
+/// explicitly (ignoring `MOPAC_SHARD_THREADS`) so one bench process can
+/// sweep thread counts.
+fn mc4_config(instrs: u64, threads: usize) -> SystemConfig {
+    let mut cfg = config(instrs, KernelMode::EventDriven);
+    cfg.geometry = DramGeometry {
+        channels: 4,
+        ..DramGeometry::tiny()
+    };
+    cfg.shard_threads = threads;
+    cfg
+}
+
+/// Row-conflict ping-pong with a dense line stride, so MOP stripes the
+/// stream across all four channels and every channel's queues stay
+/// busy.
+fn mc4_saturated_trace(core: u64) -> Box<dyn TraceSource> {
+    let geom = DramGeometry::tiny();
+    let row_bytes = u64::from(geom.row_bytes);
+    let records = (0..256u64)
+        .map(|i| TraceRecord {
+            gap: 0,
+            addr: PhysAddr::new(((i + core) % 2) * row_bytes * 64 + (i + core * 13) * 64),
+            is_write: false,
+        })
+        .collect();
+    Box::new(ReplayTrace::new("mc4_saturated", records))
+}
+
+/// Best-of-three wall clock for the 4-channel saturated run at a given
+/// shard thread count; cycles are asserted identical across thread
+/// counts by the caller.
+fn run_mc4(instrs: u64, threads: usize) -> Sample {
+    let traces = |n: u64| (0..n).map(mc4_saturated_trace).collect::<Vec<_>>();
+    System::new(mc4_config(instrs / 4, threads), traces(8))
+        .expect("system")
+        .run()
+        .expect("warm-up run");
+    let mut cycles = 0;
+    let mut secs = f64::INFINITY;
+    for _ in 0..3 {
+        let sys = System::new(mc4_config(instrs, threads), traces(8)).expect("system");
+        let t0 = Instant::now();
+        let result = sys.run().expect("timed run");
+        let elapsed = t0.elapsed().as_secs_f64();
+        cycles = result.cycles;
+        if elapsed < secs {
+            secs = elapsed;
+        }
+    }
+    Sample {
+        workload: "mc4_saturated",
+        kernel: match threads {
+            1 => "event@t1",
+            2 => "event@t2",
+            4 => "event@t4",
+            _ => "event@tn",
+        },
+        cycles,
+        secs,
+    }
+}
+
 /// One distant line every 4000 instructions: the core spends almost
 /// all its time retiring from the ROB with the memory system idle.
 fn idle_heavy_trace() -> Box<dyn TraceSource> {
@@ -158,7 +221,20 @@ fn main() {
         run("saturated_attack", KernelMode::EventDriven, 200_000, saturated_trace),
         run("mixed_phase", KernelMode::Lockstep, 200_000, mixed_phase_trace),
         run("mixed_phase", KernelMode::EventDriven, 200_000, mixed_phase_trace),
+        // Multi-channel topology: the same event kernel over 4 channels
+        // at each shard thread count. Simulated cycles must agree
+        // exactly (sharding is bit-identical); wall clock shows the
+        // fork-join cost/benefit on this host — a speedup needs real
+        // hardware parallelism, so on a single-CPU runner t4 only
+        // documents the synchronization overhead.
+        run_mc4(100_000, 1),
+        run_mc4(100_000, 2),
+        run_mc4(100_000, 4),
     ];
+    assert!(
+        samples[6].cycles == samples[7].cycles && samples[7].cycles == samples[8].cycles,
+        "mc4_saturated simulated cycles diverged across shard thread counts"
+    );
     let mut json = String::from("{\n");
     for (i, s) in samples.iter().enumerate() {
         println!(
@@ -181,9 +257,13 @@ fn main() {
         json.push_str(if i + 1 < samples.len() { ",\n" } else { "\n" });
     }
     json.push_str("}\n");
-    for pair in samples.chunks(2) {
+    for pair in samples[..6].chunks(2) {
         let speedup = pair[1].cps() / pair[0].cps();
         println!("{:<18} event/lockstep speedup: {speedup:.2}x", pair[0].workload);
+    }
+    for s in &samples[7..] {
+        let rel = s.cps() / samples[6].cps();
+        println!("mc4_saturated      {} vs event@t1: {rel:.2}x", s.kernel);
     }
     let file = if metrics_enabled() {
         "BENCH_kernel_metrics.json"

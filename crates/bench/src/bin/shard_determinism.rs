@@ -1,0 +1,111 @@
+//! Shard-determinism evidence: run a 4-channel, 8-core, row-conflict
+//! saturated system under MoPAC-d and write every observable artifact —
+//! the per-core/merged-stats report CSV, the metrics-snapshot JSONL,
+//! and the FNV digest of a mid-run snapshot — to files named by
+//! `MOPAC_SHARD_TAG`. ci.sh runs this twice (`MOPAC_SHARD_THREADS=1`
+//! then `4`) and byte-compares the outputs: intra-run channel sharding
+//! must be bit-identical to the serial loop at every thread count
+//! (DESIGN.md §13).
+//!
+//! Knobs: `MOPAC_SHARD_THREADS` (thread count under test, default 1),
+//! `MOPAC_SHARD_TAG` (output-file suffix, default `t<threads>`),
+//! `MOPAC_INSTRS` (per-core budget, default 20000).
+
+use mopac::config::MitigationConfig;
+use mopac_bench::{data_dir, instr_budget, Report};
+use mopac_cpu::trace::{ReplayTrace, TraceRecord, TraceSource};
+use mopac_sim::shard::resolve_shard_threads;
+use mopac_sim::system::{System, SystemConfig};
+use mopac_types::addr::PhysAddr;
+use mopac_types::geometry::DramGeometry;
+use mopac_types::obs::SinkConfig;
+use mopac_types::snapshot::fnv1a64;
+
+/// Row-conflict ping-pong: consecutive accesses alternate between two
+/// distant row groups, with per-core phase offsets so all four
+/// channels' queues stay saturated (MOP stripes the stream across
+/// channels before returning to a bank).
+fn conflict_trace(core: u64, row_bytes: u64) -> Box<dyn TraceSource> {
+    let records = (0..512u64)
+        .map(|i| TraceRecord {
+            gap: 0,
+            addr: PhysAddr::new(((i + core * 7) % 2) * row_bytes * 64 + (i + core * 13) * 64),
+            is_write: i.is_multiple_of(5),
+        })
+        .collect();
+    Box::new(ReplayTrace::new("shard-conflict", records))
+}
+
+fn config() -> SystemConfig {
+    let mut cfg = SystemConfig::paper_default(MitigationConfig::mopac_d(500), instr_budget());
+    cfg.geometry = DramGeometry {
+        channels: 4,
+        ..DramGeometry::tiny()
+    };
+    cfg.enable_checker = true;
+    cfg.metrics = Some(SinkConfig::default());
+    cfg.seed = 0x5AA2_D001;
+    cfg
+}
+
+fn main() {
+    let threads = resolve_shard_threads(0);
+    let tag =
+        std::env::var("MOPAC_SHARD_TAG").unwrap_or_else(|_| format!("t{threads}"));
+    let cfg = config();
+    let row_bytes = u64::from(cfg.geometry.row_bytes);
+    let traces = (0..8).map(|c| conflict_trace(c, row_bytes)).collect();
+    let mut sys = System::new(cfg, traces).expect("build system");
+
+    // Pause mid-run for a snapshot digest, then finish.
+    let paused = sys.run_until_refs(4).expect("run to REF boundary");
+    let snap_digest = if paused.is_none() {
+        fnv1a64(&sys.snapshot())
+    } else {
+        eprintln!("warning: run finished before the snapshot boundary");
+        0
+    };
+    let result = match paused {
+        Some(done) => done,
+        None => sys.run_to_completion().expect("finish run"),
+    };
+    let metrics = sys
+        .metrics_snapshot()
+        .expect("metrics were enabled");
+
+    let mut table = Report::new(
+        &format!("shard_det_{tag}"),
+        "Shard determinism artifact: identical at every MOPAC_SHARD_THREADS",
+        &["metric", "value"],
+    );
+    let mut put = |k: &str, v: String| table.row(&[k.to_string(), v]);
+    put("snapshot_digest", format!("{snap_digest:#018x}"));
+    put("cycles", result.cycles.to_string());
+    for (i, c) in result.cores.iter().enumerate() {
+        put(&format!("core{i}_finish"), c.finish_cycle.to_string());
+        put(&format!("core{i}_ipc"), format!("{:.12}", c.ipc));
+    }
+    put("activates", result.dram.activates.to_string());
+    put("reads", result.dram.reads.to_string());
+    put("writes", result.dram.writes.to_string());
+    put("refreshes", result.dram.refreshes.to_string());
+    put("rfms", result.dram.rfms.to_string());
+    put("alerts_mitigation", result.dram.alerts_mitigation.to_string());
+    put("mitigations", result.mitigation.mitigations.to_string());
+    put("counter_updates", result.mitigation.counter_updates.to_string());
+    put("srq_insertions", result.mitigation.srq_insertions.to_string());
+    put("violations", result.violations.to_string());
+    put("avg_read_latency", format!("{:.12}", result.avg_read_latency));
+    put("prefetch_issued", result.prefetch.issued.to_string());
+    let csv = table.write_csv().expect("write report csv");
+
+    let jsonl = data_dir().join(format!("shard_det_{tag}_metrics.jsonl"));
+    mopac_types::persist::atomic_write_str(&jsonl, &metrics.to_jsonl())
+        .expect("write metrics jsonl");
+    eprintln!(
+        "shard_determinism [{tag}] threads={threads}: {} cycles, digest {snap_digest:#018x}\n  {}\n  {}",
+        result.cycles,
+        csv.display(),
+        jsonl.display(),
+    );
+}

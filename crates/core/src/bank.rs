@@ -111,6 +111,20 @@ impl mopac_types::snapshot::Snapshottable for MitigationStats {
 }
 
 impl MitigationStats {
+    /// Field-wise accumulation: folds another engine set's counters
+    /// into this one (multi-channel totals).
+    pub fn accumulate(&mut self, o: &MitigationStats) {
+        self.activations += o.activations;
+        self.counter_updates += o.counter_updates;
+        self.srq_insertions += o.srq_insertions;
+        self.srq_overflows += o.srq_overflows;
+        self.mitigations += o.mitigations;
+        self.update_precharges += o.update_precharges;
+        self.abo_mitigations += o.abo_mitigations;
+        self.proactive_mitigations += o.proactive_mitigations;
+        self.ref_drained_updates += o.ref_drained_updates;
+    }
+
     /// Publishes these counters onto a metrics registry under the
     /// `engine.*` namespace. The struct stays the source of truth; the
     /// registry copy exists for unified snapshot export (DESIGN.md

@@ -14,6 +14,7 @@ use mopac::bank::AlertCause;
 use mopac::checker::Violation;
 use mopac::config::MitigationConfig;
 use mopac::engine::TimingDemands;
+use mopac_types::bankmask::BankMask;
 use mopac_types::error::{MopacError, MopacResult};
 use mopac_types::geometry::DramGeometry;
 use mopac_types::obs::{
@@ -29,7 +30,9 @@ const REFRESH_GROUPS: u32 = 8192;
 /// Device-level configuration.
 #[derive(Debug, Clone)]
 pub struct DramConfig {
-    /// Physical organization.
+    /// Physical organization. A device instance simulates **one
+    /// channel**; multi-channel topologies construct one device per
+    /// channel from [`DramGeometry::channel_view`].
     pub geometry: DramGeometry,
     /// Mitigation design and parameters.
     pub mitigation: MitigationConfig,
@@ -38,6 +41,9 @@ pub struct DramConfig {
     pub enable_checker: bool,
     /// Master RNG seed (per-bank streams are forked from it).
     pub seed: u64,
+    /// Which channel this device instance is (stamps trace events; 0
+    /// for single-channel systems).
+    pub channel: u32,
 }
 
 impl DramConfig {
@@ -49,6 +55,7 @@ impl DramConfig {
             mitigation,
             enable_checker: true,
             seed: 0xD0_5E_ED,
+            channel: 0,
         }
     }
 
@@ -60,6 +67,7 @@ impl DramConfig {
             mitigation,
             enable_checker: true,
             seed: 0xD0_5E_ED,
+            channel: 0,
         }
     }
 }
@@ -100,6 +108,24 @@ impl DramStats {
     #[must_use]
     pub fn alerts(&self) -> u64 {
         self.alerts_mitigation + self.alerts_srq_full + self.alerts_tardiness
+    }
+
+    /// Field-wise accumulation: folds another device's counters into
+    /// this one (multi-channel totals).
+    pub fn accumulate(&mut self, o: &DramStats) {
+        self.activates += o.activates;
+        self.reads += o.reads;
+        self.writes += o.writes;
+        self.precharges += o.precharges;
+        self.precharges_cu += o.precharges_cu;
+        self.refreshes += o.refreshes;
+        self.rfms += o.rfms;
+        self.alerts_mitigation += o.alerts_mitigation;
+        self.alerts_srq_full += o.alerts_srq_full;
+        self.alerts_tardiness += o.alerts_tardiness;
+        self.mitigations += o.mitigations;
+        self.deferred_updates += o.deferred_updates;
+        self.injected_faults += o.injected_faults;
     }
 
     /// Publishes these counters onto a metrics registry under the
@@ -188,7 +214,7 @@ struct SubChannel {
     /// Bit `b` set iff bank `b` has an open row. Maintained on
     /// ACT/PRE so the controller's scheduler index can sweep open banks
     /// without polling every bank's row state.
-    open_mask: u64,
+    open_mask: BankMask,
 }
 
 /// The simulated DRAM device.
@@ -233,11 +259,17 @@ impl DramDevice {
     pub fn new(cfg: DramConfig) -> Self {
         let geom = cfg.geometry;
         assert!(geom.subchannels > 0 && geom.banks_per_subchannel > 0);
-        // The open-banks mask (and the controller's scheduler-index
-        // masks layered on it) pack one bit per bank into a u64.
         assert!(
-            geom.banks_per_subchannel <= 64,
-            "bank masks require <= 64 banks per sub-channel"
+            geom.channels == 1 && geom.ranks == 1,
+            "a DramDevice simulates one channel; build per-channel \
+             instances from DramGeometry::channel_view"
+        );
+        // The open-banks mask (and the controller's scheduler-index
+        // masks layered on it) pack one bit per bank into a BankMask.
+        assert!(
+            geom.banks_per_subchannel <= BankMask::CAPACITY,
+            "bank masks hold at most {} banks per sub-channel",
+            BankMask::CAPACITY
         );
         let rng = DetRng::from_seed(cfg.seed);
         let subchannels = (0..geom.subchannels)
@@ -271,7 +303,7 @@ impl DramDevice {
                     ref_group: 0,
                     alert_since: None,
                     acts_since_alert: 1,
-                    open_mask: 0,
+                    open_mask: BankMask::empty(),
                 }
             })
             .collect();
@@ -429,10 +461,9 @@ impl DramDevice {
     }
 
     /// Bitmask of banks with an open row on `sc` (bit `b` set iff bank
-    /// `b` is open). Maintained incrementally on ACT/PRE; geometry is
-    /// capped at 64 banks per sub-channel so the mask always fits.
+    /// `b` is open). Maintained incrementally on ACT/PRE.
     #[must_use]
-    pub fn open_banks_mask(&self, sc: u32) -> u64 {
+    pub fn open_banks_mask(&self, sc: u32) -> BankMask {
         self.sub(sc).open_mask
     }
 
@@ -522,6 +553,7 @@ impl DramDevice {
             }
             self.sink.event(TraceEvent {
                 cycle: now,
+                channel: self.cfg.channel,
                 kind: TraceEventKind::Act,
                 subchannel: sc,
                 bank,
@@ -531,7 +563,7 @@ impl DramDevice {
         let (base, prac) = (self.base, self.prac);
         let s = self.sub_mut(sc);
         s.banks[bank as usize].activate(row, now, selected, &base, &prac);
-        s.open_mask |= 1 << bank;
+        s.open_mask.set(bank);
         s.last_act = Some(now);
         s.faw[s.faw_idx] = now;
         s.faw_idx = (s.faw_idx + 1) % 4;
@@ -652,6 +684,7 @@ impl DramDevice {
                     .record(Hist::RowOpenTime, sc, now.saturating_sub(open.opened_at));
                 self.sink.event(TraceEvent {
                     cycle: now,
+                    channel: self.cfg.channel,
                     kind: match kind {
                         PrechargeKind::Normal => TraceEventKind::Pre,
                         PrechargeKind::CounterUpdate => TraceEventKind::PreCu,
@@ -675,7 +708,7 @@ impl DramDevice {
                 "PRE accepted on closed bank sc{sc}/bank{bank}"
             )));
         }
-        s.open_mask &= !(1 << bank);
+        s.open_mask.clear(bank);
         match kind {
             PrechargeKind::Normal => self.stats.precharges += 1,
             PrechargeKind::CounterUpdate => self.stats.precharges_cu += 1,
@@ -803,6 +836,7 @@ impl DramDevice {
         if self.sink.is_enabled() {
             self.sink.event(TraceEvent {
                 cycle: now,
+                channel: self.cfg.channel,
                 kind: TraceEventKind::Ref,
                 subchannel: sc,
                 bank: 0,
@@ -811,6 +845,7 @@ impl DramDevice {
             if mitigations > 0 {
                 self.sink.event(TraceEvent {
                     cycle: now,
+                    channel: self.cfg.channel,
                     kind: TraceEventKind::Mitigation,
                     subchannel: sc,
                     bank: 0,
@@ -858,6 +893,7 @@ impl DramDevice {
             self.sink.record(Hist::AboServiceTime, sc, service_time);
             self.sink.event(TraceEvent {
                 cycle: now,
+                channel: self.cfg.channel,
                 kind: TraceEventKind::Rfm,
                 subchannel: sc,
                 bank: 0,
@@ -906,6 +942,7 @@ impl DramDevice {
         if mitigations > 0 {
             self.sink.event(TraceEvent {
                 cycle: now,
+                channel: self.cfg.channel,
                 kind: TraceEventKind::Mitigation,
                 subchannel: sc,
                 bank: 0,
@@ -934,6 +971,7 @@ impl DramDevice {
             self.stats.injected_faults += 1;
             self.sink.event(TraceEvent {
                 cycle: now,
+                channel: self.cfg.channel,
                 kind: TraceEventKind::Alert,
                 subchannel: sc,
                 bank: 0,
@@ -1066,7 +1104,7 @@ impl DramDevice {
         w.put_u32(s.ref_group);
         w.put_opt_u64(s.alert_since);
         w.put_u64(s.acts_since_alert);
-        w.put_u64(s.open_mask);
+        s.open_mask.save_state(w);
     }
 
     fn load_sub(s: &mut SubChannel, r: &mut SnapshotReader<'_>) -> MopacResult<()> {
@@ -1094,7 +1132,7 @@ impl DramDevice {
         s.ref_group = r.take_u32()?;
         s.alert_since = r.take_opt_u64()?;
         s.acts_since_alert = r.take_u64()?;
-        s.open_mask = r.take_u64()?;
+        s.open_mask.load_state(r)?;
         Ok(())
     }
 
@@ -1119,6 +1157,7 @@ impl DramDevice {
             }
             self.sink.event(TraceEvent {
                 cycle: now,
+                channel: self.cfg.channel,
                 kind: TraceEventKind::Alert,
                 subchannel: sc,
                 bank: 0,

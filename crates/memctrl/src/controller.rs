@@ -10,6 +10,7 @@ use crate::mapping::AddressMapper;
 use crate::sched_index::{QueueCounts, SubIndex};
 use mopac_dram::device::DramDevice;
 use mopac_types::addr::{DecodedAddr, PhysAddr};
+use mopac_types::bankmask::BankMask;
 use mopac_types::error::{MopacError, MopacResult};
 use mopac_types::obs::{Counter, Hist, MetricsRegistry, MetricsSink, SinkConfig};
 use mopac_types::rng::DetRng;
@@ -112,6 +113,19 @@ pub struct McStats {
 }
 
 impl McStats {
+    /// Field-wise accumulation: folds another controller's counters
+    /// into this one (multi-channel totals; `avg_read_latency` on the
+    /// merged struct is then the correctly weighted mean).
+    pub fn accumulate(&mut self, o: &McStats) {
+        self.reads_done += o.reads_done;
+        self.writes_done += o.writes_done;
+        self.read_latency_sum += o.read_latency_sum;
+        self.rfms_issued += o.rfms_issued;
+        self.abo_stall_cycles += o.abo_stall_cycles;
+        self.idle_with_work += o.idle_with_work;
+        self.refresh_mode_cycles += o.refresh_mode_cycles;
+    }
+
     /// Mean read latency in cycles.
     #[must_use]
     pub fn avg_read_latency(&self) -> f64 {
@@ -184,6 +198,11 @@ pub struct MemoryController {
     /// Last [`DramDevice::demands_generation`] observed; on change the
     /// demand-derived knobs refresh and every index invalidates.
     demands_gen_seen: u64,
+    /// Scratch: per-bank open row, written and read only under an
+    /// eligibility mask within one `issue_from` call (never serialized;
+    /// stale entries are unreachable by construction). Sized to the
+    /// bank count once so the hot path does no allocation.
+    row_scratch: Vec<u32>,
     /// Observability sink: the per-cycle stat increments (including the
     /// fast-path replication) mirror into its typed counters, and the
     /// read-latency histogram records here. Disabled by default, which
@@ -222,6 +241,7 @@ impl MemoryController {
             precu_p: demands.precu_probability,
             row_press_cap,
             demands_gen_seen: dram.demands_generation(),
+            row_scratch: vec![0; banks],
             idx,
             dram,
             cfg,
@@ -580,10 +600,7 @@ impl MemoryController {
         let mut wake = min_opt(Some(clamp(s.next_ref)), device);
         // Row-Press force close.
         if let Some(cap) = self.row_press_cap {
-            let mut m = self.dram.open_banks_mask(sc);
-            while m != 0 {
-                let b = m.trailing_zeros();
-                m &= m - 1;
+            for b in self.dram.open_banks_mask(sc).ones() {
                 if let Some(open) = self.dram.open_row(sc, b) {
                     if let Some(ep) = self.dram.earliest_precharge(sc, b) {
                         wake = min_opt(wake, Some(clamp(ep.max(open.opened_at + cap))));
@@ -593,10 +610,7 @@ impl MemoryController {
         }
         // Strict close-page: a used bank closes as soon as tRTP allows.
         if self.cfg.page_policy == PagePolicy::Closed {
-            let mut m = self.dram.open_banks_mask(sc);
-            while m != 0 {
-                let b = m.trailing_zeros();
-                m &= m - 1;
+            for b in self.dram.open_banks_mask(sc).ones() {
                 if s.cols_since_act[b as usize] >= 1 {
                     if let Some(ep) = self.dram.earliest_precharge(sc, b) {
                         wake = min_opt(wake, Some(clamp(ep)));
@@ -644,10 +658,7 @@ impl MemoryController {
         match self.cfg.page_policy {
             PagePolicy::Open => {}
             PagePolicy::Closed | PagePolicy::ClosedIdle => {
-                let mut m = self.dram.open_banks_mask(sc);
-                while m != 0 {
-                    let b = m.trailing_zeros();
-                    m &= m - 1;
+                for b in self.dram.open_banks_mask(sc).ones() {
                     let wanted = idx.reads.hits(b) + idx.writes.hits(b) > 0;
                     if !wanted {
                         if let Some(ep) = self.dram.earliest_precharge(sc, b) {
@@ -658,10 +669,7 @@ impl MemoryController {
             }
             PagePolicy::TimeoutNs(ns) => {
                 let cap = (ns * 3.0) as Cycle;
-                let mut m = self.dram.open_banks_mask(sc);
-                while m != 0 {
-                    let b = m.trailing_zeros();
-                    m &= m - 1;
+                for b in self.dram.open_banks_mask(sc).ones() {
                     let Some(open) = self.dram.open_row(sc, b) else {
                         continue;
                     };
@@ -690,10 +698,7 @@ impl MemoryController {
     ) -> Option<Cycle> {
         let closed_policy = self.cfg.page_policy == PagePolicy::Closed;
         let mut wake: Option<Cycle> = None;
-        let mut m = counts.occ_mask();
-        while m != 0 {
-            let bank = m.trailing_zeros();
-            m &= m - 1;
+        for bank in counts.occ_mask().ones() {
             match self.dram.open_row(sc, bank) {
                 Some(open) => {
                     if counts.hits(bank) > 0 {
@@ -722,14 +727,12 @@ impl MemoryController {
     /// on an open bank, or — once every bank is closed — the cycle the
     /// REF/RFM itself becomes legal.
     fn drain_wake(&self, sc: u32) -> Option<Cycle> {
-        let mut m = self.dram.open_banks_mask(sc);
-        if m == 0 {
+        let m = self.dram.open_banks_mask(sc);
+        if m.is_empty() {
             return self.dram.earliest_refresh(sc);
         }
         let mut wake: Option<Cycle> = None;
-        while m != 0 {
-            let b = m.trailing_zeros();
-            m &= m - 1;
+        for b in m.ones() {
             wake = min_opt(wake, self.dram.earliest_precharge(sc, b));
         }
         wake
@@ -852,10 +855,7 @@ impl MemoryController {
     /// Strict close-page: closes one bank whose open row has already
     /// serviced a column command.
     fn close_used_bank(&mut self, sc: u32, now: Cycle) -> MopacResult<bool> {
-        let mut m = self.dram.open_banks_mask(sc);
-        while m != 0 {
-            let b = m.trailing_zeros();
-            m &= m - 1;
+        for b in self.dram.open_banks_mask(sc).ones() {
             if self.subs[sc as usize].cols_since_act[b as usize] >= 1
                 && self
                     .dram
@@ -985,12 +985,9 @@ impl MemoryController {
             } else {
                 &self.idx[sc as usize].reads
             };
-            let mut elig: u64 = 0;
-            let mut rows = [0u32; 64];
-            let mut m = counts.hits_mask();
-            while m != 0 {
-                let bank = m.trailing_zeros();
-                m &= m - 1;
+            let rows = &mut self.row_scratch;
+            let mut elig = BankMask::empty();
+            for bank in counts.hits_mask().ones() {
                 if closed_policy && s.cols_since_act[bank as usize] >= 1 {
                     continue;
                 }
@@ -1002,17 +999,17 @@ impl MemoryController {
                     .earliest_column(sc, bank, open.row)
                     .is_some_and(|e| e <= now)
                 {
-                    elig |= 1 << bank;
+                    elig.set(bank);
                     rows[bank as usize] = open.row;
                 }
             }
-            if elig == 0 {
+            if elig.is_empty() {
                 None
             } else {
                 let q = if writes { &s.writes } else { &s.reads };
                 q.iter().position(|p| {
                     let bank = p.addr.bank.bank;
-                    (elig >> bank) & 1 == 1 && p.addr.row == rows[bank as usize]
+                    elig.test(bank) && p.addr.row == rows[bank as usize]
                 })
             }
         };
@@ -1039,33 +1036,27 @@ impl MemoryController {
             };
             let occ = counts.occ_mask();
             let open_mask = self.dram.open_banks_mask(sc);
-            let mut pre_mask: u64 = 0;
-            let mut m = occ & open_mask & !counts.hits_mask();
-            while m != 0 {
-                let bank = m.trailing_zeros();
-                m &= m - 1;
+            let mut pre_mask = BankMask::empty();
+            for bank in occ.and(open_mask).and_not(counts.hits_mask()).ones() {
                 if self
                     .dram
                     .earliest_precharge(sc, bank)
                     .is_some_and(|e| e <= now)
                 {
-                    pre_mask |= 1 << bank;
+                    pre_mask.set(bank);
                 }
             }
-            let mut act_mask: u64 = 0;
-            let mut m = occ & !open_mask;
-            while m != 0 {
-                let bank = m.trailing_zeros();
-                m &= m - 1;
+            let mut act_mask = BankMask::empty();
+            for bank in occ.and_not(open_mask).ones() {
                 if self
                     .dram
                     .earliest_activate(sc, bank)
                     .is_some_and(|e| e <= now)
                 {
-                    act_mask |= 1 << bank;
+                    act_mask.set(bank);
                 }
             }
-            if pre_mask | act_mask == 0 {
+            if pre_mask.is_empty() && act_mask.is_empty() {
                 None
             } else {
                 let s = &self.subs[sc as usize];
@@ -1073,11 +1064,11 @@ impl MemoryController {
                 let mut action = None;
                 for p in q {
                     let bank = p.addr.bank.bank;
-                    if (pre_mask >> bank) & 1 == 1 {
+                    if pre_mask.test(bank) {
                         action = Some((bank, None));
                         break;
                     }
-                    if (act_mask >> bank) & 1 == 1 {
+                    if act_mask.test(bank) {
                         action = Some((bank, Some(p.addr.row)));
                         break;
                     }
@@ -1193,10 +1184,7 @@ impl MemoryController {
 
     /// Closes one open bank if legal; returns whether a PRE was issued.
     fn close_one_open_bank(&mut self, sc: u32, now: Cycle) -> MopacResult<bool> {
-        let mut m = self.dram.open_banks_mask(sc);
-        while m != 0 {
-            let b = m.trailing_zeros();
-            m &= m - 1;
+        for b in self.dram.open_banks_mask(sc).ones() {
             if self
                 .dram
                 .earliest_precharge(sc, b)
@@ -1210,7 +1198,7 @@ impl MemoryController {
     }
 
     fn all_banks_closed(&self, sc: u32) -> bool {
-        self.dram.open_banks_mask(sc) == 0
+        self.dram.open_banks_mask(sc).is_empty()
     }
 
     /// Closes one bank whose row has been open (`force`) or idle since
@@ -1222,10 +1210,7 @@ impl MemoryController {
         cap: Cycle,
         force: bool,
     ) -> MopacResult<bool> {
-        let mut m = self.dram.open_banks_mask(sc);
-        while m != 0 {
-            let b = m.trailing_zeros();
-            m &= m - 1;
+        for b in self.dram.open_banks_mask(sc).ones() {
             let Some(open) = self.dram.open_row(sc, b) else {
                 continue;
             };
@@ -1251,10 +1236,7 @@ impl MemoryController {
     /// "No queued hits" is the scheduler index's `hits == 0` — the
     /// O(1) form of the old full-queue `wanted` scan.
     fn close_unreferenced_bank(&mut self, sc: u32, now: Cycle) -> MopacResult<bool> {
-        let mut m = self.dram.open_banks_mask(sc);
-        while m != 0 {
-            let b = m.trailing_zeros();
-            m &= m - 1;
+        for b in self.dram.open_banks_mask(sc).ones() {
             let idx = &self.idx[sc as usize];
             let wanted = idx.reads.hits(b) + idx.writes.hits(b) > 0;
             if !wanted
@@ -1302,15 +1284,15 @@ impl MemoryController {
                     idx.writes
                 ));
             }
-            let mut mask = 0u64;
+            let mut mask = BankMask::empty();
             for b in 0..banks as u32 {
                 if self.dram.open_row(sc, b).is_some() {
-                    mask |= 1 << b;
+                    mask.set(b);
                 }
             }
             if mask != self.dram.open_banks_mask(sc) {
                 return Err(format!(
-                    "sc{sc}: open mask diverged: recomputed {mask:#x} vs device {:#x}",
+                    "sc{sc}: open mask diverged: recomputed {mask:?} vs device {:?}",
                     self.dram.open_banks_mask(sc)
                 ));
             }

@@ -69,6 +69,8 @@ impl AddressMapper {
         assert!(geom.banks_per_subchannel.is_power_of_two());
         assert!(geom.subchannels.is_power_of_two());
         assert!(geom.rows_per_bank.is_power_of_two());
+        assert!(geom.channels.is_power_of_two());
+        assert!(geom.ranks.is_power_of_two());
         if let Mapping::Mop { lines_per_group } = mapping {
             assert!(
                 lines_per_group.is_power_of_two() && lines_per_group <= geom.lines_per_row(),
@@ -108,17 +110,27 @@ impl AddressMapper {
     fn decode_mop(&self, line: u64, group: u32) -> DecodedAddr {
         let g = &self.geom;
         let group = u64::from(group);
+        // Rank is not a separate coordinate: it folds into the bank
+        // dimension (`banks_per_subchannel_flat`), matching the
+        // per-channel device view. Channel rotates right after
+        // sub-channel so consecutive groups stripe across channels
+        // before returning to the same bank. Both divisions are the
+        // identity at channels = ranks = 1, so single-channel decode
+        // is bit-identical to the pre-topology mapping.
+        let banks_flat = u64::from(g.banks_per_subchannel_flat());
         let col_lo = line % group;
         let rest = line / group;
         let subch = rest % u64::from(g.subchannels);
         let rest = rest / u64::from(g.subchannels);
-        let bank = rest % u64::from(g.banks_per_subchannel);
-        let rest = rest / u64::from(g.banks_per_subchannel);
+        let channel = rest % u64::from(g.channels);
+        let rest = rest / u64::from(g.channels);
+        let bank = rest % banks_flat;
+        let rest = rest / banks_flat;
         let groups_per_row = u64::from(g.lines_per_row()) / group;
         let col_hi = rest % groups_per_row;
         let row = rest / groups_per_row;
         DecodedAddr {
-            bank: BankRef::new(subch as u32, bank as u32),
+            bank: BankRef::on_channel(channel as u32, subch as u32, bank as u32),
             row: (row % u64::from(g.rows_per_bank)) as u32,
             col: (col_hi * group + col_lo) as u32,
         }
@@ -132,21 +144,25 @@ impl AddressMapper {
         let col_hi = col / group;
         let groups_per_row = u64::from(g.lines_per_row()) / group;
         let mut rest = u64::from(d.row) * groups_per_row + col_hi;
-        rest = rest * u64::from(g.banks_per_subchannel) + u64::from(d.bank.bank);
+        rest = rest * u64::from(g.banks_per_subchannel_flat()) + u64::from(d.bank.bank);
+        rest = rest * u64::from(g.channels) + u64::from(d.bank.channel);
         rest = rest * u64::from(g.subchannels) + u64::from(d.bank.subchannel);
         rest * group + col_lo
     }
 
     fn decode_row_interleaved(&self, line: u64) -> DecodedAddr {
         let g = &self.geom;
+        let banks_flat = u64::from(g.banks_per_subchannel_flat());
         let col = line % u64::from(g.lines_per_row());
         let rest = line / u64::from(g.lines_per_row());
         let subch = rest % u64::from(g.subchannels);
         let rest = rest / u64::from(g.subchannels);
-        let bank = rest % u64::from(g.banks_per_subchannel);
-        let row = rest / u64::from(g.banks_per_subchannel);
+        let channel = rest % u64::from(g.channels);
+        let rest = rest / u64::from(g.channels);
+        let bank = rest % banks_flat;
+        let row = rest / banks_flat;
         DecodedAddr {
-            bank: BankRef::new(subch as u32, bank as u32),
+            bank: BankRef::on_channel(channel as u32, subch as u32, bank as u32),
             row: (row % u64::from(g.rows_per_bank)) as u32,
             col: col as u32,
         }
@@ -155,7 +171,8 @@ impl AddressMapper {
     fn encode_row_interleaved(&self, d: DecodedAddr) -> u64 {
         let g = &self.geom;
         let mut rest = u64::from(d.row);
-        rest = rest * u64::from(g.banks_per_subchannel) + u64::from(d.bank.bank);
+        rest = rest * u64::from(g.banks_per_subchannel_flat()) + u64::from(d.bank.bank);
+        rest = rest * u64::from(g.channels) + u64::from(d.bank.channel);
         rest = rest * u64::from(g.subchannels) + u64::from(d.bank.subchannel);
         rest * u64::from(g.lines_per_row()) + u64::from(d.col)
     }

@@ -23,6 +23,7 @@
 //! bit-identical to per-cycle rescans) are documented in DESIGN.md §10
 //! and enforced by `tests/prop_sched_index.rs`.
 
+use mopac_types::bankmask::BankMask;
 use mopac_types::time::Cycle;
 
 /// Per-bank request counts for one queue (reads or writes).
@@ -42,19 +43,23 @@ pub(crate) struct QueueCounts {
     total: Vec<u32>,
     hits: Vec<u32>,
     /// Bit `b` set iff `total[b] > 0`.
-    occ_mask: u64,
+    occ_mask: BankMask,
     /// Bit `b` set iff `hits[b] > 0`.
-    hits_mask: u64,
+    hits_mask: BankMask,
 }
 
 impl QueueCounts {
     pub(crate) fn new(banks: usize) -> Self {
-        debug_assert!(banks <= 64, "bank masks require <= 64 banks");
+        debug_assert!(
+            banks as u32 <= BankMask::CAPACITY,
+            "bank masks hold at most {} banks",
+            BankMask::CAPACITY
+        );
         Self {
             total: vec![0; banks],
             hits: vec![0; banks],
-            occ_mask: 0,
-            hits_mask: 0,
+            occ_mask: BankMask::empty(),
+            hits_mask: BankMask::empty(),
         }
     }
 
@@ -70,22 +75,22 @@ impl QueueCounts {
     }
 
     /// Banks with at least one queued request.
-    pub(crate) fn occ_mask(&self) -> u64 {
+    pub(crate) fn occ_mask(&self) -> BankMask {
         self.occ_mask
     }
 
     /// Banks with at least one queued row hit.
-    pub(crate) fn hits_mask(&self) -> u64 {
+    pub(crate) fn hits_mask(&self) -> BankMask {
         self.hits_mask
     }
 
     pub(crate) fn on_enqueue(&mut self, bank: u32, hit: bool) {
         let b = bank as usize;
         self.total[b] += 1;
-        self.occ_mask |= 1 << bank;
+        self.occ_mask.set(bank);
         if hit {
             self.hits[b] += 1;
-            self.hits_mask |= 1 << bank;
+            self.hits_mask.set(bank);
         }
     }
 
@@ -97,10 +102,10 @@ impl QueueCounts {
         self.total[b] -= 1;
         self.hits[b] -= 1;
         if self.total[b] == 0 {
-            self.occ_mask &= !(1 << bank);
+            self.occ_mask.clear(bank);
         }
         if self.hits[b] == 0 {
-            self.hits_mask &= !(1 << bank);
+            self.hits_mask.clear(bank);
         }
     }
 
@@ -116,16 +121,16 @@ impl QueueCounts {
         let n = reqs.filter(|&(b, r)| b == bank && r == open_row).count() as u32;
         self.hits[bank as usize] = n;
         if n > 0 {
-            self.hits_mask |= 1 << bank;
+            self.hits_mask.set(bank);
         } else {
-            self.hits_mask &= !(1 << bank);
+            self.hits_mask.clear(bank);
         }
     }
 
     /// A PRE closed `bank`: nothing can hit a closed bank.
     pub(crate) fn clear_hits(&mut self, bank: u32) {
         self.hits[bank as usize] = 0;
-        self.hits_mask &= !(1 << bank);
+        self.hits_mask.clear(bank);
     }
 
     /// A from-scratch rebuild over the full queue — the reference the
@@ -244,16 +249,16 @@ mod tests {
         c.on_enqueue(3, true);
         assert_eq!(c.total(1), 2);
         assert_eq!(c.hits(1), 1);
-        assert_eq!(c.occ_mask(), 0b1010);
-        assert_eq!(c.hits_mask(), 0b1010);
+        assert_eq!(c.occ_mask(), BankMask::from_u64(0b1010));
+        assert_eq!(c.hits_mask(), BankMask::from_u64(0b1010));
         c.on_dequeue_hit(1);
         assert_eq!(c.total(1), 1);
         assert_eq!(c.hits(1), 0);
-        assert_eq!(c.occ_mask(), 0b1010);
-        assert_eq!(c.hits_mask(), 0b1000);
+        assert_eq!(c.occ_mask(), BankMask::from_u64(0b1010));
+        assert_eq!(c.hits_mask(), BankMask::from_u64(0b1000));
         c.on_dequeue_hit(3);
-        assert_eq!(c.occ_mask(), 0b0010);
-        assert_eq!(c.hits_mask(), 0);
+        assert_eq!(c.occ_mask(), BankMask::from_u64(0b0010));
+        assert!(c.hits_mask().is_empty());
     }
 
     #[test]
@@ -264,10 +269,10 @@ mod tests {
         // ACT opens row 7; one queued request targets it.
         c.rescan_bank(0, 7, [(0u32, 7u32), (0, 9)].into_iter());
         assert_eq!(c.hits(0), 1);
-        assert_eq!(c.hits_mask(), 1);
+        assert_eq!(c.hits_mask(), BankMask::single(0));
         c.clear_hits(0);
         assert_eq!(c.hits(0), 0);
-        assert_eq!(c.hits_mask(), 0);
+        assert!(c.hits_mask().is_empty());
         assert_eq!(c.total(0), 2, "PRE does not dequeue anything");
     }
 

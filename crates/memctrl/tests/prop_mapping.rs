@@ -39,6 +39,71 @@ fn decode_encode_round_trip() {
     });
 }
 
+/// Draws a random power-of-two topology, including the channel and
+/// rank dimensions (1..=8 channels, 1..=4 ranks).
+fn random_geometry(rng: &mut mopac_types::rng::DetRng) -> DramGeometry {
+    DramGeometry {
+        channels: 1 << rng.below(4),
+        ranks: 1 << rng.below(3),
+        subchannels: 1 << rng.below(2),
+        banks_per_subchannel: 1 << (1 + rng.below(5)),
+        rows_per_bank: 1 << (7 + rng.below(6)),
+        row_bytes: 1 << (9 + rng.below(3)),
+        line_bytes: 64,
+    }
+}
+
+#[test]
+fn decode_encode_round_trip_on_random_topologies() {
+    prop_check("decode_encode_round_trip_on_random_topologies", 512, |rng| {
+        let geom = random_geometry(rng);
+        let line = rng.below(geom.total_lines());
+        for mapping in mappings() {
+            if let Mapping::Mop { lines_per_group } = mapping {
+                if lines_per_group > geom.lines_per_row() {
+                    continue;
+                }
+            }
+            let m = AddressMapper::new(geom, mapping);
+            let addr = PhysAddr::from_line_index(line, geom.line_bytes);
+            let d = m.decode(addr);
+            prop_ensure!(d.bank.channel < geom.channels, "channel out of range: {geom:?}");
+            prop_ensure!(
+                d.bank.bank < geom.banks_per_subchannel_flat(),
+                "rank-folded bank out of range: {geom:?}"
+            );
+            prop_ensure!(d.row < geom.rows_per_bank, "row out of range: {geom:?}");
+            prop_ensure!(
+                m.encode(d) == addr,
+                "round trip failed for line {line} under {:?} on {geom:?}",
+                mapping
+            );
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn single_channel_decode_matches_multi_channel_view() {
+    // At channels = ranks = 1 the channel/rank divisions are the
+    // identity, so the decode of any line on an N-channel geometry,
+    // restricted to channel 0's lines, must agree with the per-channel
+    // view used by the device layer.
+    prop_check("single_channel_decode_matches_multi_channel_view", 256, |rng| {
+        let mut geom = random_geometry(rng);
+        geom.channels = 1;
+        let view = geom.channel_view();
+        let m_full = AddressMapper::new(geom, Mapping::paper_default());
+        let m_view = AddressMapper::new(view, Mapping::paper_default());
+        let line = rng.below(geom.total_lines());
+        let addr = PhysAddr::from_line_index(line, geom.line_bytes);
+        let a = m_full.decode(addr);
+        let b = m_view.decode(addr);
+        prop_ensure!(a == b, "channel_view decode diverged at line {line}: {a:?} vs {b:?}");
+        Ok(())
+    });
+}
+
 #[test]
 fn distinct_lines_map_to_distinct_coordinates() {
     prop_check("distinct_lines_map_to_distinct_coordinates", 256, |rng| {

@@ -170,10 +170,11 @@ impl<'p> AttackRun<'p> {
     #[must_use]
     pub fn new(cfg: &AttackConfig, pattern: &'p mut dyn AttackPattern) -> Self {
         let dram = DramDevice::new(DramConfig {
-            geometry: cfg.geometry,
+            geometry: cfg.geometry.channel_view(),
             mitigation: cfg.mitigation,
             enable_checker: cfg.enable_checker,
             seed: cfg.seed,
+            channel: 0,
         });
         let mc = MemoryController::new(
             dram,

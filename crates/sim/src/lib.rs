@@ -36,6 +36,7 @@ pub mod campaign;
 pub mod experiment;
 pub mod fault;
 pub mod runner;
+pub mod shard;
 pub mod system;
 
 pub use attack::{run_attack, run_attack_instrumented, AttackConfig, AttackResult, AttackRun};
@@ -47,4 +48,5 @@ pub use campaign::{
 pub use experiment::{mean_slowdown, run_workload, slowdown_sweep};
 pub use fault::{FaultInjector, FaultKind, FaultPlan, FaultSpec};
 pub use runner::{IsolatedRunner, RunReport, RunStatus};
+pub use shard::{resolve_shard_threads, ChannelSet};
 pub use system::{KernelMode, RunResult, System, SystemConfig};

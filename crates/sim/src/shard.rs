@@ -1,0 +1,434 @@
+//! Per-channel controller set and intra-run channel sharding.
+//!
+//! A multi-channel topology is simulated as one independent
+//! [`MemoryController`] (owning its [`DramDevice`]) per channel: DDR
+//! channels share no command bus, no timing gates, no ALERT wiring and
+//! no mitigation state, so a channel is a natural parallelism unit.
+//! [`ChannelSet`] owns the per-channel controllers and exposes the
+//! merged views the system layer needs (wake, stats, idle accounting).
+//!
+//! ## Sharded ticking
+//!
+//! `MOPAC_SHARD_THREADS` (or [`SystemConfig::shard_threads`]) > 1
+//! shards [`ChannelSet::tick_all`] across a persistent worker pool:
+//! each cycle is a fork-join — channels tick concurrently, then the
+//! system's serial phases (completion delivery, fetch, retire) run on
+//! the merged result. Determinism is structural, not timing-dependent:
+//! every channel's controller is a sequential deterministic machine
+//! touching only its own state (RNG streams, metrics sinks, trace
+//! rings included), and the per-channel completion buffers are merged
+//! in channel-index order — so results are bit-identical at any thread
+//! count, including 1 (the serial loop). The expected speedup needs
+//! multiple hardware cores; on a single-CPU host the sharded path is
+//! merely not-wrong (see DESIGN.md §13).
+//!
+//! [`DramDevice`]: mopac_dram::device::DramDevice
+//! [`SystemConfig::shard_threads`]: crate::system::SystemConfig::shard_threads
+
+use mopac_memctrl::controller::{AccessKind, Completion, McStats, MemRequest, MemoryController};
+use mopac_types::error::MopacResult;
+use mopac_types::time::Cycle;
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+
+/// Resolves the worker-thread count for intra-run channel sharding: an
+/// explicit non-zero `shard_threads` wins; 0 consults the
+/// `MOPAC_SHARD_THREADS` environment variable, defaulting to 1 (the
+/// serial loop).
+#[must_use]
+pub fn resolve_shard_threads(shard_threads: usize) -> usize {
+    if shard_threads != 0 {
+        return shard_threads;
+    }
+    std::env::var("MOPAC_SHARD_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
+/// One cycle's work for one channel, lent to a worker for the duration
+/// of a fork-join round.
+struct Job {
+    mc: *mut MemoryController,
+    out: *mut Vec<Completion>,
+    now: Cycle,
+}
+
+// SAFETY: the pointers reference distinct `ChannelSet`-owned values
+// (one controller and one buffer per channel, no aliasing), and the
+// main thread neither touches them nor returns from `tick_all` until
+// it has received the worker's reply for the round — the reply channel
+// is the happens-before edge.
+unsafe impl Send for Job {}
+
+struct Worker {
+    job_tx: mpsc::Sender<Job>,
+    reply_rx: mpsc::Receiver<MopacResult<u32>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// Persistent fork-join worker pool for channel ticking. Workers park
+/// in a blocking receive between cycles; dropping the pool closes the
+/// job channels and joins every thread.
+struct ShardPool {
+    workers: Vec<Worker>,
+}
+
+impl ShardPool {
+    fn new(workers: usize) -> Self {
+        let workers = (0..workers)
+            .map(|i| {
+                let (job_tx, job_rx) = mpsc::channel::<Job>();
+                let (reply_tx, reply_rx) = mpsc::channel::<MopacResult<u32>>();
+                let spawned = std::thread::Builder::new()
+                    .name(format!("mopac-shard-{i}"))
+                    .spawn(move || {
+                        for job in job_rx {
+                            // SAFETY: see `Job` — exclusive for the round.
+                            let mc = unsafe { &mut *job.mc };
+                            let out = unsafe { &mut *job.out };
+                            let r = mc.tick(job.now, out);
+                            if reply_tx.send(r).is_err() {
+                                break;
+                            }
+                        }
+                    });
+                let handle = match spawned {
+                    Ok(h) => h,
+                    Err(e) => panic!("spawning shard worker {i}: {e}"),
+                };
+                Worker {
+                    job_tx,
+                    reply_rx,
+                    handle: Some(handle),
+                }
+            })
+            .collect();
+        Self { workers }
+    }
+}
+
+impl Drop for ShardPool {
+    fn drop(&mut self) {
+        for w in &mut self.workers {
+            // Replace the sender with a dead one so the worker's
+            // receive loop ends, then join.
+            let (dead, _) = mpsc::channel();
+            w.job_tx = dead;
+            if let Some(h) = w.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+/// The per-channel memory controllers of one system, with serial and
+/// sharded fork-join ticking (see the module docs for the determinism
+/// argument).
+pub struct ChannelSet {
+    mcs: Vec<MemoryController>,
+    /// Per-channel completion buffers for the sharded path; merged in
+    /// channel-index order after the join.
+    bufs: Vec<Vec<Completion>>,
+    pool: Option<ShardPool>,
+}
+
+impl ChannelSet {
+    /// Wraps per-channel controllers; `threads > 1` (clamped to the
+    /// channel count) enables the sharded tick path.
+    #[must_use]
+    pub fn new(mcs: Vec<MemoryController>, threads: usize) -> Self {
+        assert!(!mcs.is_empty(), "a system needs at least one channel");
+        let bufs = mcs.iter().map(|_| Vec::new()).collect();
+        let threads = threads.min(mcs.len());
+        // The main thread is worker 0; the pool holds the extras.
+        let pool = (threads > 1).then(|| ShardPool::new(threads - 1));
+        Self { mcs, bufs, pool }
+    }
+
+    /// Number of channels.
+    #[must_use]
+    pub fn channels(&self) -> usize {
+        self.mcs.len()
+    }
+
+    /// One channel's controller.
+    #[must_use]
+    pub fn channel(&self, ch: u32) -> &MemoryController {
+        &self.mcs[ch as usize]
+    }
+
+    /// Mutable access to one channel's controller (fault hooks,
+    /// restore).
+    pub fn channel_mut(&mut self, ch: u32) -> &mut MemoryController {
+        &mut self.mcs[ch as usize]
+    }
+
+    /// Iterates the controllers in channel order.
+    pub fn iter(&self) -> impl Iterator<Item = &MemoryController> {
+        self.mcs.iter()
+    }
+
+    /// Iterates the controllers mutably in channel order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut MemoryController> {
+        self.mcs.iter_mut()
+    }
+
+    /// Ticks every channel for cycle `now`, appending finished reads to
+    /// `out` grouped by ascending channel (within a channel, the
+    /// controller's own issue order). Returns the total commands
+    /// issued.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the lowest-channel tick error; on the sharded path
+    /// every channel still completes its round first (the join is
+    /// unconditional), so an error leaves no worker holding state.
+    pub fn tick_all(&mut self, now: Cycle, out: &mut Vec<Completion>) -> MopacResult<u32> {
+        let Some(pool) = &self.pool else {
+            let mut issued = 0;
+            for mc in &mut self.mcs {
+                issued += mc.tick(now, out)?;
+            }
+            return Ok(issued);
+        };
+        // Fork: channel `ch` runs on worker `ch % threads`; worker 0 is
+        // this thread. Buffers are cleared up front so the merge below
+        // sees exactly this round's completions.
+        let threads = pool.workers.len() + 1;
+        for buf in &mut self.bufs {
+            buf.clear();
+        }
+        let mut results: Vec<Option<MopacResult<u32>>> = (0..self.mcs.len()).map(|_| None).collect();
+        for (ch, (mc, buf)) in self.mcs.iter_mut().zip(&mut self.bufs).enumerate() {
+            let worker = ch % threads;
+            if worker == 0 {
+                results[ch] = Some(mc.tick(now, buf));
+            } else {
+                let job = Job {
+                    mc: std::ptr::from_mut(mc),
+                    out: std::ptr::from_mut(buf),
+                    now,
+                };
+                pool.workers[worker - 1]
+                    .job_tx
+                    .send(job)
+                    .map_err(|_| worker_died())?;
+            }
+        }
+        // Join: collect every remote reply before touching any lent
+        // state. Replies arrive per worker in that worker's channel
+        // order, so pairing them back up is deterministic.
+        for (ch, slot) in results.iter_mut().enumerate() {
+            let worker = ch % threads;
+            if worker != 0 {
+                *slot = Some(
+                    pool.workers[worker - 1]
+                        .reply_rx
+                        .recv()
+                        .map_err(|_| worker_died())?,
+                );
+            }
+        }
+        let mut issued = 0;
+        for slot in results {
+            match slot {
+                Some(Ok(n)) => issued += n,
+                Some(Err(e)) => return Err(e),
+                None => unreachable!("every channel was assigned a worker"),
+            }
+        }
+        for buf in &mut self.bufs {
+            out.append(buf);
+        }
+        Ok(issued)
+    }
+
+    /// Earliest wake across channels ([`MemoryController::next_wake`]).
+    #[must_use]
+    pub fn next_wake(&self, now: Cycle) -> Option<Cycle> {
+        self.mcs.iter().filter_map(|mc| mc.next_wake(now)).min()
+    }
+
+    /// Bulk idle-stat compensation on every channel
+    /// ([`MemoryController::note_idle_cycles`]).
+    pub fn note_idle_cycles(&mut self, from: Cycle, cycles: u64) {
+        for mc in &mut self.mcs {
+            mc.note_idle_cycles(from, cycles);
+        }
+    }
+
+    /// Total queued requests across channels.
+    #[must_use]
+    pub fn queued(&self) -> usize {
+        self.mcs.iter().map(MemoryController::queued).sum()
+    }
+
+    /// Whether channel `ch` can accept a request on sub-channel `sc`.
+    #[must_use]
+    pub fn can_accept(&self, ch: u32, sc: u32, kind: AccessKind) -> bool {
+        self.mcs[ch as usize].can_accept(sc, kind)
+    }
+
+    /// Enqueues onto the request's channel (`req.addr.bank.channel`).
+    pub fn enqueue(&mut self, req: MemRequest, now: Cycle) -> bool {
+        self.mcs[req.addr.bank.channel as usize].enqueue(req, now)
+    }
+
+    /// Merged controller statistics (field-wise sums; the latency mean
+    /// of the merged struct is read-count weighted).
+    #[must_use]
+    pub fn stats(&self) -> McStats {
+        let mut total = McStats::default();
+        for mc in &self.mcs {
+            total.accumulate(&mc.stats());
+        }
+        total
+    }
+
+    /// Merged device statistics across channels.
+    #[must_use]
+    pub fn dram_stats(&self) -> mopac_dram::device::DramStats {
+        let mut total = mopac_dram::device::DramStats::default();
+        for mc in &self.mcs {
+            total.accumulate(&mc.dram().stats());
+        }
+        total
+    }
+
+    /// Merged mitigation-engine statistics across channels.
+    #[must_use]
+    pub fn mitigation_stats(&self) -> mopac::bank::MitigationStats {
+        let mut total = mopac::bank::MitigationStats::default();
+        for mc in &self.mcs {
+            total.accumulate(&mc.dram().mitigation_stats());
+        }
+        total
+    }
+
+    /// Total Rowhammer-oracle violations across channels.
+    #[must_use]
+    pub fn violations(&self) -> u64 {
+        self.mcs.iter().map(|mc| mc.dram().violations()).sum()
+    }
+
+    /// Total REF commands executed across channels (the
+    /// `run_until_refs` pause currency).
+    #[must_use]
+    pub fn refreshes(&self) -> u64 {
+        self.mcs.iter().map(|mc| mc.dram().stats().refreshes).sum()
+    }
+}
+
+fn worker_died() -> mopac_types::error::MopacError {
+    mopac_types::error::MopacError::internal(
+        "a shard worker thread died mid-run (panicked while ticking its channel)",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mopac::config::MitigationConfig;
+    use mopac_dram::device::{DramConfig, DramDevice};
+    use mopac_memctrl::controller::McConfig;
+    use mopac_types::addr::DecodedAddr;
+    use mopac_types::geometry::{BankRef, DramGeometry};
+
+    fn set(channels: u32, threads: usize) -> ChannelSet {
+        let geom = DramGeometry {
+            channels,
+            ..DramGeometry::tiny()
+        };
+        let mcs = (0..channels)
+            .map(|ch| {
+                let dram = DramDevice::new(DramConfig {
+                    geometry: geom.channel_view(),
+                    mitigation: MitigationConfig::prac(500),
+                    enable_checker: false,
+                    seed: 0xD0_5E_ED ^ u64::from(ch),
+                    channel: ch,
+                });
+                MemoryController::new(dram, McConfig::default())
+            })
+            .collect();
+        ChannelSet::new(mcs, threads)
+    }
+
+    fn drive(mut cs: ChannelSet, cycles: Cycle) -> (Vec<Completion>, McStats) {
+        let mut done = Vec::new();
+        let mut id = 0u64;
+        for now in 0..cycles {
+            // Keep every channel busy with row-conflict traffic.
+            for ch in 0..cs.channels() as u32 {
+                if cs.can_accept(ch, 0, AccessKind::Read) {
+                    id += 1;
+                    let addr = DecodedAddr::new(
+                        BankRef::on_channel(ch, 0, (id % 4) as u32),
+                        (id * 37 % 701) as u32,
+                        0,
+                    );
+                    cs.enqueue(
+                        MemRequest {
+                            id,
+                            kind: AccessKind::Read,
+                            addr,
+                        },
+                        now,
+                    );
+                }
+            }
+            cs.tick_all(now, &mut done).unwrap();
+        }
+        let stats = cs.stats();
+        (done, stats)
+    }
+
+    #[test]
+    fn sharded_tick_is_bit_identical_to_serial() {
+        let (serial, s_stats) = drive(set(4, 1), 4000);
+        for threads in [2, 4] {
+            let (sharded, stats) = drive(set(4, threads), 4000);
+            assert_eq!(serial, sharded, "completion stream @ {threads} threads");
+            assert_eq!(s_stats, stats, "merged stats @ {threads} threads");
+        }
+    }
+
+    #[test]
+    fn completions_merge_in_channel_order() {
+        let (done, stats) = drive(set(2, 2), 6000);
+        assert!(stats.reads_done > 0, "no reads completed");
+        assert_eq!(done.len() as u64, stats.reads_done);
+    }
+
+    #[test]
+    fn merged_stats_sum_channels() {
+        let cs = {
+            let mut cs = set(3, 1);
+            let mut done = Vec::new();
+            let mut id = 0;
+            for now in 0..2000 {
+                for ch in 0..3 {
+                    id += 1;
+                    let addr =
+                        DecodedAddr::new(BankRef::on_channel(ch, 0, 0), (id % 64) as u32, 0);
+                    cs.enqueue(
+                        MemRequest {
+                            id,
+                            kind: AccessKind::Read,
+                            addr,
+                        },
+                        now,
+                    );
+                }
+                cs.tick_all(now, &mut done).unwrap();
+            }
+            cs
+        };
+        let per_channel: u64 = cs.iter().map(|mc| mc.stats().reads_done).sum();
+        assert_eq!(cs.stats().reads_done, per_channel);
+        let refs: u64 = cs.iter().map(|mc| mc.dram().stats().refreshes).sum();
+        assert_eq!(cs.refreshes(), refs);
+    }
+}

@@ -14,6 +14,7 @@
 //!   reference the equivalence suite checks the fast kernel against.
 
 use crate::fault::{CorruptingTrace, FaultInjector, FaultPlan};
+use crate::shard::{resolve_shard_threads, ChannelSet};
 use mopac::config::MitigationConfig;
 use mopac_cpu::core::{Core, CoreParams};
 use mopac_cpu::llc::{CacheAccess, Llc};
@@ -83,6 +84,12 @@ pub struct SystemConfig {
     /// keeps every sink call a no-op; runs are bit-identical either
     /// way — the sink only records alongside the simulation.
     pub metrics: Option<SinkConfig>,
+    /// Worker threads for intra-run channel sharding: 1 ticks channels
+    /// serially, `n > 1` fans the per-channel controller ticks across
+    /// `min(n, channels)` threads each cycle, and 0 (the default)
+    /// reads `MOPAC_SHARD_THREADS` (unset → serial). Results are
+    /// bit-identical at every value (see [`crate::shard`]).
+    pub shard_threads: usize,
 }
 
 impl SystemConfig {
@@ -106,6 +113,7 @@ impl SystemConfig {
             fault_plan: None,
             kernel: KernelMode::EventDriven,
             metrics: None,
+            shard_threads: 0,
         }
     }
 }
@@ -332,7 +340,7 @@ impl CoreDriver {
         &self,
         now: Cycle,
         mapper: &AddressMapper,
-        mc: &MemoryController,
+        chans: &ChannelSet,
         line_bytes: u32,
     ) -> Option<Cycle> {
         if self.core.retire_ready() {
@@ -361,8 +369,8 @@ impl CoreDriver {
             } else {
                 AccessKind::Read
             };
-            return mc
-                .can_accept(decoded.bank.subchannel, kind)
+            return chans
+                .can_accept(decoded.bank.channel, decoded.bank.subchannel, kind)
                 .then_some(now + 1);
         }
         // No gap and nothing pending: a fresh trace record is always
@@ -390,7 +398,7 @@ fn min_opt(a: Option<Cycle>, b: Option<Cycle>) -> Option<Cycle> {
 pub struct System {
     cfg: SystemConfig,
     mapper: AddressMapper,
-    mc: MemoryController,
+    chans: ChannelSet,
     llc: Option<Llc>,
     drivers: Vec<CoreDriver>,
     inflight: InflightHeap,
@@ -440,18 +448,31 @@ impl System {
             }
         };
         let mapper = AddressMapper::new(cfg.geometry, cfg.mapping);
-        let dram = DramDevice::new(DramConfig {
-            geometry: cfg.geometry,
-            mitigation: cfg.mitigation,
-            enable_checker: cfg.enable_checker,
-            seed: cfg.seed ^ 0xD8A3,
-        });
-        let mut mc_cfg = cfg.mc;
-        mc_cfg.seed = cfg.seed ^ 0x3C;
-        let mut mc = MemoryController::new(dram, mc_cfg);
-        if let Some(sink_cfg) = cfg.metrics {
-            mc.enable_metrics(sink_cfg);
-        }
+        // One controller+device per channel. Channel 0 uses the
+        // historical seed derivations exactly (salt 0), so a 1-channel
+        // system is bit-identical to the pre-topology simulator; the
+        // other channels salt every seed with a channel-indexed odd
+        // multiplier so no two channels share an RNG stream.
+        let mcs = (0..cfg.geometry.channels)
+            .map(|ch| {
+                let salt = 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(u64::from(ch));
+                let dram = DramDevice::new(DramConfig {
+                    geometry: cfg.geometry.channel_view(),
+                    mitigation: cfg.mitigation,
+                    enable_checker: cfg.enable_checker,
+                    seed: (cfg.seed ^ 0xD8A3) ^ salt,
+                    channel: ch,
+                });
+                let mut mc_cfg = cfg.mc;
+                mc_cfg.seed = (cfg.seed ^ 0x3C) ^ salt;
+                let mut mc = MemoryController::new(dram, mc_cfg);
+                if let Some(sink_cfg) = cfg.metrics {
+                    mc.enable_metrics(sink_cfg);
+                }
+                mc
+            })
+            .collect();
+        let chans = ChannelSet::new(mcs, resolve_shard_threads(cfg.shard_threads));
         let drivers = traces
             .into_iter()
             .map(|trace| CoreDriver {
@@ -472,7 +493,7 @@ impl System {
         Ok(Self {
             cfg,
             mapper,
-            mc,
+            chans,
             llc,
             drivers,
             inflight: InflightHeap::default(),
@@ -497,7 +518,7 @@ impl System {
     ) -> MopacResult<(RunResult, mopac_memctrl::controller::McStats)> {
         let mut me = self;
         let result = me.run_inner()?;
-        let stats = me.mc.stats();
+        let stats = me.chans.stats();
         Ok((result, stats))
     }
 
@@ -521,10 +542,17 @@ impl System {
     /// system-level gauges. Returns `None` when metrics are disabled.
     pub fn metrics_snapshot(&mut self) -> Option<MetricsSnapshot> {
         let sink_cfg = self.cfg.metrics?;
-        self.mc.export_metrics();
         let mut merged = MetricsSink::enabled(sink_cfg);
-        merged.absorb(self.mc.metrics());
-        merged.absorb(self.mc.dram().metrics());
+        // Channel-index order keeps the merged snapshot (counters,
+        // histogram merges, trace-ring interleaving) deterministic and
+        // independent of the shard thread count.
+        for mc in self.chans.iter_mut() {
+            mc.export_metrics();
+        }
+        for mc in self.chans.iter() {
+            merged.absorb(mc.metrics());
+            merged.absorb(mc.dram().metrics());
+        }
         let pf = self.pf_stats;
         let llc = self.llc.as_ref().map(Llc::stats);
         if let Some(reg) = merged.registry_mut() {
@@ -534,8 +562,8 @@ impl System {
             }
         }
         merged.set_gauge(Gauge::Cycles, self.now);
-        merged.set_gauge(Gauge::McQueued, self.mc.queued() as u64);
-        merged.set_gauge(Gauge::OracleViolations, self.mc.dram().violations());
+        merged.set_gauge(Gauge::McQueued, self.chans.queued() as u64);
+        merged.set_gauge(Gauge::OracleViolations, self.chans.violations());
         let srq_max = merged
             .registry()
             .map_or(0, |r| r.hist_merged(Hist::SrqOccupancy).max());
@@ -618,7 +646,7 @@ impl System {
             // Pause boundary: between full cycles every invariant the
             // snapshot relies on holds (scratch empty, no half-delivered
             // completion), so this is the only place a pause can land.
-            if pause_at_refs.is_some_and(|t| self.mc.dram().stats().refreshes >= t) {
+            if pause_at_refs.is_some_and(|t| self.chans.refreshes() >= t) {
                 return Ok(None);
             }
             let progress = self.step()?;
@@ -629,7 +657,7 @@ impl System {
                     "K {} s={:02b} r={retired} q={} i={} fc={credit:.3}",
                     self.now - 1,
                     self.dbg_sources,
-                    self.mc.queued(),
+                    self.chans.queued(),
                     self.inflight.len(),
                 );
             }
@@ -639,7 +667,7 @@ impl System {
                     "late wake: progress at cycle {} inside skip region ending at {t} \
                      (queued {}, inflight {})",
                     self.now - 1,
-                    self.mc.queued(),
+                    self.chans.queued(),
                     self.inflight.len(),
                 );
                 if self.now >= t {
@@ -682,7 +710,7 @@ impl System {
                 let bound = self.quiescent_bound();
                 if bound >= 16 {
                     let prev = self.now - 1;
-                    let mut wake = self.mc.next_wake(prev);
+                    let mut wake = self.chans.next_wake(prev);
                     if let Some(inj) = self.injector.as_ref() {
                         wake = min_opt(wake, inj.next_due());
                     }
@@ -745,10 +773,10 @@ impl System {
         Ok(Some(RunResult {
             cores,
             cycles: self.now,
-            dram: self.mc.dram().stats(),
-            mitigation: self.mc.dram().mitigation_stats(),
-            violations: self.mc.dram().violations(),
-            avg_read_latency: self.mc.stats().avg_read_latency(),
+            dram: self.chans.dram_stats(),
+            mitigation: self.chans.mitigation_stats(),
+            violations: self.chans.violations(),
+            avg_read_latency: self.chans.stats().avg_read_latency(),
             prefetch: self.pf_stats,
             faults_applied: self.injector.as_ref().map_or(0, FaultInjector::applied),
             trace_corruptions: self
@@ -780,7 +808,7 @@ impl System {
     #[doc(hidden)]
     #[must_use]
     pub fn debug_queued(&self) -> usize {
-        self.mc.queued()
+        self.chans.queued()
     }
 
     /// Test/diagnostic hook: in-flight read completions.
@@ -800,6 +828,15 @@ impl System {
     pub fn snapshot(&self) -> Vec<u8> {
         let mut w = SnapshotWriter::new();
         w.begin_section(SNAP_SYSTEM);
+        // Topology header: restore validates shape before touching any
+        // state, so a snapshot cannot be loaded into a system with a
+        // different channel/rank/bank organization.
+        let g = &self.cfg.geometry;
+        w.put_u32(g.channels);
+        w.put_u32(g.ranks);
+        w.put_u32(g.subchannels);
+        w.put_u32(g.banks_per_subchannel);
+        w.put_u32(g.rows_per_bank);
         w.put_u64(self.now);
         w.put_u64(self.last_retired);
         w.put_u64(self.last_progress_at);
@@ -866,9 +903,11 @@ impl System {
             }
             None => w.put_bool(false),
         }
-        w.begin_section(SNAP_MC);
-        self.mc.save_state(&mut w);
-        w.end_section();
+        for mc in self.chans.iter() {
+            w.begin_section(SNAP_MC);
+            mc.save_state(&mut w);
+            w.end_section();
+        }
         w.end_section();
         w.finish()
     }
@@ -886,6 +925,37 @@ impl System {
     pub fn restore(&mut self, bytes: &[u8]) -> MopacResult<()> {
         let mut r = SnapshotReader::new(bytes)?;
         r.begin_section(SNAP_SYSTEM)?;
+        let snap_topo = (
+            r.take_u32()?,
+            r.take_u32()?,
+            r.take_u32()?,
+            r.take_u32()?,
+            r.take_u32()?,
+        );
+        let g = &self.cfg.geometry;
+        let cfg_topo = (
+            g.channels,
+            g.ranks,
+            g.subchannels,
+            g.banks_per_subchannel,
+            g.rows_per_bank,
+        );
+        if snap_topo != cfg_topo {
+            return Err(MopacError::snapshot(format!(
+                "topology mismatch: snapshot was taken on {}ch x {}rk x {}sc x {}banks x \
+                 {}rows but this system is {}ch x {}rk x {}sc x {}banks x {}rows",
+                snap_topo.0,
+                snap_topo.1,
+                snap_topo.2,
+                snap_topo.3,
+                snap_topo.4,
+                cfg_topo.0,
+                cfg_topo.1,
+                cfg_topo.2,
+                cfg_topo.3,
+                cfg_topo.4,
+            )));
+        }
         self.now = r.take_u64()?;
         self.last_retired = r.take_u64()?;
         self.last_progress_at = r.take_u64()?;
@@ -965,9 +1035,11 @@ impl System {
                 )));
             }
         }
-        r.begin_section(SNAP_MC)?;
-        self.mc.load_state(&mut r)?;
-        r.end_section()?;
+        for mc in self.chans.iter_mut() {
+            r.begin_section(SNAP_MC)?;
+            mc.load_state(&mut r)?;
+            r.end_section()?;
+        }
         r.end_section()?;
         expect_exhausted(&r)
     }
@@ -983,18 +1055,22 @@ impl System {
         let now = self.now;
         let mut progress = false;
         self.dbg_sources = 0;
-        // Scheduled faults fire before the controller sees the cycle.
+        // Scheduled faults fire before the controllers see the cycle.
+        // The injector's addressing predates the channel dimension, so
+        // its events land on channel 0 (which is the whole machine in a
+        // single-channel run).
         if let Some(inj) = self.injector.as_mut() {
             let before = inj.applied();
-            inj.apply(now, &mut self.mc)?;
+            inj.apply(now, self.chans.channel_mut(0))?;
             progress |= inj.applied() != before;
         }
         if progress {
             self.dbg_sources |= 1;
         }
-        // Memory controller issues commands; reads may complete.
+        // Every channel's controller issues commands (concurrently when
+        // sharding is on); reads may complete.
         self.scratch.clear();
-        if self.mc.tick(now, &mut self.scratch)? > 0 {
+        if self.chans.tick_all(now, &mut self.scratch)? > 0 {
             progress = true;
             self.dbg_sources |= 2;
         }
@@ -1051,14 +1127,14 @@ impl System {
         // at `now - 1`, and the wake sources speak in "strictly after
         // the cycle I last saw" terms.
         let prev = self.now - 1;
-        let mut wake = self.mc.next_wake(prev);
+        let mut wake = self.chans.next_wake(prev);
         // A zero-progress step must leave every driver blocked on an
         // external event; merging the driver wakes anyway means a
         // progress-detection bug degrades to lockstep for a cycle
         // instead of skipping state changes.
         let line_bytes = self.cfg.geometry.line_bytes;
         for d in &self.drivers {
-            if let Some(w) = d.next_wake(prev, &self.mapper, &self.mc, line_bytes) {
+            if let Some(w) = d.next_wake(prev, &self.mapper, &self.chans, line_bytes) {
                 debug_assert!(false, "zero-progress step left a runnable core");
                 wake = min_opt(wake, Some(w));
             }
@@ -1200,7 +1276,7 @@ impl System {
                             } else if self.now - self.last_progress_at
                                 >= self.cfg.livelock_window
                             {
-                                self.mc.note_idle_cycles(start, self.now - start);
+                                self.chans.note_idle_cycles(start, self.now - start);
                                 return Err(MopacError::Livelock {
                                     cycle: self.now,
                                     stalled_for: self.now - self.last_progress_at,
@@ -1209,7 +1285,7 @@ impl System {
                             }
                         }
                         if self.now >= self.cfg.max_cycles {
-                            self.mc.note_idle_cycles(start, self.now - start);
+                            self.chans.note_idle_cycles(start, self.now - start);
                             return Err(MopacError::CycleCapExceeded {
                                 cap: self.cfg.max_cycles,
                                 finished_cores: *finished,
@@ -1250,7 +1326,7 @@ impl System {
                     self.last_retired = retired;
                     self.last_progress_at = self.now;
                 } else if self.now - self.last_progress_at >= self.cfg.livelock_window {
-                    self.mc.note_idle_cycles(start, self.now - start);
+                    self.chans.note_idle_cycles(start, self.now - start);
                     return Err(MopacError::Livelock {
                         cycle: self.now,
                         stalled_for: self.now - self.last_progress_at,
@@ -1259,7 +1335,7 @@ impl System {
                 }
             }
             if self.now >= self.cfg.max_cycles {
-                self.mc.note_idle_cycles(start, self.now - start);
+                self.chans.note_idle_cycles(start, self.now - start);
                 return Err(MopacError::CycleCapExceeded {
                     cap: self.cfg.max_cycles,
                     finished_cores: *finished,
@@ -1270,7 +1346,7 @@ impl System {
                 break;
             }
         }
-        self.mc.note_idle_cycles(start, self.now - start);
+        self.chans.note_idle_cycles(start, self.now - start);
         Ok(())
     }
 
@@ -1285,7 +1361,7 @@ impl System {
     /// ([`Core::skip_idle`]).
     fn skip_to(&mut self, target: Cycle) {
         let skipped = target - self.now;
-        self.mc.note_idle_cycles(self.now, skipped);
+        self.chans.note_idle_cycles(self.now, skipped);
         let r = CoreParams::paper_default().retire_per_dram_cycle;
         for d in &mut self.drivers {
             for _ in 0..skipped {
@@ -1301,14 +1377,14 @@ impl System {
     }
 
     /// Feeds the prefetcher with a demand line and issues any candidate
-    /// prefetches the memory controller can accept.
+    /// prefetches whose target channel's controller can accept them.
     fn run_prefetcher(
         stats: &mut PrefetchStats,
         d: &mut CoreDriver,
         idx: usize,
         line: u64,
         mapper: &AddressMapper,
-        mc: &mut MemoryController,
+        chans: &mut ChannelSet,
         now: Cycle,
     ) {
         let Some(pf) = d.prefetcher.as_mut() else {
@@ -1322,12 +1398,13 @@ impl System {
             }
             let addr = PhysAddr::from_line_index(cand, mapper.geometry().line_bytes);
             let decoded = mapper.decode(addr);
-            if !mc.can_accept(decoded.bank.subchannel, AccessKind::Read) {
+            if !chans.can_accept(decoded.bank.channel, decoded.bank.subchannel, AccessKind::Read)
+            {
                 continue;
             }
             let id = ((idx as u64) << 48) | d.seq;
             d.seq += 1;
-            let ok = mc.enqueue(
+            let ok = chans.enqueue(
                 MemRequest {
                     id,
                     kind: AccessKind::Read,
@@ -1393,7 +1470,7 @@ impl System {
                                 idx,
                                 line,
                                 &self.mapper,
-                                &mut self.mc,
+                                &mut self.chans,
                                 now,
                             );
                             continue;
@@ -1413,7 +1490,7 @@ impl System {
                                 idx,
                                 line,
                                 &self.mapper,
-                                &mut self.mc,
+                                &mut self.chans,
                                 now,
                             );
                             continue;
@@ -1422,19 +1499,21 @@ impl System {
                     }
                 }
                 let decoded = self.mapper.decode(addr);
-                let sc = decoded.bank.subchannel;
                 let kind = if is_write {
                     AccessKind::Write
                 } else {
                     AccessKind::Read
                 };
-                if !self.mc.can_accept(sc, kind) {
+                if !self
+                    .chans
+                    .can_accept(decoded.bank.channel, decoded.bank.subchannel, kind)
+                {
                     break;
                 }
                 progress = true;
                 let id = ((idx as u64) << 48) | d.seq;
                 d.seq += 1;
-                let ok = self.mc.enqueue(
+                let ok = self.chans.enqueue(
                     MemRequest {
                         id,
                         kind,
@@ -1457,7 +1536,7 @@ impl System {
                         idx,
                         line,
                         &self.mapper,
-                        &mut self.mc,
+                        &mut self.chans,
                         now,
                     );
                 }
@@ -1485,7 +1564,7 @@ impl System {
                         let decoded = self.mapper.decode(victim);
                         let id = ((idx as u64) << 48) | d.seq;
                         d.seq += 1;
-                        let _ = self.mc.enqueue(
+                        let _ = self.chans.enqueue(
                             MemRequest {
                                 id,
                                 kind: AccessKind::Write,

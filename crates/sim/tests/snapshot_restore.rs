@@ -84,3 +84,48 @@ fn restored_runs_are_bit_identical_across_engines_kernels_and_faults() {
         "only {splits}/{cells} cells actually split at a REF boundary"
     );
 }
+
+#[test]
+fn restore_rejects_cross_topology_snapshots() {
+    use mopac::config::MitigationConfig;
+    use mopac_types::error::MopacError;
+
+    let mut cfg = SystemConfig::paper_default(MitigationConfig::prac(500), 20_000);
+    cfg.geometry = DramGeometry::tiny();
+    let mut src = System::new(cfg.clone(), build_traces("xz", &cfg).unwrap()).unwrap();
+    assert!(src.run_until_refs(2).unwrap().is_none(), "run ended early");
+    let snap = src.snapshot();
+
+    // Same config except the channel count: the restore must fail with
+    // a typed snapshot error before touching any state, not deserialize
+    // one channel's controller into another topology's system.
+    let mut wide_cfg = cfg.clone();
+    wide_cfg.geometry.channels = 2;
+    let mut wide = System::new(wide_cfg.clone(), build_traces("xz", &wide_cfg).unwrap()).unwrap();
+    let err = wide.restore(&snap).expect_err("cross-topology restore succeeded");
+    assert!(
+        matches!(&err, MopacError::Snapshot { .. }),
+        "wrong error kind: {err:?}"
+    );
+    assert!(
+        err.to_string().contains("topology mismatch"),
+        "unhelpful error: {err}"
+    );
+
+    // A rank mismatch changes bank folding, so it must be rejected too.
+    let mut ranked_cfg = cfg.clone();
+    ranked_cfg.geometry.ranks = 2;
+    let mut ranked =
+        System::new(ranked_cfg.clone(), build_traces("xz", &ranked_cfg).unwrap()).unwrap();
+    assert!(ranked.restore(&snap).is_err(), "rank mismatch accepted");
+
+    // The matching topology still restores and finishes bit-identically
+    // to the uninterrupted reference.
+    let reference = System::new(cfg.clone(), build_traces("xz", &cfg).unwrap())
+        .unwrap()
+        .run()
+        .unwrap();
+    let mut same = System::new(cfg.clone(), build_traces("xz", &cfg).unwrap()).unwrap();
+    same.restore(&snap).unwrap();
+    assert_eq!(reference, same.run_to_completion().unwrap());
+}

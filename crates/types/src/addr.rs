@@ -112,6 +112,7 @@ impl std::fmt::Display for DecodedAddr {
 
 impl crate::snapshot::Snapshottable for DecodedAddr {
     fn save_state(&self, w: &mut crate::snapshot::SnapshotWriter) {
+        w.put_u32(self.bank.channel);
         w.put_u32(self.bank.subchannel);
         w.put_u32(self.bank.bank);
         w.put_u32(self.row);
@@ -122,6 +123,7 @@ impl crate::snapshot::Snapshottable for DecodedAddr {
         &mut self,
         r: &mut crate::snapshot::SnapshotReader<'_>,
     ) -> crate::error::MopacResult<()> {
+        self.bank.channel = r.take_u32()?;
         self.bank.subchannel = r.take_u32()?;
         self.bank.bank = r.take_u32()?;
         self.row = r.take_u32()?;

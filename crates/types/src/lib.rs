@@ -20,6 +20,7 @@
 //! ```
 
 pub mod addr;
+pub mod bankmask;
 pub mod check;
 pub mod collections;
 pub mod error;

@@ -486,6 +486,8 @@ pub struct TraceEvent {
     pub cycle: Cycle,
     /// What happened.
     pub kind: TraceEventKind,
+    /// Channel.
+    pub channel: u32,
     /// Sub-channel.
     pub subchannel: u32,
     /// Bank (0 for sub-channel-wide events: REF, RFM, ALERT).
@@ -499,9 +501,10 @@ impl TraceEvent {
     #[must_use]
     pub fn to_csv_row(&self) -> String {
         format!(
-            "{},{},{},{},{}",
+            "{},{},{},{},{},{}",
             self.cycle,
             self.kind.name(),
+            self.channel,
             self.subchannel,
             self.bank,
             self.value
@@ -512,9 +515,10 @@ impl TraceEvent {
     #[must_use]
     pub fn to_jsonl(&self) -> String {
         format!(
-            "{{\"cycle\":{},\"kind\":\"{}\",\"sc\":{},\"bank\":{},\"value\":{}}}",
+            "{{\"cycle\":{},\"kind\":\"{}\",\"ch\":{},\"sc\":{},\"bank\":{},\"value\":{}}}",
             self.cycle,
             self.kind.name(),
+            self.channel,
             self.subchannel,
             self.bank,
             self.value
@@ -534,7 +538,7 @@ pub struct TraceRing {
 
 impl TraceRing {
     /// CSV header for [`TraceEvent::to_csv_row`].
-    pub const CSV_HEADER: &'static str = "cycle,kind,subchannel,bank,value";
+    pub const CSV_HEADER: &'static str = "cycle,kind,channel,subchannel,bank,value";
 
     /// A ring holding at most `capacity` events (0 disables recording).
     #[must_use]
@@ -929,6 +933,7 @@ impl Snapshottable for TraceRing {
         for e in &self.buf {
             w.put_u64(e.cycle);
             w.put_u8(e.kind.tag());
+            w.put_u32(e.channel);
             w.put_u32(e.subchannel);
             w.put_u32(e.bank);
             w.put_u64(e.value);
@@ -956,12 +961,14 @@ impl Snapshottable for TraceRing {
             let tag = r.take_u8()?;
             let kind = TraceEventKind::from_tag(tag)
                 .ok_or_else(|| MopacError::snapshot(format!("unknown trace-event tag {tag}")))?;
+            let channel = r.take_u32()?;
             let subchannel = r.take_u32()?;
             let bank = r.take_u32()?;
             let value = r.take_u64()?;
             self.buf.push_back(TraceEvent {
                 cycle,
                 kind,
+                channel,
                 subchannel,
                 bank,
                 value,
@@ -1245,6 +1252,7 @@ mod tests {
         for i in 0..5u64 {
             ring.push(TraceEvent {
                 cycle: i,
+                channel: 0,
                 kind: TraceEventKind::Act,
                 subchannel: 0,
                 bank: 0,
@@ -1270,6 +1278,7 @@ mod tests {
         sink.record(Hist::ReadLatency, 0, 92);
         sink.event(TraceEvent {
             cycle: 1,
+            channel: 0,
             kind: TraceEventKind::Pre,
             subchannel: 0,
             bank: 1,
@@ -1291,6 +1300,7 @@ mod tests {
         }
         sink.event(TraceEvent {
             cycle: 9,
+            channel: 0,
             kind: TraceEventKind::Alert,
             subchannel: 1,
             bank: 0,
@@ -1323,6 +1333,7 @@ mod tests {
         b.record(Hist::InterActGap, 0, 16);
         b.event(TraceEvent {
             cycle: 3,
+            channel: 0,
             kind: TraceEventKind::Rfm,
             subchannel: 0,
             bank: 0,
@@ -1351,6 +1362,7 @@ mod tests {
         for i in 0..6u64 {
             sink.event(TraceEvent {
                 cycle: i,
+                channel: 0,
                 kind: TraceEventKind::Alert,
                 subchannel: 0,
                 bank: 0,
