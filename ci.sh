@@ -84,14 +84,30 @@ if [[ $fast -eq 0 ]]; then
 
   # Security gate: every engine in the mitigation registry versus the
   # attack battery at a reduced cycle budget; any oracle violation
-  # fails the binary (exit 1).
+  # fails the binary (exit 1). The bank-scope `practical` engine must
+  # be present in the matrix — if it ever drops out of the registry
+  # the suite would pass vacuously, so its absence fails here.
   step "registry attack suite (release, reduced budget)"
   MOPAC_ATTACK_CYCLES=250000 cargo run --release -q -p mopac-bench --bin attack_suite
+  if ! grep -q '^practical,' EXPERIMENTS-data/attack_suite.csv; then
+    echo "FAIL: 'practical' missing from the attack-suite matrix"
+    exit 1
+  fi
 
   # Performance trend line: slowdown vs baseline per registered
-  # engine; writes BENCH_mitigations.json at the workspace root.
-  step "mitigation slowdown bench (reduced budget)"
+  # engine (plus blocked-bank cycles under a fixed ALERT-pressure
+  # attack); writes BENCH_mitigations.json at the workspace root. The
+  # committed file is generated at this exact budget and diff-checked:
+  # a change means either a real perf/recovery regression or a stale
+  # committed baseline — regenerate with MOPAC_INSTRS=40000 and
+  # commit the new file deliberately.
+  step "mitigation slowdown bench (reduced budget, diff-checked)"
   MOPAC_INSTRS=40000 cargo run --release -q -p mopac-bench --bin bench_mitigations
+  if ! git diff --quiet -- BENCH_mitigations.json; then
+    echo "FAIL: BENCH_mitigations.json drifted from the committed baseline"
+    git diff -- BENCH_mitigations.json | head -20
+    exit 1
+  fi
 
   # Crash-safety gate 1: kill-and-resume. Run the checkpointed fault
   # campaign, SIGKILL it mid-flight, resume from the checkpoint, and
@@ -162,11 +178,11 @@ if [[ $fast -eq 0 ]]; then
   RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
 fi
 
-# Lint gate. The robustness contract: the core and simulation
-# libraries (mopac, mopac-dram, mopac-memctrl, mopac-sim,
-# mopac-workloads) carry no unwrap/expect in non-test code — misuse
-# must surface as MopacResult. Those crates opt
-# in via `#![warn(clippy::unwrap_used, clippy::expect_used)]` in their
+# Lint gate. The robustness contract: every library in the workspace
+# (mopac, mopac-dram, mopac-memctrl, mopac-sim, mopac-workloads,
+# mopac-bench, mopac-analysis) carries no unwrap/expect in non-test
+# code — misuse must surface as MopacResult. Each crate opts
+# in via `#![warn(clippy::unwrap_used, clippy::expect_used)]` in its
 # lib.rs (promoted to errors by -D warnings here); tests and bench
 # binaries are exempt via clippy.toml (allow-unwrap-in-tests).
 if cargo clippy --version >/dev/null 2>&1; then

@@ -28,6 +28,8 @@
 //! assert_eq!(p.ath_star, 176);
 //! ```
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 pub mod binomial;
 pub mod markov;
 pub mod moat;

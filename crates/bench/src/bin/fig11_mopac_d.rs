@@ -17,5 +17,6 @@ fn main() {
         "PRAC vs MoPAC-D slowdowns (paper Fig 11; means 10% / 0.1% / 0.8% / 3.5%)",
         &configs,
     )
+    .expect("slowdown sweep")
     .emit();
 }

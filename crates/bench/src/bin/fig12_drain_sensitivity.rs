@@ -20,5 +20,6 @@ fn main() {
          T500: 6.2/2.9/0.8/0.1%, T250: 14.1/10.5/7.4/3.5%)",
         &configs,
     )
+    .expect("slowdown sweep")
     .emit();
 }

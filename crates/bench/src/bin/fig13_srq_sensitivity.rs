@@ -20,5 +20,6 @@ fn main() {
          T500: 1.9/0.8/0.3%, T250: 9.0/3.5/2.7%)",
         &configs,
     )
+    .expect("slowdown sweep")
     .emit();
 }

@@ -16,5 +16,6 @@ fn main() {
          NUP 0/0/1.1%)",
         &configs,
     )
+    .expect("slowdown sweep")
     .emit();
 }

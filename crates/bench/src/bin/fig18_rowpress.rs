@@ -24,5 +24,6 @@ fn main() {
          at T500 C 1.8%, D 6.8%)",
         &configs,
     )
+    .expect("slowdown sweep")
     .emit();
 }

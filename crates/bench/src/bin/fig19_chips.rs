@@ -19,5 +19,6 @@ fn main() {
         "MoPAC-D vs chip count (paper Fig 19; at T250: 2.7/3.1/3.5/3.9/4.2%)",
         &configs,
     )
+    .expect("slowdown sweep")
     .emit();
 }

@@ -17,5 +17,6 @@ fn main() {
         "PRAC vs MoPAC-C slowdowns (paper Fig 9; means 10% / 0.8% / 1.8% / 3.0%)",
         &configs,
     )
+    .expect("slowdown sweep")
     .emit();
 }

@@ -5,6 +5,8 @@
 //! `EXPERIMENTS-data/`. This library provides the report formatting,
 //! CSV output, and budget knobs they share.
 
+#![warn(clippy::unwrap_used, clippy::expect_used)]
+
 use std::fmt::Write as _;
 use std::fs;
 use std::path::PathBuf;
@@ -182,12 +184,16 @@ pub fn data_dir() -> PathBuf {
 /// Runs every paper workload (or the `MOPAC_WORKLOADS` subset) under the
 /// baseline and each named mitigation config, and builds a slowdown
 /// matrix report with a final mean row.
-#[must_use]
+///
+/// # Errors
+///
+/// Propagates any simulation failure (unknown workload, timing
+/// violation) instead of aborting the whole sweep with a panic.
 pub fn slowdown_matrix(
     experiment: &str,
     title: &str,
     configs: &[(String, mopac::config::MitigationConfig)],
-) -> Report {
+) -> mopac_types::error::MopacResult<Report> {
     use mopac_sim::experiment::run_workload;
     let instrs = instr_budget();
     let names: Vec<String> = workload_filter().unwrap_or_else(|| {
@@ -203,11 +209,10 @@ pub fn slowdown_matrix(
     let mut r = Report::new(experiment, title, &headers);
     let mut sums = vec![0.0f64; configs.len()];
     for name in &names {
-        let base = run_workload(name, mopac::config::MitigationConfig::baseline(), instrs)
-            .expect("baseline run");
+        let base = run_workload(name, mopac::config::MitigationConfig::baseline(), instrs)?;
         let mut cells = vec![name.clone()];
         for (i, (_, cfg)) in configs.iter().enumerate() {
-            let run = run_workload(name, *cfg, instrs).expect("workload run");
+            let run = run_workload(name, *cfg, instrs)?;
             let s = run.slowdown_vs(&base);
             sums[i] += s;
             cells.push(pct(s));
@@ -220,7 +225,7 @@ pub fn slowdown_matrix(
         mean.push(pct(s / names.len() as f64));
     }
     r.row(&mean);
-    r
+    Ok(r)
 }
 
 /// A CSV file written one row at a time, flushed after every row, so a

@@ -211,6 +211,12 @@ impl BankMitigation {
         self.engine.service_abo()
     }
 
+    /// Reports a deferred counter update posted into `subarray` (see
+    /// [`crate::engine::MitigationEngine::on_subarray_update`]).
+    pub fn on_subarray_update(&mut self, subarray: u32) {
+        self.engine.on_subarray_update(subarray);
+    }
+
     /// Handles a REF command: engines drain deferred work or mitigate
     /// proactively inside the refresh window.
     ///

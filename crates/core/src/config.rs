@@ -36,6 +36,12 @@ pub enum MitigationKind {
     /// are coalesced in a per-bank pending queue and drained in bulk at
     /// REF and under ABO.
     CncPrac,
+    /// PRACtical (Nazaraliyev et al., 2025): per-row counting like
+    /// PRAC, but counter read-modify-writes complete at subarray level
+    /// (the bank keeps base timings; only the closed row's subarray is
+    /// briefly gated) and ABO recovery blocks only the alerting
+    /// bank(s), not the whole sub-channel.
+    Practical,
 }
 
 impl std::fmt::Display for MitigationKind {
@@ -47,6 +53,7 @@ impl std::fmt::Display for MitigationKind {
             Self::MopacD => "MoPAC-D",
             Self::Qprac => "QPRAC",
             Self::CncPrac => "CnC-PRAC",
+            Self::Practical => "PRACtical",
         };
         f.write_str(s)
     }
@@ -64,8 +71,8 @@ fn threshold_u32(v: u64) -> u32 {
 /// Construct via the presets ([`MitigationConfig::prac`],
 /// [`MitigationConfig::mopac_c`], [`MitigationConfig::mopac_d`],
 /// [`MitigationConfig::mopac_d_nup`], [`MitigationConfig::qprac`],
-/// [`MitigationConfig::cnc_prac`]) and customize with the `with_*`
-/// methods. The designs are enumerable by name through
+/// [`MitigationConfig::cnc_prac`], [`MitigationConfig::practical`]) and
+/// customize with the `with_*` methods. The designs are enumerable by name through
 /// [`crate::engine::EngineRegistry`].
 ///
 /// # Examples
@@ -263,6 +270,31 @@ impl MitigationConfig {
         }
     }
 
+    /// PRACtical at the given threshold (Nazaraliyev et al., 2025):
+    /// exact per-row counting like PRAC, but the counter
+    /// read-modify-write is performed inside the closed row's subarray
+    /// while the bank itself returns to base timings, and ALERT
+    /// recovery stalls only the alerting bank(s). Counter state is
+    /// command-synchronous in the model (only the update's *timing* is
+    /// subarray-local), so the thresholds are PRAC's MOAT `ATH`/`ETH`
+    /// and the security argument carries over unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_rh <= 64` (outside the MOAT model's domain).
+    #[must_use]
+    pub fn practical(t_rh: u64) -> Self {
+        let ath = moat_ath(t_rh);
+        Self {
+            kind: MitigationKind::Practical,
+            t_rh,
+            alert_threshold: threshold_u32(ath),
+            eligibility_threshold: threshold_u32(moat_eth(ath)),
+            sample_denominator: 1,
+            ..Self::baseline()
+        }
+    }
+
     /// Overrides the SRQ capacity (Figure 13's sensitivity study).
     #[must_use]
     pub fn with_srq_capacity(mut self, entries: usize) -> Self {
@@ -390,6 +422,7 @@ mod tests {
         assert_eq!(MitigationKind::None.to_string(), "baseline");
         assert_eq!(MitigationKind::Qprac.to_string(), "QPRAC");
         assert_eq!(MitigationKind::CncPrac.to_string(), "CnC-PRAC");
+        assert_eq!(MitigationKind::Practical.to_string(), "PRACtical");
     }
 
     #[test]
@@ -401,6 +434,16 @@ mod tests {
         assert_eq!(c.sample_denominator, 1);
         assert_eq!(c.srq_capacity, 8);
         assert_eq!(c.drain_on_ref, 1);
+    }
+
+    #[test]
+    fn practical_preset_keeps_prac_thresholds() {
+        let c = MitigationConfig::practical(500);
+        let p = MitigationConfig::prac(500);
+        assert_eq!(c.alert_threshold, p.alert_threshold);
+        assert_eq!(c.eligibility_threshold, p.eligibility_threshold);
+        assert_eq!(c.sample_denominator, 1);
+        assert!(c.tracks());
     }
 
     #[test]

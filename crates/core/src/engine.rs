@@ -26,11 +26,24 @@
 
 use crate::bank::{AboService, AlertCause, MitigationStats};
 use crate::config::{MitigationConfig, MitigationKind};
-use crate::engines::{BaselineEngine, CncPracEngine, MopacDEngine, PracEngine, QpracEngine};
+use crate::engines::{
+    BaselineEngine, CncPracEngine, MopacDEngine, PracEngine, PracticalEngine, QpracEngine,
+};
 use mopac_types::obs::{Hist, MetricsSink};
 use mopac_types::rng::DetRng;
 use std::ops::Range;
 use std::sync::OnceLock;
+
+/// How much of a sub-channel an ABO/RFM recovery stall blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RecoveryScope {
+    /// The whole sub-channel stalls while recovery runs (JEDEC ABO;
+    /// every design that predates bank isolation).
+    SubChannel,
+    /// Only the alerting bank(s) stall; sibling banks keep issuing
+    /// (PRACtical's bank-isolated recovery).
+    Bank,
+}
 
 /// What a mitigation design demands of the memory controller and the
 /// DRAM timing model.
@@ -52,6 +65,16 @@ pub struct TimingDemands {
     /// (Row-Press hardening for controller-side designs). `None` — no
     /// cap.
     pub row_open_cap_ns: Option<f64>,
+    /// How much of the sub-channel an ABO/RFM recovery stall blocks.
+    /// Under [`RecoveryScope::Bank`] the controller keeps scheduling
+    /// sibling banks while the alerting bank(s) recover.
+    pub recovery_scope: RecoveryScope,
+    /// Every precharge's counter read-modify-write is deferred into the
+    /// closed row's subarray: the bank returns to base timings
+    /// immediately and only back-to-back activations into the *same*
+    /// subarray wait for the update (PRACtical). Updates to different
+    /// subarrays of one bank proceed in parallel.
+    pub subarray_parallel_updates: bool,
 }
 
 impl TimingDemands {
@@ -63,6 +86,8 @@ impl TimingDemands {
             always_prac_timings: false,
             precu_probability: None,
             row_open_cap_ns: None,
+            recovery_scope: RecoveryScope::SubChannel,
+            subarray_parallel_updates: false,
         }
     }
 
@@ -78,6 +103,11 @@ impl TimingDemands {
             MitigationKind::MopacC => Self {
                 precu_probability: Some(cfg.p()),
                 row_open_cap_ns: cfg.row_press.then_some(180.0),
+                ..Self::base()
+            },
+            MitigationKind::Practical => Self {
+                recovery_scope: RecoveryScope::Bank,
+                subarray_parallel_updates: true,
                 ..Self::base()
             },
         }
@@ -125,6 +155,14 @@ pub trait MitigationEngine: std::fmt::Debug + Send {
     /// One ABO (RFM) reached this bank: perform the highest-priority
     /// pending work (mitigation or deferred counter updates).
     fn service_abo(&mut self) -> AboService;
+
+    /// A deferred counter update was posted into `subarray` (only
+    /// called for engines whose [`TimingDemands`] set
+    /// `subarray_parallel_updates`). The counter *state* was already
+    /// applied by [`MitigationEngine::on_precharge`]; this hook lets
+    /// the engine account per-subarray update pressure. The default
+    /// ignores it.
+    fn on_subarray_update(&mut self, _subarray: u32) {}
 
     /// Direct read of a row's activation counter (chip 0 for
     /// replicated designs).
@@ -218,6 +256,7 @@ pub fn build_engine(cfg: &MitigationConfig, rows: u32, rng: DetRng) -> Box<dyn M
         MitigationKind::MopacD => Box::new(MopacDEngine::new(cfg, rows, rng)),
         MitigationKind::Qprac => Box::new(QpracEngine::new(cfg, rows)),
         MitigationKind::CncPrac => Box::new(CncPracEngine::new(cfg, rows)),
+        MitigationKind::Practical => Box::new(PracticalEngine::new(cfg, rows)),
     }
 }
 
@@ -306,6 +345,13 @@ impl EngineRegistry {
                               at REF/ABO (Lin et al., 2025).",
                     preset: MitigationConfig::cnc_prac,
                 },
+                EngineSpec {
+                    name: "practical",
+                    display: "PRACtical",
+                    summary: "Subarray-level counter updates at base bank timings; ABO recovery \
+                              stalls only the alerting bank (Nazaraliyev et al., 2025).",
+                    preset: MitigationConfig::practical,
+                },
             ],
         })
     }
@@ -380,6 +426,12 @@ mod tests {
         ] {
             assert_eq!(TimingDemands::for_config(&base), TimingDemands::base());
         }
+
+        let practical = TimingDemands::for_config(&MitigationConfig::practical(500));
+        assert!(!practical.always_prac_timings, "bank timings stay base");
+        assert_eq!(practical.recovery_scope, RecoveryScope::Bank);
+        assert!(practical.subarray_parallel_updates);
+        assert_eq!(TimingDemands::base().recovery_scope, RecoveryScope::SubChannel);
     }
 
     #[test]

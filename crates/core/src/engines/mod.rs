@@ -9,18 +9,22 @@
 //! * [`QpracEngine`] — exact counting plus proactive per-REF
 //!   mitigation from a priority queue (Woo et al., HPCA 2025);
 //! * [`CncPracEngine`] — base timings with counter write-backs
-//!   coalesced in a pending queue (Lin et al., 2025).
+//!   coalesced in a pending queue (Lin et al., 2025);
+//! * [`PracticalEngine`] — PRAC counting with subarray-level update
+//!   timing and bank-isolated ABO recovery (Nazaraliyev et al., 2025).
 
 mod baseline;
 mod cnc_prac;
 mod mopac_d;
 mod prac;
+mod practical;
 mod qprac;
 
 pub use baseline::BaselineEngine;
 pub use cnc_prac::CncPracEngine;
 pub use mopac_d::MopacDEngine;
 pub use prac::PracEngine;
+pub use practical::PracticalEngine;
 pub use qprac::QpracEngine;
 
 use crate::counters::PracCounters;

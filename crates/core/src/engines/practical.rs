@@ -1,0 +1,213 @@
+//! PRACtical (Nazaraliyev et al., 2025): subarray-level counter
+//! updates with bank-isolated recovery.
+//!
+//! The design keeps PRAC's exact per-row counting and MOAT tracker but
+//! removes its two system-level serialization points:
+//!
+//! * the counter read-modify-write completes *inside the closed row's
+//!   subarray* — the bank returns to base precharge timings and only a
+//!   back-to-back activation into the same subarray waits for the
+//!   update, so updates to different subarrays of one bank overlap;
+//! * an ALERT back-off stalls only the alerting bank(s), not the whole
+//!   sub-channel ([`RecoveryScope::Bank`]).
+//!
+//! Both reliefs are *timing* properties delivered through
+//! [`TimingDemands`]; the counter state itself stays
+//! command-synchronous (applied at `on_precharge` like PRAC), so the
+//! MOAT security argument carries over unchanged. The engine
+//! additionally accounts how many deferred updates each subarray
+//! absorbed, which the device surfaces through the
+//! `dram.subarray_parallel_updates` metric.
+//!
+//! [`RecoveryScope::Bank`]: crate::engine::RecoveryScope::Bank
+//! [`TimingDemands`]: crate::engine::TimingDemands
+
+use crate::bank::{AboService, AlertCause, MitigationStats};
+use crate::config::MitigationConfig;
+use crate::counters::PracCounters;
+use crate::engine::MitigationEngine;
+use crate::engines::refresh_victims;
+use crate::moat::MoatTracker;
+use std::ops::Range;
+
+/// PRACtical: PRAC counting, subarray-deferred updates, bank-scoped
+/// recovery.
+#[derive(Debug, Clone)]
+pub struct PracticalEngine {
+    cfg: MitigationConfig,
+    counters: PracCounters,
+    moat: MoatTracker,
+    stats: MitigationStats,
+    /// Deferred counter updates posted per subarray. Grows on demand:
+    /// the engine learns the bank's subarray count from the indices the
+    /// device reports, so the geometry never leaks into construction.
+    subarray_updates: Vec<u64>,
+}
+
+impl PracticalEngine {
+    /// Creates the engine for a bank with `rows` rows.
+    #[must_use]
+    pub fn new(cfg: &MitigationConfig, rows: u32) -> Self {
+        Self {
+            cfg: *cfg,
+            counters: PracCounters::new(rows),
+            moat: MoatTracker::new(cfg.alert_threshold, cfg.eligibility_threshold),
+            stats: MitigationStats::default(),
+            subarray_updates: Vec::new(),
+        }
+    }
+
+    /// Deferred updates posted per subarray so far (indices past the
+    /// end are zero).
+    #[must_use]
+    pub fn subarray_update_counts(&self) -> &[u64] {
+        &self.subarray_updates
+    }
+}
+
+impl MitigationEngine for PracticalEngine {
+    fn config(&self) -> &MitigationConfig {
+        &self.cfg
+    }
+
+    fn stats(&self) -> MitigationStats {
+        self.stats
+    }
+
+    fn on_activate(&mut self, _row: u32, _open_ns: f64) {
+        self.stats.activations += 1;
+    }
+
+    fn on_precharge(&mut self, row: u32, counter_update: bool, _open_ns: f64) {
+        if counter_update {
+            self.stats.update_precharges += 1;
+            self.stats.counter_updates += 1;
+            let count = self.counters.add(row, self.cfg.sample_denominator);
+            self.moat.observe(row, count);
+        }
+    }
+
+    fn on_ref(&mut self, _refreshed_rows: Range<u32>) -> AboService {
+        // PRAC counters survive refresh (see `PracEngine::on_ref`).
+        AboService::default()
+    }
+
+    fn alert_cause(&self) -> Option<AlertCause> {
+        self.moat.alert_needed().then_some(AlertCause::Mitigation)
+    }
+
+    fn service_abo(&mut self) -> AboService {
+        let mut out = AboService::default();
+        if let Some(row) = self.moat.take_mitigation_candidate() {
+            self.counters.reset(row);
+            refresh_victims(&mut self.counters, &mut self.moat, row, self.cfg.blast_radius);
+            self.stats.mitigations += 1;
+            self.stats.abo_mitigations += 1;
+            out.mitigated_rows.push(row);
+        }
+        out
+    }
+
+    fn on_subarray_update(&mut self, subarray: u32) {
+        let idx = subarray as usize;
+        if idx >= self.subarray_updates.len() {
+            self.subarray_updates.resize(idx + 1, 0);
+        }
+        self.subarray_updates[idx] += 1;
+    }
+
+    fn counter(&self, row: u32) -> u32 {
+        self.counters.get(row)
+    }
+
+    fn corrupt_counter(&mut self, row: u32, bit: u32) {
+        self.counters.flip_bit(row, bit);
+    }
+
+    fn save_state(&self, w: &mut mopac_types::snapshot::SnapshotWriter) {
+        use mopac_types::snapshot::Snapshottable;
+        self.counters.save_state(w);
+        self.moat.save_state(w);
+        self.stats.save_state(w);
+        w.put_usize(self.subarray_updates.len());
+        for &v in &self.subarray_updates {
+            w.put_u64(v);
+        }
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut mopac_types::snapshot::SnapshotReader<'_>,
+    ) -> mopac_types::MopacResult<()> {
+        use mopac_types::snapshot::Snapshottable;
+        self.counters.load_state(r)?;
+        self.moat.load_state(r)?;
+        self.stats.load_state(r)?;
+        let n = r.take_usize()?;
+        self.subarray_updates.clear();
+        self.subarray_updates.reserve(n.min(1 << 16));
+        for _ in 0..n {
+            self.subarray_updates.push(r.take_u64()?);
+        }
+        Ok(())
+    }
+
+    fn clone_box(&self) -> Box<dyn MitigationEngine> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bank::AlertCause;
+
+    #[test]
+    fn counts_like_prac_and_alerts_at_ath() {
+        let cfg = MitigationConfig::practical(500); // ATH = 472
+        let mut e = PracticalEngine::new(&cfg, 1024);
+        for _ in 0..471 {
+            e.on_activate(7, 0.0);
+            e.on_precharge(7, true, 40.0);
+        }
+        assert!(e.alert_cause().is_none());
+        e.on_activate(7, 0.0);
+        e.on_precharge(7, true, 40.0);
+        assert_eq!(e.alert_cause(), Some(AlertCause::Mitigation));
+        let svc = e.service_abo();
+        assert_eq!(svc.mitigated_rows, vec![7]);
+        assert_eq!(e.counter(7), 0);
+        assert_eq!(e.counter(6), 1, "victims refreshed");
+    }
+
+    #[test]
+    fn subarray_update_hook_accounts_per_subarray() {
+        let cfg = MitigationConfig::practical(500);
+        let mut e = PracticalEngine::new(&cfg, 1024);
+        e.on_subarray_update(2);
+        e.on_subarray_update(2);
+        e.on_subarray_update(0);
+        assert_eq!(e.subarray_update_counts(), &[1, 0, 2]);
+    }
+
+    #[test]
+    fn snapshot_round_trips_subarray_accounting() {
+        let cfg = MitigationConfig::practical(500);
+        let mut e = PracticalEngine::new(&cfg, 128);
+        for i in 0..50u32 {
+            e.on_activate(i % 128, 0.0);
+            e.on_precharge(i % 128, true, 40.0);
+            e.on_subarray_update(i % 4);
+        }
+        let mut w = mopac_types::snapshot::SnapshotWriter::new();
+        e.save_state(&mut w);
+        let bytes = w.finish();
+        let mut restored = PracticalEngine::new(&cfg, 128);
+        let mut r = mopac_types::snapshot::SnapshotReader::new(&bytes).unwrap();
+        restored.load_state(&mut r).unwrap();
+        assert!(r.is_exhausted());
+        assert_eq!(restored.subarray_update_counts(), e.subarray_update_counts());
+        assert_eq!(restored.counter(3), e.counter(3));
+        assert_eq!(restored.stats(), e.stats());
+    }
+}

@@ -15,6 +15,11 @@ pub enum PrechargeKind {
     /// (every precharge under PRAC; the MC-selected subset under
     /// MoPAC-C).
     CounterUpdate,
+    /// Subarray-deferred counter update (PRACtical): the engine sees a
+    /// counter update, but the *bank* pays only base precharge timings —
+    /// the read-modify-write completes inside the closed row's
+    /// subarray, whose gate the device tracks via [`Bank::post_cu`].
+    DeferredUpdate,
 }
 
 /// A currently open row.
@@ -40,12 +45,24 @@ pub struct Bank {
     col_allowed: Cycle,
     mitigation: BankMitigation,
     checker: Option<RowhammerChecker>,
+    /// Per-subarray deferred counter-update completion times, indexed
+    /// by subarray. Empty for designs without subarray-deferred updates
+    /// (the historical flat-bank model — zero bytes of snapshot state).
+    cu_ready: Vec<Cycle>,
 }
 
 impl Bank {
     /// Creates a closed, idle bank.
+    ///
+    /// `cu_slots` — number of subarray deferred-update slots to track
+    /// (the geometry's `subarrays_per_bank` for engines demanding
+    /// `subarray_parallel_updates`, `0` otherwise).
     #[must_use]
-    pub fn new(mitigation: BankMitigation, checker: Option<RowhammerChecker>) -> Self {
+    pub fn new(
+        mitigation: BankMitigation,
+        checker: Option<RowhammerChecker>,
+        cu_slots: u32,
+    ) -> Self {
         Self {
             open: None,
             pending_update: false,
@@ -54,6 +71,7 @@ impl Bank {
             col_allowed: 0,
             mitigation,
             checker,
+            cu_ready: vec![0; cu_slots as usize],
         }
     }
 
@@ -73,6 +91,43 @@ impl Bank {
     #[must_use]
     pub fn earliest_activate(&self) -> Option<Cycle> {
         self.open.is_none().then_some(self.act_allowed)
+    }
+
+    /// The deferred-update gate for one subarray: an ACT into
+    /// `subarray` must additionally wait until its in-flight counter
+    /// update (if any) completes. `0` when untracked or idle.
+    #[must_use]
+    pub fn cu_gate(&self, subarray: u32) -> Cycle {
+        self.cu_ready.get(subarray as usize).copied().unwrap_or(0)
+    }
+
+    /// Latest deferred-update completion across all subarrays (`0` when
+    /// none are tracked) — the bank-wide quiesce point REF/RFM waits on.
+    #[must_use]
+    pub fn cu_busy_until(&self) -> Cycle {
+        self.cu_ready.iter().copied().max().unwrap_or(0)
+    }
+
+    /// In-flight deferred-update completion times strictly after `now`
+    /// (event-kernel wake candidates).
+    pub fn cu_pending(&self, now: Cycle) -> impl Iterator<Item = Cycle> + '_ {
+        self.cu_ready.iter().copied().filter(move |&c| c > now)
+    }
+
+    /// Posts a deferred counter update completing at `ready` into
+    /// `subarray`, and reports whether a *different* subarray still had
+    /// an update in flight (the overlap PRACtical's subarray-level
+    /// update unlocks). No-op returning `false` when slots are
+    /// untracked.
+    pub fn post_cu(&mut self, subarray: u32, ready: Cycle, now: Cycle) -> bool {
+        let Some(slot) = self.cu_ready.get_mut(subarray as usize) else {
+            return false;
+        };
+        *slot = (*slot).max(ready);
+        self.cu_ready
+            .iter()
+            .enumerate()
+            .any(|(i, &c)| i != subarray as usize && c > now)
     }
 
     /// Earliest cycle a column command to `row` may issue.
@@ -162,8 +217,11 @@ impl Bank {
     ) -> Option<Cycle> {
         let open = self.open.take()?;
         debug_assert!(now >= self.pre_allowed, "PRE violates tRAS/tRTP/tWR");
+        // A deferred update closes the *bank* at base timings; the
+        // counter read-modify-write continues inside the subarray (the
+        // device posts its completion via `post_cu`).
         let t = match kind {
-            PrechargeKind::Normal => base,
+            PrechargeKind::Normal | PrechargeKind::DeferredUpdate => base,
             PrechargeKind::CounterUpdate => prac,
         };
         self.act_allowed = now + t.t_rp;
@@ -171,7 +229,7 @@ impl Bank {
         let open_cycles = now - open.opened_at;
         self.mitigation.on_precharge(
             open.row,
-            kind == PrechargeKind::CounterUpdate,
+            kind != PrechargeKind::Normal,
             open_cycles as f64 * ns_per_cycle,
         );
         Some(open_cycles)
@@ -235,6 +293,18 @@ impl mopac_types::snapshot::Snapshottable for Bank {
         if let Some(ck) = &self.checker {
             ck.save_state(w);
         }
+        // Subarray slots are configuration-derived shape: when present,
+        // a sentinel guards the section so a cross-shape restore fails
+        // with a typed error instead of misinterpreting the stream. A
+        // slot-less bank writes nothing here — byte-identical to the
+        // pre-subarray format.
+        if !self.cu_ready.is_empty() {
+            w.put_u32(CU_SECTION_SENTINEL);
+            w.put_usize(self.cu_ready.len());
+            for &c in &self.cu_ready {
+                w.put_u64(c);
+            }
+        }
     }
 
     fn load_state(
@@ -265,9 +335,31 @@ impl mopac_types::snapshot::Snapshottable for Bank {
         if let Some(ck) = self.checker.as_mut() {
             ck.load_state(r)?;
         }
+        if !self.cu_ready.is_empty() {
+            let sentinel = r.take_u32()?;
+            if sentinel != CU_SECTION_SENTINEL {
+                return Err(mopac_types::MopacError::snapshot(format!(
+                    "subarray update-slot section missing (sentinel {sentinel:#x}): \
+                     snapshot was taken on a flat-bank configuration"
+                )));
+            }
+            let n = r.take_usize()?;
+            if n != self.cu_ready.len() {
+                return Err(mopac_types::MopacError::snapshot(format!(
+                    "subarray update-slot count mismatch: snapshot {n}, configured {}",
+                    self.cu_ready.len()
+                )));
+            }
+            for c in &mut self.cu_ready {
+                *c = r.take_u64()?;
+            }
+        }
         Ok(())
     }
 }
+
+/// Guards the optional per-subarray slot section of a bank snapshot.
+const CU_SECTION_SENTINEL: u32 = 0x5355_4231; // "SUB1"
 
 #[cfg(test)]
 mod tests {
@@ -280,6 +372,7 @@ mod tests {
         Bank::new(
             BankMitigation::new(&cfg, 1024, DetRng::from_seed(1)),
             Some(RowhammerChecker::new(1024, 500)),
+            0,
         )
     }
 
@@ -322,6 +415,34 @@ mod tests {
         let data_end = b.write(42, &base);
         assert_eq!(data_end, 42 + 40 + 8);
         assert_eq!(b.earliest_precharge(), Some(data_end + base.t_wr));
+    }
+
+    #[test]
+    fn deferred_update_precharge_keeps_base_bank_timings() {
+        let base = TimingSet::ddr5_base();
+        let prac = TimingSet::ddr5_prac();
+        let cfg = MitigationConfig::practical(500);
+        let mut b = Bank::new(
+            BankMitigation::new(&cfg, 1024, DetRng::from_seed(1)),
+            None,
+            4,
+        );
+        b.activate(5, 0, false, &base, &prac);
+        let pre_at = b.earliest_precharge().unwrap();
+        b.precharge(PrechargeKind::DeferredUpdate, pre_at, &base, &prac, 1.0 / 3.0);
+        // Bank reopens after *base* tRP, unlike a PREcu close...
+        assert_eq!(b.earliest_activate(), Some(pre_at + base.t_rp));
+        // ...but the engine still saw a counter update.
+        assert_eq!(b.mitigation().counter(5), 1);
+        // The device then posts the subarray gate.
+        let overlap = b.post_cu(0, pre_at + prac.t_rp, pre_at);
+        assert!(!overlap, "no other subarray busy");
+        assert_eq!(b.cu_gate(0), pre_at + prac.t_rp);
+        assert_eq!(b.cu_gate(1), 0);
+        assert_eq!(b.cu_busy_until(), pre_at + prac.t_rp);
+        let overlap = b.post_cu(2, pre_at + prac.t_rp + 9, pre_at + 1);
+        assert!(overlap, "subarray 0 still in flight");
+        assert_eq!(b.cu_pending(pre_at).count(), 2);
     }
 
     #[test]

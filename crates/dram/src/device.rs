@@ -13,7 +13,7 @@ use crate::timing::{AboTiming, TimingSet};
 use mopac::bank::AlertCause;
 use mopac::checker::Violation;
 use mopac::config::MitigationConfig;
-use mopac::engine::TimingDemands;
+use mopac::engine::{RecoveryScope, TimingDemands};
 use mopac_types::bankmask::BankMask;
 use mopac_types::error::{MopacError, MopacResult};
 use mopac_types::geometry::DramGeometry;
@@ -26,6 +26,10 @@ use mopac_types::time::{Cycle, MemClock};
 
 /// Number of refresh groups per bank (tREFW / tREFI).
 const REFRESH_GROUPS: u32 = 8192;
+
+/// Sentinel ("SUBR") opening the device snapshot's subarray/bank-scope
+/// extension section, present only for configurations that use it.
+const SUBARRAY_SECTION_MAGIC: u32 = 0x5355_4252;
 
 /// Device-level configuration.
 #[derive(Debug, Clone)]
@@ -260,6 +264,11 @@ impl DramDevice {
         let geom = cfg.geometry;
         assert!(geom.subchannels > 0 && geom.banks_per_subchannel > 0);
         assert!(
+            geom.subarrays_per_bank.is_power_of_two()
+                && geom.subarrays_per_bank <= geom.rows_per_bank,
+            "subarrays_per_bank must be a power of two dividing rows_per_bank"
+        );
+        assert!(
             geom.channels == 1 && geom.ranks == 1,
             "a DramDevice simulates one channel; build per-channel \
              instances from DramGeometry::channel_view"
@@ -272,6 +281,15 @@ impl DramDevice {
             BankMask::CAPACITY
         );
         let rng = DetRng::from_seed(cfg.seed);
+        let demands = TimingDemands::for_config(&cfg.mitigation);
+        // Subarray deferred-update slots exist only when the engine
+        // demands them; every other design keeps the slot-less (and
+        // snapshot-byte-identical) flat-bank shape.
+        let cu_slots = if demands.subarray_parallel_updates {
+            geom.subarrays_per_bank
+        } else {
+            0
+        };
         let subchannels = (0..geom.subchannels)
             .map(|sc| {
                 let banks = (0..geom.banks_per_subchannel)
@@ -289,7 +307,7 @@ impl DramDevice {
                                 let t_rh = cfg.mitigation.t_rh.min(u64::from(u32::MAX)) as u32;
                                 mopac::checker::RowhammerChecker::new(geom.rows_per_bank, t_rh)
                             });
-                        Bank::new(mitigation, checker)
+                        Bank::new(mitigation, checker, cu_slots)
                     })
                     .collect();
                 SubChannel {
@@ -314,7 +332,7 @@ impl DramDevice {
             .map(|b| b.mitigation().demands_epoch())
             .collect();
         Self {
-            demands: TimingDemands::for_config(&cfg.mitigation),
+            demands,
             base: TimingSet::ddr5_base(),
             prac: TimingSet::ddr5_prac(),
             abo: AboTiming::paper_default(),
@@ -515,14 +533,26 @@ impl DramDevice {
         Some(bank_ok.max(rrd_ok).max(faw_ok).max(s.blocked_until))
     }
 
+    /// Earliest cycle an ACT to `row` specifically may issue: the
+    /// bank-level gate ([`Self::earliest_activate`]) plus the row's
+    /// subarray deferred-update gate. Identical to the bank-level gate
+    /// for designs without subarray-deferred updates.
+    #[must_use]
+    pub fn earliest_activate_row(&self, sc: u32, bank: u32, row: u32) -> Option<Cycle> {
+        let bank_ok = self.earliest_activate(sc, bank)?;
+        let sa = self.cfg.geometry.subarray_of(row);
+        Some(bank_ok.max(self.sub(sc).banks[bank as usize].cu_gate(sa)))
+    }
+
     /// Issues an ACT. `update_selected` is MoPAC-C's coin flip; ignored
     /// (forced) for other designs.
     ///
     /// # Errors
     ///
     /// Returns [`MopacError::TimingProtocol`] if the bank is open or the
-    /// ACT is issued before its timing gate, [`MopacError::Config`] for
-    /// an out-of-range bank reference.
+    /// ACT is issued before its timing gate (including the target row's
+    /// subarray deferred-update gate), [`MopacError::Config`] for an
+    /// out-of-range bank reference.
     pub fn activate(
         &mut self,
         sc: u32,
@@ -532,7 +562,7 @@ impl DramDevice {
         update_selected: bool,
     ) -> MopacResult<()> {
         self.check_bank(sc, bank)?;
-        let earliest = self.earliest_activate(sc, bank);
+        let earliest = self.earliest_activate_row(sc, bank, row);
         if earliest.is_none_or(|e| now < e) {
             return Err(MopacError::TimingProtocol {
                 command: "ACT",
@@ -546,6 +576,15 @@ impl DramDevice {
         // coin engine (MoPAC-C) honors the controller's per-ACT draw.
         let selected = self.demands.always_prac_timings
             || (self.demands.precu_probability.is_some() && update_selected);
+        // This ACT overlapping an in-flight counter update (necessarily
+        // in another subarray, or the gate above would have held it) is
+        // exactly the parallelism subarray-level updates unlock — PRAC
+        // would have serialized it behind the full tRP.
+        if self.demands.subarray_parallel_updates
+            && self.sub(sc).banks[bank as usize].cu_pending(now).next().is_some()
+        {
+            self.sink.add(Counter::DramSubarrayParallelUpdates, 1);
+        }
         if self.sink.is_enabled() {
             if let Some(last) = self.sub(sc).last_act {
                 self.sink
@@ -558,6 +597,7 @@ impl DramDevice {
                 subchannel: sc,
                 bank,
                 value: u64::from(row),
+                subarray: self.cfg.geometry.subarray_of(row),
             });
         }
         let (base, prac) = (self.base, self.prac);
@@ -675,9 +715,12 @@ impl DramDevice {
         }
         let kind = if self.demands.always_prac_timings || self.pending_update(sc, bank) {
             PrechargeKind::CounterUpdate
+        } else if self.demands.subarray_parallel_updates {
+            PrechargeKind::DeferredUpdate
         } else {
             PrechargeKind::Normal
         };
+        let closed_row = self.open_row(sc, bank).map(|o| o.row);
         if self.sink.is_enabled() {
             if let Some(open) = self.open_row(sc, bank) {
                 self.sink
@@ -687,11 +730,14 @@ impl DramDevice {
                     channel: self.cfg.channel,
                     kind: match kind {
                         PrechargeKind::Normal => TraceEventKind::Pre,
-                        PrechargeKind::CounterUpdate => TraceEventKind::PreCu,
+                        PrechargeKind::CounterUpdate | PrechargeKind::DeferredUpdate => {
+                            TraceEventKind::PreCu
+                        }
                     },
                     subchannel: sc,
                     bank,
                     value: u64::from(open.row),
+                    subarray: self.cfg.geometry.subarray_of(open.row),
                 });
             }
         }
@@ -711,7 +757,24 @@ impl DramDevice {
         s.open_mask.clear(bank);
         match kind {
             PrechargeKind::Normal => self.stats.precharges += 1,
-            PrechargeKind::CounterUpdate => self.stats.precharges_cu += 1,
+            PrechargeKind::CounterUpdate | PrechargeKind::DeferredUpdate => {
+                self.stats.precharges_cu += 1;
+            }
+        }
+        if kind == PrechargeKind::DeferredUpdate {
+            if let Some(row) = closed_row {
+                // The read-modify-write continues inside the closed
+                // row's subarray for the PRAC-vs-base tRP difference;
+                // the bank itself is already free.
+                let sa = self.cfg.geometry.subarray_of(row);
+                // The full update takes PRAC's tRP; only the subarray
+                // pays the tail beyond the bank's base tRP.
+                let cu_done = now + self.prac.t_rp.max(self.base.t_rp);
+                self.sub_mut(sc).banks[bank as usize].post_cu(sa, cu_done, now);
+                self.sub_mut(sc).banks[bank as usize]
+                    .mitigation_mut()
+                    .on_subarray_update(sa);
+            }
         }
         self.poll_demands(sc, bank);
         self.refresh_alert_line(sc, now);
@@ -725,7 +788,9 @@ impl DramDevice {
         let s = self.sub(sc);
         let mut latest = s.blocked_until;
         for b in &s.banks {
-            latest = latest.max(b.earliest_activate()?);
+            // REF quiesces the whole bank: closed rows AND any
+            // in-flight subarray counter updates.
+            latest = latest.max(b.earliest_activate()?).max(b.cu_busy_until());
         }
         Some(latest)
     }
@@ -779,6 +844,11 @@ impl DramDevice {
                         push(c);
                     }
                 }
+            }
+            // Subarray deferred-update completions gate row-targeted
+            // ACTs past the bank-level gate above.
+            for c in b.cu_pending(now) {
+                push(c);
             }
         }
         wake
@@ -841,6 +911,7 @@ impl DramDevice {
                 subchannel: sc,
                 bank: 0,
                 value: u64::from(start),
+                subarray: 0,
             });
             if mitigations > 0 {
                 self.sink.event(TraceEvent {
@@ -850,6 +921,7 @@ impl DramDevice {
                     subchannel: sc,
                     bank: 0,
                     value: mitigations,
+                    subarray: 0,
                 });
             }
         }
@@ -882,6 +954,8 @@ impl DramDevice {
             });
         }
         let stall = self.abo.stall + self.rfm_extra_stall;
+        // Sub-channel-scope recovery stalls every bank, alerting or not.
+        let blocked_bank_cycles = stall * self.sub(sc).banks.len() as u64;
         // ALERT-to-service latency: how long the pending ABO waited for
         // this RFM (0 when no ALERT was asserted, e.g. a speculative or
         // dropped-fault retry).
@@ -898,6 +972,7 @@ impl DramDevice {
                 subchannel: sc,
                 bank: 0,
                 value: service_time,
+                subarray: 0,
             });
         }
         if self.drop_rfms > 0 {
@@ -915,6 +990,7 @@ impl DramDevice {
             // Allow a later RFM to retry without requiring a new ACT.
             s.alert_since = None;
             s.acts_since_alert = 1;
+            self.sink.add(Counter::DramBlockedBankCycles, blocked_bank_cycles);
             self.refresh_alert_line(sc, now);
             return Ok(());
         }
@@ -936,6 +1012,7 @@ impl DramDevice {
         s.blocked_until = now + stall;
         s.alert_since = None;
         s.acts_since_alert = 0;
+        self.sink.add(Counter::DramBlockedBankCycles, blocked_bank_cycles);
         self.stats.rfms += 1;
         self.stats.mitigations += mitigations;
         self.stats.deferred_updates += updates;
@@ -947,11 +1024,152 @@ impl DramDevice {
                 subchannel: sc,
                 bank: 0,
                 value: mitigations,
+                subarray: 0,
             });
         }
         self.poll_demands_all(sc);
         // A bank may *still* need service (e.g. more SRQ entries than one
         // ABO drains); it may re-assert after the next activation.
+        self.refresh_alert_line(sc, now);
+        Ok(())
+    }
+
+    /// Banks of `sc` whose mitigation engine currently demands ABO
+    /// service — the targets of a bank-scoped RFM under
+    /// [`RecoveryScope::Bank`].
+    #[must_use]
+    pub fn alerting_banks(&self, sc: u32) -> BankMask {
+        let mut m = BankMask::empty();
+        for (i, b) in self.sub(sc).banks.iter().enumerate() {
+            if b.mitigation().alert_cause().is_some() {
+                m.set(i as u32);
+            }
+        }
+        m
+    }
+
+    /// Earliest cycle a bank-scoped RFM over `mask` may issue: every
+    /// masked bank must be precharged (returns `None` while one still
+    /// has an open row) and past its ACT gate, block deadline, and any
+    /// in-flight subarray counter update. Unmasked banks are *not*
+    /// consulted — they keep issuing while the masked ones recover.
+    #[must_use]
+    pub fn earliest_rfm_banks(&self, sc: u32, mask: BankMask) -> Option<Cycle> {
+        let s = self.sub(sc);
+        let mut latest: Cycle = 0;
+        for bit in mask.ones() {
+            let b = s.banks.get(bit as usize)?;
+            latest = latest.max(b.earliest_activate()?).max(b.cu_busy_until());
+        }
+        Some(latest)
+    }
+
+    /// Issues a bank-scoped RFM, servicing the pending ABO on exactly
+    /// the banks in `mask` and blocking only them for the ABO stall
+    /// time; the sub-channel's other banks (and its shared
+    /// `blocked_until`) are untouched. This is PRACtical's
+    /// bank-isolated recovery ([`RecoveryScope::Bank`]).
+    ///
+    /// Injected RFM faults apply as for [`Self::rfm`]: a dropped RFM
+    /// pays the full stall on the masked banks without service; an RFM
+    /// delay lengthens the stall.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MopacError::TimingProtocol`] if any masked bank has an
+    /// open row or an unexpired gate, and [`MopacError::Config`] for an
+    /// out-of-range sub-channel or an empty mask.
+    pub fn rfm_banks(&mut self, sc: u32, mask: BankMask, now: Cycle) -> MopacResult<()> {
+        self.check_bank(sc, 0)?;
+        if mask.is_empty() {
+            return Err(MopacError::config("rfm_banks: empty bank mask"));
+        }
+        if mask.ones().any(|bit| bit as usize >= self.sub(sc).banks.len()) {
+            return Err(MopacError::config(format!(
+                "rfm_banks: mask exceeds {} banks",
+                self.sub(sc).banks.len()
+            )));
+        }
+        let earliest = self.earliest_rfm_banks(sc, mask);
+        if earliest.is_none_or(|e| now < e) {
+            return Err(MopacError::TimingProtocol {
+                command: "RFMpb",
+                subchannel: sc,
+                bank: mask.first_set(),
+                at: now,
+                earliest,
+            });
+        }
+        let stall = self.abo.stall + self.rfm_extra_stall;
+        let blocked_bank_cycles = stall * u64::from(mask.count());
+        let service_time = self
+            .sub(sc)
+            .alert_since
+            .map_or(0, |a| now.saturating_sub(a));
+        if self.sink.is_enabled() {
+            self.sink.record(Hist::AboServiceTime, sc, service_time);
+            self.sink.event(TraceEvent {
+                cycle: now,
+                channel: self.cfg.channel,
+                kind: TraceEventKind::Rfm,
+                subchannel: sc,
+                bank: mask.first_set().unwrap_or(0),
+                value: service_time,
+                subarray: 0,
+            });
+        }
+        if self.drop_rfms > 0 {
+            // Dropped-RFM fault: the masked banks pay the stall but the
+            // ABO is never serviced (fault parity with `rfm`).
+            self.drop_rfms -= 1;
+            self.stats.injected_faults += 1;
+            self.stats.rfms += 1;
+            let s = self.sub_mut(sc);
+            for bit in mask.ones() {
+                s.banks[bit as usize].block_until(now + stall);
+            }
+            s.alert_since = None;
+            s.acts_since_alert = 1;
+            self.sink.add(Counter::DramBlockedBankCycles, blocked_bank_cycles);
+            self.refresh_alert_line(sc, now);
+            return Ok(());
+        }
+        let blast = self.cfg.mitigation.blast_radius;
+        let s = self.sub_mut(sc);
+        let mut mitigations = 0u64;
+        let mut updates = 0u64;
+        for bit in mask.ones() {
+            let b = &mut s.banks[bit as usize];
+            b.block_until(now + stall);
+            let svc = b.mitigation_mut().service_abo();
+            updates += u64::from(svc.counter_updates);
+            mitigations += svc.mitigated_rows.len() as u64;
+            if let Some(ck) = b.checker_mut() {
+                for &row in &svc.mitigated_rows {
+                    ck.on_mitigate(row, blast);
+                }
+            }
+        }
+        s.alert_since = None;
+        s.acts_since_alert = 0;
+        self.sink.add(Counter::DramBlockedBankCycles, blocked_bank_cycles);
+        self.stats.rfms += 1;
+        self.stats.mitigations += mitigations;
+        self.stats.deferred_updates += updates;
+        if mitigations > 0 {
+            self.sink.event(TraceEvent {
+                cycle: now,
+                channel: self.cfg.channel,
+                kind: TraceEventKind::Mitigation,
+                subchannel: sc,
+                bank: mask.first_set().unwrap_or(0),
+                value: mitigations,
+                subarray: 0,
+            });
+        }
+        self.poll_demands_all(sc);
+        // An unmasked bank (or a masked one with more pending service)
+        // may still demand ABO; let ALERT re-assert.
         self.refresh_alert_line(sc, now);
         Ok(())
     }
@@ -976,6 +1194,7 @@ impl DramDevice {
                 subchannel: sc,
                 bank: 0,
                 value: 0,
+                subarray: 0,
             });
         }
         Ok(())
@@ -1078,6 +1297,17 @@ impl DramDevice {
         total
     }
 
+    /// Whether this configuration serializes the subarray/bank-scope
+    /// snapshot extension. Derived from the *config* (not the live
+    /// `demands`) so the writer and reader agree even if an adaptive
+    /// engine has shifted its demands since construction.
+    fn extended_snapshot(cfg: &DramConfig) -> bool {
+        let d = TimingDemands::for_config(&cfg.mitigation);
+        cfg.geometry.subarrays_per_bank > 1
+            || d.recovery_scope == RecoveryScope::Bank
+            || d.subarray_parallel_updates
+    }
+
     fn sub(&self, sc: u32) -> &SubChannel {
         &self.subchannels[sc as usize]
     }
@@ -1166,6 +1396,7 @@ impl DramDevice {
                     AlertCause::SrqFull => 1,
                     AlertCause::Tardiness => 2,
                 },
+                subarray: 0,
             });
         }
     }
@@ -1191,6 +1422,17 @@ impl Snapshottable for DramDevice {
         w.put_bool(self.demands.always_prac_timings);
         w.put_opt_f64(self.demands.precu_probability);
         w.put_opt_f64(self.demands.row_open_cap_ns);
+        // Subarray/bank-scope extension: only shapes that use it pay
+        // for it, so legacy configurations keep byte-identical streams.
+        if Self::extended_snapshot(&self.cfg) {
+            w.put_u32(SUBARRAY_SECTION_MAGIC);
+            w.put_u32(self.cfg.geometry.subarrays_per_bank);
+            w.put_u32(match self.demands.recovery_scope {
+                RecoveryScope::SubChannel => 0,
+                RecoveryScope::Bank => 1,
+            });
+            w.put_bool(self.demands.subarray_parallel_updates);
+        }
         self.sink.save_state(w);
     }
 
@@ -1223,7 +1465,34 @@ impl Snapshottable for DramDevice {
             always_prac_timings: r.take_bool()?,
             precu_probability: r.take_opt_f64()?,
             row_open_cap_ns: r.take_opt_f64()?,
+            ..TimingDemands::for_config(&self.cfg.mitigation)
         };
+        if Self::extended_snapshot(&self.cfg) {
+            let magic = r.take_u32()?;
+            if magic != SUBARRAY_SECTION_MAGIC {
+                return Err(MopacError::snapshot(
+                    "missing subarray section: snapshot was taken on a flat-bank, \
+                     sub-channel-scope configuration",
+                ));
+            }
+            let sab = r.take_u32()?;
+            if sab != self.cfg.geometry.subarrays_per_bank {
+                return Err(MopacError::snapshot(format!(
+                    "subarrays-per-bank mismatch: snapshot {sab}, configured {}",
+                    self.cfg.geometry.subarrays_per_bank
+                )));
+            }
+            self.demands.recovery_scope = match r.take_u32()? {
+                0 => RecoveryScope::SubChannel,
+                1 => RecoveryScope::Bank,
+                v => {
+                    return Err(MopacError::snapshot(format!(
+                        "unknown recovery-scope tag {v} in snapshot"
+                    )));
+                }
+            };
+            self.demands.subarray_parallel_updates = r.take_bool()?;
+        }
         self.sink.load_state(r)
     }
 }
@@ -1354,5 +1623,93 @@ mod tests {
         assert!(d.violations() > 0, "oracle missed an obvious overflow");
         let rec = d.violation_records();
         assert_eq!(rec[0].row, 10);
+    }
+
+    /// PRACtical: a deferred-update precharge returns the bank to base
+    /// timings; only a back-to-back ACT into the *same* subarray waits
+    /// for the in-flight counter update, and overlapping updates across
+    /// subarrays are counted on the sink.
+    #[test]
+    fn practical_subarray_gate_and_parallel_updates() {
+        let mut cfg = DramConfig::tiny(MitigationConfig::practical(500));
+        cfg.geometry.subarrays_per_bank = 4;
+        let mut d = DramDevice::new(cfg);
+        d.enable_metrics(SinkConfig::default());
+        let rows_per_sa = d.config().geometry.rows_per_subarray();
+        d.activate(0, 0, 0, 0, false).unwrap();
+        let pre_at = d.earliest_precharge(0, 0).unwrap();
+        d.precharge(0, 0, pre_at).unwrap();
+        // Bank-level gate uses *base* tRP (the update continues inside
+        // the subarray), so a different subarray proceeds immediately...
+        let bank_free = d.earliest_activate(0, 0).unwrap();
+        let other = d.earliest_activate_row(0, 0, rows_per_sa).unwrap();
+        assert_eq!(other, bank_free);
+        // ...while the closed row's subarray pays the PRAC-length tail.
+        let same = d.earliest_activate_row(0, 0, 1).unwrap();
+        assert!(same > other, "same-subarray ACT not gated ({same} vs {other})");
+        // That ACT proceeds while subarray 0's update is still in
+        // flight — the parallelism PRACtical unlocks (PRAC would have
+        // held the whole bank for the long tRP).
+        d.activate(0, 0, rows_per_sa, other, false).unwrap();
+        let pre2 = d.earliest_precharge(0, 0).unwrap();
+        d.precharge(0, 0, pre2).unwrap();
+        let overlaps = d
+            .metrics()
+            .registry()
+            .map(|r| r.counter(Counter::DramSubarrayParallelUpdates))
+            .unwrap_or(0);
+        assert_eq!(overlaps, 1, "overlapping subarray updates not counted");
+    }
+
+    /// PRACtical's bank-isolated recovery: a bank-scoped RFM services
+    /// and stalls only the masked bank; its siblings keep issuing.
+    #[test]
+    fn rfm_banks_blocks_only_masked_banks() {
+        let mut d = device(MitigationConfig::practical(500)); // ATH 472
+        let mut now = 0;
+        while d.alert_since(0).is_none() {
+            now = d.earliest_activate_row(0, 0, 10).unwrap();
+            d.activate(0, 0, 10, now, false).unwrap();
+            now = d.earliest_precharge(0, 0).unwrap();
+            d.precharge(0, 0, now).unwrap();
+        }
+        let mask = d.alerting_banks(0);
+        assert_eq!(mask.first_set(), Some(0));
+        assert_eq!(mask.count(), 1);
+        let rfm_at = d.earliest_rfm_banks(0, mask).unwrap().max(now);
+        d.rfm_banks(0, mask, rfm_at).unwrap();
+        assert_eq!(d.stats().mitigations, 1);
+        assert_eq!(d.stats().rfms, 1);
+        assert_eq!(d.alert_since(0), None);
+        assert_eq!(d.violations(), 0);
+        // The masked bank pays the ABO stall...
+        assert!(d.earliest_activate(0, 0).unwrap() >= rfm_at + 1050);
+        // ...while its sibling stays free (only shared-bus constraints,
+        // far below the stall, may apply) and can actually activate.
+        let sibling = d.earliest_activate(0, 1).unwrap();
+        assert!(
+            sibling < rfm_at + 100,
+            "sibling bank blocked until {sibling} (RFM at {rfm_at})"
+        );
+        d.activate(0, 1, 0, sibling.max(rfm_at), false).unwrap();
+    }
+
+    /// A flat-bank snapshot must refuse to restore into a subarray
+    /// configuration (and vice versa) with a typed snapshot error.
+    #[test]
+    fn snapshot_rejects_cross_subarray_shape() {
+        let flat = device(MitigationConfig::prac(500));
+        let mut w = SnapshotWriter::new();
+        flat.save_state(&mut w);
+        let bytes = w.finish();
+        let mut cfg = DramConfig::tiny(MitigationConfig::practical(500));
+        cfg.geometry.subarrays_per_bank = 4;
+        let mut sub = DramDevice::new(cfg);
+        let mut r = SnapshotReader::new(&bytes).unwrap();
+        let err = sub.load_state(&mut r).unwrap_err();
+        assert!(
+            matches!(err, MopacError::Snapshot { .. }),
+            "wrong error kind: {err}"
+        );
     }
 }

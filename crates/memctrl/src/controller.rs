@@ -8,6 +8,7 @@
 
 use crate::mapping::AddressMapper;
 use crate::sched_index::{QueueCounts, SubIndex};
+use mopac::engine::RecoveryScope;
 use mopac_dram::device::DramDevice;
 use mopac_types::addr::{DecodedAddr, PhysAddr};
 use mopac_types::bankmask::BankMask;
@@ -191,6 +192,13 @@ pub struct MemoryController {
     /// `PREcu` (MoPAC-C). `None` keeps the RNG stream untouched.
     precu_p: Option<f64>,
     row_press_cap: Option<Cycle>,
+    /// ABO recovery scope the engine demands: `SubChannel` stalls the
+    /// whole sub-channel for RFM (the classic ladder); `Bank` drains
+    /// and services only the alerting banks while their siblings keep
+    /// scheduling (PRACtical). Pure cache of
+    /// [`DramDevice::timing_demands`] — refreshed on generation change
+    /// and after restore, never serialized.
+    recovery_scope: RecoveryScope,
     /// Per-sub-channel scheduler index: incrementally maintained
     /// per-bank queue counts plus the cached next-wake (see
     /// `sched_index` and DESIGN.md §10).
@@ -240,6 +248,7 @@ impl MemoryController {
             rng: DetRng::from_seed(cfg.seed),
             precu_p: demands.precu_probability,
             row_press_cap,
+            recovery_scope: demands.recovery_scope,
             demands_gen_seen: dram.demands_generation(),
             row_scratch: vec![0; banks],
             idx,
@@ -448,6 +457,7 @@ impl MemoryController {
             self.row_press_cap = demands
                 .row_open_cap_ns
                 .map(|ns| self.dram.clock().ns_to_cycles(ns));
+            self.recovery_scope = demands.recovery_scope;
             for idx in &mut self.idx {
                 idx.invalidate();
             }
@@ -474,10 +484,7 @@ impl MemoryController {
         // and return without scanning anything.
         if self.idx[sc as usize].valid_wake().is_some_and(|w| now < w) {
             let s = &self.subs[sc as usize];
-            let abo_stalled = self
-                .dram
-                .alert_since(sc)
-                .is_some_and(|a| now >= a + self.dram.abo_timing().normal_window);
+            let abo_stalled = self.abo_stalled(sc, now);
             let in_refresh = !abo_stalled && now >= s.next_ref;
             let has_work = !s.reads.is_empty() || !s.writes.is_empty();
             // Shadow recount (debug builds): re-derive the same
@@ -530,15 +537,29 @@ impl MemoryController {
     /// builds optimize it away.
     fn shadow_noop_class(&self, sc: u32, now: Cycle) -> (bool, bool, bool) {
         let s = &self.subs[sc as usize];
-        // Ladder step 1: past the ABO normal window the tick stalls.
-        let abo = match self.dram.alert_since(sc) {
-            Some(asserted) => now >= asserted + self.dram.abo_timing().normal_window,
-            None => false,
-        };
+        // Ladder step 1: past the ABO normal window the tick stalls —
+        // but only when recovery stalls the whole sub-channel.
+        let abo = self.abo_stalled(sc, now);
         // Step 2: refresh drain, reached only when not ABO-stalled.
         let refresh = !abo && now >= s.next_ref;
         let work = !(s.reads.is_empty() && s.writes.is_empty());
         (abo, refresh, work)
+    }
+
+    /// Whether `sc` sits in the sub-channel-wide ABO stall at `now`:
+    /// the ALERT has outlived its normal window *and* recovery stalls
+    /// the whole sub-channel — by demand ([`RecoveryScope::SubChannel`])
+    /// or as the fallback for an ALERT naming no bank (an injected
+    /// fault). Under [`RecoveryScope::Bank`] with live targets the
+    /// sub-channel keeps scheduling, so the stall counter must not
+    /// tick.
+    fn abo_stalled(&self, sc: u32, now: Cycle) -> bool {
+        let Some(asserted) = self.dram.alert_since(sc) else {
+            return false;
+        };
+        now >= asserted + self.dram.abo_timing().normal_window
+            && (self.recovery_scope == RecoveryScope::SubChannel
+                || self.dram.alerting_banks(sc).is_empty())
     }
 
     /// Earliest cycle *strictly after* `now` at which a tick could
@@ -584,20 +605,44 @@ impl MemoryController {
         // controller could already act; clamp to the very next cycle so
         // a stale candidate degrades to lockstep instead of stalling.
         let clamp = |c: Cycle| c.max(now + 1);
-        // ABO stall mode: only bank closes and the final RFM can happen.
+        // ABO recovery mode. Sub-channel scope: only bank closes and
+        // the final RFM can happen. Bank scope: the targeted banks'
+        // close gates and the bank-scoped RFM's legality are extra
+        // candidates on top of normal scheduling (the untargeted banks
+        // keep working below).
+        let mut recovery: Option<Cycle> = None;
         if let Some(asserted) = self.dram.alert_since(sc) {
             let deadline = asserted + self.dram.abo_timing().normal_window;
             if now >= deadline {
-                return min_opt(self.drain_wake(sc).map(clamp), device);
+                let targets = if self.recovery_scope == RecoveryScope::Bank {
+                    self.dram.alerting_banks(sc)
+                } else {
+                    BankMask::empty()
+                };
+                if targets.is_empty() {
+                    return min_opt(self.drain_wake(sc).map(clamp), device);
+                }
+                let open_targets = targets.and(self.dram.open_banks_mask(sc));
+                for b in open_targets.ones() {
+                    recovery = min_opt(recovery, self.dram.earliest_precharge(sc, b));
+                }
+                if open_targets.is_empty() {
+                    recovery = min_opt(recovery, self.dram.earliest_rfm_banks(sc, targets));
+                }
+                recovery = recovery.map(clamp);
             }
         }
         // Refresh drain mode.
         if now >= s.next_ref {
-            return min_opt(self.drain_wake(sc).map(clamp), device);
+            return min_opt(
+                min_opt(self.drain_wake(sc).map(clamp), device),
+                recovery,
+            );
         }
         // Normal mode: the refresh deadline is always pending (and the
-        // ALERT deadline was merged via the device wake above).
-        let mut wake = min_opt(Some(clamp(s.next_ref)), device);
+        // ALERT deadline was merged via the device wake above), plus
+        // any bank-scoped recovery candidates.
+        let mut wake = min_opt(min_opt(Some(clamp(s.next_ref)), device), recovery);
         // Row-Press force close.
         if let Some(cap) = self.row_press_cap {
             for b in self.dram.open_banks_mask(sc).ones() {
@@ -755,10 +800,7 @@ impl MemoryController {
         for sc in 0..self.subs.len() {
             let s = &self.subs[sc];
             let had_work = !s.reads.is_empty() || !s.writes.is_empty();
-            let abo_stalled = self
-                .dram
-                .alert_since(sc as u32)
-                .is_some_and(|a| from >= a + self.dram.abo_timing().normal_window);
+            let abo_stalled = self.abo_stalled(sc as u32, from);
             if abo_stalled {
                 self.stats.abo_stall_cycles += cycles;
                 self.sink.add(Counter::McAboStallCycles, cycles);
@@ -779,28 +821,66 @@ impl MemoryController {
         now: Cycle,
         completions: &mut Vec<Completion>,
     ) -> MopacResult<bool> {
-        // 1. ABO: past the 180 ns window we must stall, close all open
-        //    rows and issue the RFM.
+        // 1. ABO: past the 180 ns window recovery must proceed. Under
+        //    sub-channel scope we stall, close all open rows and issue
+        //    the RFM; under bank scope only the alerting banks drain
+        //    and service, while their siblings keep scheduling below
+        //    (with the targets excluded from new work).
+        let mut exclude = BankMask::empty();
         if let Some(asserted) = self.dram.alert_since(sc) {
             if now >= asserted + self.dram.abo_timing().normal_window {
-                self.stats.abo_stall_cycles += 1;
-                self.sink.add(Counter::McAboStallCycles, 1);
-                if self.close_one_open_bank(sc, now)? {
+                let targets = if self.recovery_scope == RecoveryScope::Bank {
+                    self.dram.alerting_banks(sc)
+                } else {
+                    BankMask::empty()
+                };
+                if targets.is_empty() {
+                    // Sub-channel scope — or an injected ALERT naming
+                    // no bank, which only a full-width RFM can clear.
+                    self.stats.abo_stall_cycles += 1;
+                    self.sink.add(Counter::McAboStallCycles, 1);
+                    if self.close_one_open_bank(sc, now)? {
+                        return Ok(true);
+                    }
+                    // `earliest_refresh` is `None` while any bank is
+                    // open (e.g. a stuck-open fault): keep stalling
+                    // until the close above succeeds, rather than
+                    // unwrap-panicking.
+                    if self.all_banks_closed(sc)
+                        && self.dram.earliest_refresh(sc).is_some_and(|e| e <= now)
+                    {
+                        self.dram.rfm(sc, now)?;
+                        self.idx[sc as usize].invalidate();
+                        self.stats.rfms_issued += 1;
+                        self.sink.add(Counter::McRfmsIssued, 1);
+                        return Ok(true);
+                    }
+                    return Ok(false);
+                }
+                let open_targets = targets.and(self.dram.open_banks_mask(sc));
+                if let Some(b) = open_targets.ones().find(|&b| {
+                    self.dram
+                        .earliest_precharge(sc, b)
+                        .is_some_and(|e| e <= now)
+                }) {
+                    self.issue_pre(sc, b, now)?;
                     return Ok(true);
                 }
-                // `earliest_refresh` is `None` while any bank is open
-                // (e.g. a stuck-open fault): keep stalling until the
-                // close above succeeds, rather than unwrap-panicking.
-                if self.all_banks_closed(sc)
-                    && self.dram.earliest_refresh(sc).is_some_and(|e| e <= now)
+                if open_targets.is_empty()
+                    && self
+                        .dram
+                        .earliest_rfm_banks(sc, targets)
+                        .is_some_and(|e| e <= now)
                 {
-                    self.dram.rfm(sc, now)?;
+                    self.dram.rfm_banks(sc, targets, now)?;
                     self.idx[sc as usize].invalidate();
                     self.stats.rfms_issued += 1;
                     self.sink.add(Counter::McRfmsIssued, 1);
                     return Ok(true);
                 }
-                return Ok(false);
+                // Recovery is waiting on a timing gate: keep the
+                // targets out of normal scheduling so they drain.
+                exclude = targets;
             }
         }
         // 2. Refresh, when due.
@@ -835,8 +915,9 @@ impl MemoryController {
         if self.cfg.page_policy == PagePolicy::Closed && self.close_used_bank(sc, now)? {
             return Ok(true);
         }
-        // 5. FR-FCFS over the active queue.
-        if self.schedule_queue(sc, now, completions)? {
+        // 5. FR-FCFS over the active queue (minus any banks held for
+        //    bank-scoped recovery).
+        if self.schedule_queue(sc, now, exclude, completions)? {
             return Ok(true);
         }
         // 6. Idle housekeeping per page policy.
@@ -875,6 +956,7 @@ impl MemoryController {
         &mut self,
         sc: u32,
         now: Cycle,
+        exclude: BankMask,
         completions: &mut Vec<Completion>,
     ) -> MopacResult<bool> {
         let s = &mut self.subs[sc as usize];
@@ -899,11 +981,11 @@ impl MemoryController {
         // would add conflicts).
         let use_writes = s.draining_writes;
         if use_writes {
-            Ok(self.issue_from(sc, now, true, false, completions)?
-                || self.issue_from(sc, now, false, true, completions)?)
+            Ok(self.issue_from(sc, now, true, false, exclude, completions)?
+                || self.issue_from(sc, now, false, true, exclude, completions)?)
         } else {
-            Ok(self.issue_from(sc, now, false, false, completions)?
-                || self.issue_from(sc, now, true, true, completions)?)
+            Ok(self.issue_from(sc, now, false, false, exclude, completions)?
+                || self.issue_from(sc, now, true, true, exclude, completions)?)
         }
     }
 
@@ -913,6 +995,7 @@ impl MemoryController {
         now: Cycle,
         writes: bool,
         hits_only: bool,
+        exclude: BankMask,
         completions: &mut Vec<Completion>,
     ) -> MopacResult<bool> {
         // Anti-starvation: if the oldest request is too old, act on it
@@ -928,7 +1011,9 @@ impl MemoryController {
         let starved_front = if starved {
             let s = &self.subs[sc as usize];
             let q = if writes { &s.writes } else { &s.reads };
-            q.front().copied()
+            // A starved front on a bank held for recovery cannot act;
+            // normal scheduling below serves the rest of the queue.
+            q.front().copied().filter(|p| !exclude.test(p.addr.bank.bank))
         } else {
             None
         };
@@ -958,7 +1043,7 @@ impl MemoryController {
                 None => {
                     if self
                         .dram
-                        .earliest_activate(sc, bank)
+                        .earliest_activate_row(sc, bank, p.addr.row)
                         .is_some_and(|e| e <= now)
                     {
                         self.issue_activate(sc, bank, p.addr.row, now)?;
@@ -987,7 +1072,7 @@ impl MemoryController {
             };
             let rows = &mut self.row_scratch;
             let mut elig = BankMask::empty();
-            for bank in counts.hits_mask().ones() {
+            for bank in counts.hits_mask().and_not(exclude).ones() {
                 if closed_policy && s.cols_since_act[bank as usize] >= 1 {
                     continue;
                 }
@@ -1034,7 +1119,7 @@ impl MemoryController {
             } else {
                 &self.idx[sc as usize].reads
             };
-            let occ = counts.occ_mask();
+            let occ = counts.occ_mask().and_not(exclude);
             let open_mask = self.dram.open_banks_mask(sc);
             let mut pre_mask = BankMask::empty();
             for bank in occ.and(open_mask).and_not(counts.hits_mask()).ones() {
@@ -1068,7 +1153,15 @@ impl MemoryController {
                         action = Some((bank, None));
                         break;
                     }
-                    if act_mask.test(bank) {
+                    // Past the bank-level gate the target row's own
+                    // subarray may still hold an in-flight counter
+                    // update; a gated request yields to the next one.
+                    if act_mask.test(bank)
+                        && self
+                            .dram
+                            .earliest_activate_row(sc, bank, p.addr.row)
+                            .is_some_and(|e| e <= now)
+                    {
                         action = Some((bank, Some(p.addr.row)));
                         break;
                     }
@@ -1403,6 +1496,10 @@ impl Snapshottable for MemoryController {
         self.precu_p = r.take_opt_f64()?;
         self.row_press_cap = r.take_opt_u64()?;
         self.demands_gen_seen = r.take_u64()?;
+        // `recovery_scope` is a pure demand cache (never serialized, so
+        // legacy snapshot streams are unchanged): re-derive it from the
+        // device's just-restored demands.
+        self.recovery_scope = self.dram.timing_demands().recovery_scope;
         self.sink.load_state(r)?;
         // The scheduler index is pure cache: rebuild the per-bank queue
         // counts from the restored queues and leave the wake cache cold.

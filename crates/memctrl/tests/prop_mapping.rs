@@ -48,6 +48,7 @@ fn random_geometry(rng: &mut mopac_types::rng::DetRng) -> DramGeometry {
         subchannels: 1 << rng.below(2),
         banks_per_subchannel: 1 << (1 + rng.below(5)),
         rows_per_bank: 1 << (7 + rng.below(6)),
+        subarrays_per_bank: 1 << rng.below(4),
         row_bytes: 1 << (9 + rng.below(3)),
         line_bytes: 64,
     }

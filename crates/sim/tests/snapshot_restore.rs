@@ -129,3 +129,52 @@ fn restore_rejects_cross_topology_snapshots() {
     same.restore(&snap).unwrap();
     assert_eq!(reference, same.run_to_completion().unwrap());
 }
+
+/// A snapshot taken on the flat-bank layout must refuse to restore into
+/// a subarray-split PRACtical system (and the reverse), with a typed
+/// snapshot error — the subarray state has nowhere to come from.
+#[test]
+fn restore_rejects_cross_subarray_shape_snapshots() {
+    use mopac::config::MitigationConfig;
+    use mopac_types::error::MopacError;
+
+    let mut flat_cfg = SystemConfig::paper_default(MitigationConfig::prac(500), 20_000);
+    flat_cfg.geometry = DramGeometry::tiny();
+    let mut flat = System::new(flat_cfg.clone(), build_traces("xz", &flat_cfg).unwrap()).unwrap();
+    assert!(flat.run_until_refs(2).unwrap().is_none(), "run ended early");
+    let flat_snap = flat.snapshot();
+
+    let mut sub_cfg = SystemConfig::paper_default(MitigationConfig::practical(500), 20_000);
+    sub_cfg.geometry = DramGeometry::tiny();
+    sub_cfg.geometry.subarrays_per_bank = 8;
+    let mut sub = System::new(sub_cfg.clone(), build_traces("xz", &sub_cfg).unwrap()).unwrap();
+    let err = sub
+        .restore(&flat_snap)
+        .expect_err("flat snapshot restored into a subarray shape");
+    assert!(
+        matches!(&err, MopacError::Snapshot { .. }),
+        "wrong error kind: {err:?}"
+    );
+
+    // Reverse direction: subarray-shape snapshot into the flat config.
+    let mut sub_src =
+        System::new(sub_cfg.clone(), build_traces("xz", &sub_cfg).unwrap()).unwrap();
+    assert!(sub_src.run_until_refs(2).unwrap().is_none(), "run ended early");
+    let sub_snap = sub_src.snapshot();
+    let mut flat_dst =
+        System::new(flat_cfg.clone(), build_traces("xz", &flat_cfg).unwrap()).unwrap();
+    assert!(
+        flat_dst.restore(&sub_snap).is_err(),
+        "subarray snapshot restored into the flat shape"
+    );
+
+    // The matching subarray shape still restores and finishes
+    // bit-identically to its uninterrupted reference.
+    let reference = System::new(sub_cfg.clone(), build_traces("xz", &sub_cfg).unwrap())
+        .unwrap()
+        .run()
+        .unwrap();
+    let mut same = System::new(sub_cfg.clone(), build_traces("xz", &sub_cfg).unwrap()).unwrap();
+    same.restore(&sub_snap).unwrap();
+    assert_eq!(reference, same.run_to_completion().unwrap());
+}

@@ -49,6 +49,13 @@ pub struct DramGeometry {
     pub banks_per_subchannel: u32,
     /// Rows per bank.
     pub rows_per_bank: u32,
+    /// Subarrays per bank (power of two dividing `rows_per_bank`).
+    /// Real DDR5 banks are built from row-buffer-local subarray mats;
+    /// modelling them lets PRAC-family engines overlap counter updates
+    /// across subarrays (PRACtical). `1` collapses to the historical
+    /// flat-bank model and is byte-identical to it in every snapshot
+    /// and statistic.
+    pub subarrays_per_bank: u32,
     /// Row (page) size in bytes.
     pub row_bytes: u32,
     /// Cache-line / memory-transaction size in bytes.
@@ -67,6 +74,7 @@ impl DramGeometry {
             subchannels: 2,
             banks_per_subchannel: 32,
             rows_per_bank: 64 * 1024,
+            subarrays_per_bank: 1,
             row_bytes: 8 * 1024,
             line_bytes: 64,
         }
@@ -82,6 +90,7 @@ impl DramGeometry {
             subchannels: 2,
             banks_per_subchannel: 4,
             rows_per_bank: 1024,
+            subarrays_per_bank: 1,
             row_bytes: 8 * 1024,
             line_bytes: 64,
         }
@@ -111,6 +120,19 @@ impl DramGeometry {
     #[must_use]
     pub fn lines_per_row(&self) -> u32 {
         self.row_bytes / self.line_bytes
+    }
+
+    /// Rows per subarray (`rows_per_bank / subarrays_per_bank`).
+    #[must_use]
+    pub fn rows_per_subarray(&self) -> u32 {
+        debug_assert!(self.subarrays_per_bank.is_power_of_two());
+        (self.rows_per_bank / self.subarrays_per_bank).max(1)
+    }
+
+    /// The subarray a row lives in, in `0..subarrays_per_bank`.
+    #[must_use]
+    pub fn subarray_of(&self, row: u32) -> u32 {
+        (row / self.rows_per_subarray()).min(self.subarrays_per_bank.saturating_sub(1))
     }
 
     /// Total number of cache lines in the system.

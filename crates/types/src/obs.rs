@@ -85,6 +85,16 @@ pub enum Counter {
     DramDeferredUpdates,
     /// DRAM: injected faults.
     DramInjectedFaults,
+    /// DRAM: bank-cycles spent blocked by ABO/RFM recovery (the stall
+    /// window times the number of banks it blocked — sub-channel-scoped
+    /// recovery charges every bank, bank-scoped recovery only the
+    /// alerting ones).
+    DramBlockedBankCycles,
+    /// DRAM: activations issued while a deferred counter update was
+    /// still in flight in a *different* subarray of the same bank (the
+    /// parallelism PRACtical's subarray-level update unlocks — PRAC
+    /// would have serialized these behind the long tRP).
+    DramSubarrayParallelUpdates,
     /// Engines: activations observed.
     EngineActivations,
     /// Engines: counter updates performed.
@@ -121,7 +131,7 @@ pub enum Counter {
 
 impl Counter {
     /// Every counter, in declaration order (export order).
-    pub const ALL: [Counter; 36] = [
+    pub const ALL: [Counter; 38] = [
         Counter::McReadsDone,
         Counter::McWritesDone,
         Counter::McReadLatencySum,
@@ -142,6 +152,8 @@ impl Counter {
         Counter::DramMitigations,
         Counter::DramDeferredUpdates,
         Counter::DramInjectedFaults,
+        Counter::DramBlockedBankCycles,
+        Counter::DramSubarrayParallelUpdates,
         Counter::EngineActivations,
         Counter::EngineCounterUpdates,
         Counter::EngineSrqInsertions,
@@ -184,6 +196,8 @@ impl Counter {
             Counter::DramMitigations => "dram.mitigations",
             Counter::DramDeferredUpdates => "dram.deferred_updates",
             Counter::DramInjectedFaults => "dram.injected_faults",
+            Counter::DramBlockedBankCycles => "dram.blocked_bank_cycles",
+            Counter::DramSubarrayParallelUpdates => "dram.subarray_parallel_updates",
             Counter::EngineActivations => "engine.activations",
             Counter::EngineCounterUpdates => "engine.counter_updates",
             Counter::EngineSrqInsertions => "engine.srq_insertions",
@@ -494,6 +508,10 @@ pub struct TraceEvent {
     pub bank: u32,
     /// Kind-specific payload (see [`TraceEventKind`]).
     pub value: u64,
+    /// Subarray within the bank (schema v2). Populated for row-level
+    /// events (ACT, PRE, PREcu) on subarray-aware geometries; `0` for
+    /// bank- and sub-channel-wide events and on flat-bank geometries.
+    pub subarray: u32,
 }
 
 impl TraceEvent {
@@ -501,13 +519,14 @@ impl TraceEvent {
     #[must_use]
     pub fn to_csv_row(&self) -> String {
         format!(
-            "{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{}",
             self.cycle,
             self.kind.name(),
             self.channel,
             self.subchannel,
             self.bank,
-            self.value
+            self.value,
+            self.subarray
         )
     }
 
@@ -515,13 +534,14 @@ impl TraceEvent {
     #[must_use]
     pub fn to_jsonl(&self) -> String {
         format!(
-            "{{\"cycle\":{},\"kind\":\"{}\",\"ch\":{},\"sc\":{},\"bank\":{},\"value\":{}}}",
+            "{{\"cycle\":{},\"kind\":\"{}\",\"ch\":{},\"sc\":{},\"bank\":{},\"value\":{},\"subarray\":{}}}",
             self.cycle,
             self.kind.name(),
             self.channel,
             self.subchannel,
             self.bank,
-            self.value
+            self.value,
+            self.subarray
         )
     }
 }
@@ -537,8 +557,13 @@ pub struct TraceRing {
 }
 
 impl TraceRing {
+    /// Trace export schema version. Version 2 appended the `subarray`
+    /// column; all version-1 columns kept their name and position, so
+    /// v1 consumers that index columns by name keep working.
+    pub const SCHEMA_VERSION: u32 = 2;
+
     /// CSV header for [`TraceEvent::to_csv_row`].
-    pub const CSV_HEADER: &'static str = "cycle,kind,channel,subchannel,bank,value";
+    pub const CSV_HEADER: &'static str = "cycle,kind,channel,subchannel,bank,value,subarray";
 
     /// A ring holding at most `capacity` events (0 disables recording).
     #[must_use]
@@ -937,6 +962,7 @@ impl Snapshottable for TraceRing {
             w.put_u32(e.subchannel);
             w.put_u32(e.bank);
             w.put_u64(e.value);
+            w.put_u32(e.subarray);
         }
     }
 
@@ -965,6 +991,7 @@ impl Snapshottable for TraceRing {
             let subchannel = r.take_u32()?;
             let bank = r.take_u32()?;
             let value = r.take_u64()?;
+            let subarray = r.take_u32()?;
             self.buf.push_back(TraceEvent {
                 cycle,
                 kind,
@@ -972,6 +999,7 @@ impl Snapshottable for TraceRing {
                 subchannel,
                 bank,
                 value,
+                subarray,
             });
         }
         Ok(())
@@ -1257,6 +1285,7 @@ mod tests {
                 subchannel: 0,
                 bank: 0,
                 value: i,
+                subarray: 0,
             });
         }
         assert_eq!(ring.len(), 3);
@@ -1283,6 +1312,7 @@ mod tests {
             subchannel: 0,
             bank: 1,
             value: 7,
+            subarray: 0,
         });
         assert!(!sink.is_enabled());
         assert!(sink.snapshot().is_none());
@@ -1305,6 +1335,7 @@ mod tests {
             subchannel: 1,
             bank: 0,
             value: 0,
+            subarray: 0,
         });
         let snap = sink.snapshot().unwrap();
         assert_eq!(snap.counter("dram.activates"), Some(5));
@@ -1338,6 +1369,7 @@ mod tests {
             subchannel: 0,
             bank: 0,
             value: 100,
+            subarray: 0,
         });
         a.absorb(&b);
         let snap = a.snapshot().unwrap();
@@ -1367,6 +1399,7 @@ mod tests {
                 subchannel: 0,
                 bank: 0,
                 value: i,
+                subarray: 0,
             });
         }
         let mut w = crate::snapshot::SnapshotWriter::new();

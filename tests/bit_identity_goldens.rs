@@ -1,0 +1,130 @@
+//! Pre-refactor bit-identity goldens (ISSUE 8 satellite).
+//!
+//! The subarray/bank-isolation refactor must leave every pre-existing
+//! engine bit-identical at `subarrays_per_bank = 1` under
+//! `RecoveryScope::SubChannel`: same cycle counts, same RNG streams,
+//! same snapshot bytes. This test pins that property against goldens
+//! captured from the tree *before* the refactor landed: a mid-run
+//! snapshot digest (FNV-1a-64 over the full `System::snapshot` byte
+//! stream — device, controller, engines, RNGs and all) plus the final
+//! run statistics, per pre-existing engine × kernel.
+//!
+//! Regenerate (only legitimate when a PR intentionally changes the
+//! snapshot format or simulation behavior) with:
+//!
+//! ```text
+//! MOPAC_WRITE_GOLDENS=1 cargo test -p mopac-sim --test bit_identity_goldens
+//! ```
+
+use mopac_sim::experiment::{build_traces, mitigation_preset};
+use mopac_sim::system::{KernelMode, System, SystemConfig};
+use mopac_types::geometry::DramGeometry;
+use mopac_types::snapshot::fnv1a64;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// The engines that existed before the subarray refactor. `practical`
+/// is deliberately absent: it is the engine the refactor introduces,
+/// so it has no pre-refactor behavior to pin.
+const PRE_REFACTOR_ENGINES: [&str; 7] = [
+    "baseline",
+    "prac",
+    "mopac-c",
+    "mopac-d",
+    "mopac-d-nup",
+    "qprac",
+    "cnc-prac",
+];
+
+fn golden_path() -> PathBuf {
+    // CARGO_MANIFEST_DIR is crates/sim; the goldens live next to the
+    // workspace-level tests.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/goldens/bit_identity.txt")
+}
+
+/// One golden line: mid-run snapshot digest + end-of-run statistics.
+fn golden_line(engine: &str, kernel: KernelMode) -> String {
+    let mut cfg = SystemConfig::paper_default(
+        mitigation_preset(engine, 500).expect("pre-existing engine"),
+        20_000,
+    );
+    cfg.geometry = DramGeometry::tiny();
+    cfg.enable_checker = true;
+    cfg.kernel = kernel;
+    let mut sys = System::new(cfg.clone(), build_traces("xz", &cfg).unwrap()).unwrap();
+    // Pause three REF windows in: deep enough that counters, queues and
+    // RNG streams have all moved, early enough that the run continues.
+    let paused = sys.run_until_refs(3).unwrap();
+    let (digest, result) = match paused {
+        Some(done) => (0u64, done),
+        None => {
+            let digest = fnv1a64(&sys.snapshot());
+            (digest, sys.run_to_completion().unwrap())
+        }
+    };
+    let kname = match kernel {
+        KernelMode::EventDriven => "event",
+        KernelMode::Lockstep => "lockstep",
+    };
+    format!(
+        "{engine},{kname},{digest:016x},{},{},{},{},{},{},{},{:016x}",
+        result.cycles,
+        result.dram.activates,
+        result.dram.reads,
+        result.dram.rfms,
+        result.dram.refreshes,
+        result.mitigation.mitigations,
+        result.violations,
+        result.avg_read_latency.to_bits(),
+    )
+}
+
+#[test]
+fn pre_refactor_engines_match_goldens() {
+    let mut lines = Vec::new();
+    for engine in PRE_REFACTOR_ENGINES {
+        for kernel in [KernelMode::EventDriven, KernelMode::Lockstep] {
+            lines.push(golden_line(engine, kernel));
+        }
+    }
+    let mut rendered = String::from(
+        "# engine,kernel,snapshot_fnv1a64,cycles,activates,reads,rfms,refreshes,\
+         mitigations,violations,avg_read_latency_bits\n",
+    );
+    for l in &lines {
+        let _ = writeln!(rendered, "{l}");
+    }
+
+    let path = golden_path();
+    if std::env::var("MOPAC_WRITE_GOLDENS").is_ok_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &rendered).unwrap();
+        eprintln!("wrote {}", path.display());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing goldens at {} ({e}); generate with MOPAC_WRITE_GOLDENS=1",
+            path.display()
+        )
+    });
+    let golden_lines: Vec<&str> = golden
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+        .collect();
+    assert_eq!(
+        golden_lines.len(),
+        lines.len(),
+        "golden file has {} rows, expected {}",
+        golden_lines.len(),
+        lines.len()
+    );
+    for (got, want) in lines.iter().zip(&golden_lines) {
+        assert_eq!(
+            got, want,
+            "bit-identity regression vs pre-refactor golden \
+             (format: engine,kernel,digest,cycles,activates,reads,rfms,refreshes,\
+             mitigations,violations,latency_bits)"
+        );
+    }
+}

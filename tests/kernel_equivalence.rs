@@ -51,12 +51,13 @@ fn assert_equivalent(mut cfg: SystemConfig, label: &str) {
 #[test]
 fn equivalence_matrix_mitigation_x_page_policy() {
     type MitigationCtor = fn() -> MitigationConfig;
-    let mitigations: [(&str, MitigationCtor); 5] = [
+    let mitigations: [(&str, MitigationCtor); 6] = [
         ("prac", || MitigationConfig::prac(500)),
         ("mopac_c", || MitigationConfig::mopac_c(500)),
         ("mopac_d", || MitigationConfig::mopac_d(500)),
         ("qprac", || MitigationConfig::qprac(500)),
         ("cnc_prac", || MitigationConfig::cnc_prac(500)),
+        ("practical", || MitigationConfig::practical(500)),
     ];
     let policies = [
         ("open", PagePolicy::Open),
@@ -79,6 +80,18 @@ fn equivalence_closed_policy() {
     let mut cfg = tiny_cfg(MitigationConfig::prac(500), 20_000);
     cfg.mc.page_policy = PagePolicy::Closed;
     assert_equivalent(cfg, "prac x closed");
+}
+
+/// PRACtical with a real subarray split: the per-subarray update gates
+/// and the bank-scoped RFM ladder add wake sources of their own, which
+/// the event kernel must honor exactly.
+#[test]
+fn equivalence_practical_with_subarrays() {
+    for subarrays in [1u32, 8] {
+        let mut cfg = tiny_cfg(MitigationConfig::practical(500), 20_000);
+        cfg.geometry.subarrays_per_bank = subarrays;
+        assert_equivalent(cfg, &format!("practical x {subarrays} subarrays"));
+    }
 }
 
 /// Delayed RFMs stretch device timing gates; the skip logic must not
