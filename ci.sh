@@ -59,6 +59,24 @@ if [[ $fast -eq 0 ]]; then
     echo "no committed BENCH_kernel.json baseline; regression gate skipped"
   fi
 
+  # Macro-batching scaling gate: with the fork-join handoff amortized
+  # over whole cycle ranges, the 4-channel saturated run at 2 and 4
+  # shard threads must stay within 15% of the 1-thread throughput even
+  # on this possibly single-CPU runner (threads can only pay off with
+  # real hardware parallelism — the multicore *expectation* is a
+  # speedup, but what CI can gate everywhere is "not slower than 85%").
+  # Before batching, per-cycle forking made t2/t4 a 6-9x slowdown.
+  t1_cps=$(extract_cps mc4_saturated event@t1)
+  t2_cps=$(extract_cps mc4_saturated event@t2)
+  t4_cps=$(extract_cps mc4_saturated event@t4)
+  awk -v t1="$t1_cps" -v t2="$t2_cps" -v t4="$t4_cps" 'BEGIN {
+    if (t2 + 0 < 0.85 * t1 || t4 + 0 < 0.85 * t1) {
+      printf "FAIL: mc4_saturated sharded throughput collapsed: t1=%.0f t2=%.0f t4=%.0f cycles/sec (gate: t2,t4 >= 85%% of t1)\n", t1, t2, t4
+      exit 1
+    }
+    printf "mc4_saturated event kernel: t1=%.0f t2=%.0f t4=%.0f cycles/sec (gate: t2,t4 >= 85%% of t1)\n", t1, t2, t4
+  }'
+
   # Metrics-overhead gate: the same saturated-attack run with the
   # observability sink enabled (MOPAC_METRICS=1, writes
   # BENCH_kernel_metrics.json) must stay within 10% of the committed
@@ -165,8 +183,25 @@ if [[ $fast -eq 0 ]]; then
       exit 1
     fi
   done
+  # Batched vs per-cycle leg: disabling macro batching entirely
+  # (MOPAC_SHARD_BATCH=0) must leave every simulation observable
+  # byte-identical — only the kernel.* bookkeeping (sync rounds, batch
+  # lengths) may differ, so it is filtered from the JSONL before the
+  # compare.
+  MOPAC_INSTRS=20000 MOPAC_SHARD_THREADS=4 MOPAC_SHARD_TAG=gate MOPAC_SHARD_BATCH=0 \
+    MOPAC_DATA_DIR="$shard_dir/nb" "$sd" >/dev/null
+  if ! cmp -s "$shard_dir/t1/shard_det_gate.csv" "$shard_dir/nb/shard_det_gate.csv"; then
+    echo "FAIL: shard_det_gate.csv differs between batched and per-cycle stepping"
+    diff "$shard_dir/t1/shard_det_gate.csv" "$shard_dir/nb/shard_det_gate.csv" | head
+    exit 1
+  fi
+  if ! cmp -s <(grep -v '"kernel\.' "$shard_dir/t1/shard_det_gate_metrics.jsonl") \
+              <(grep -v '"kernel\.' "$shard_dir/nb/shard_det_gate_metrics.jsonl"); then
+    echo "FAIL: metrics JSONL (minus kernel.*) differs between batched and per-cycle stepping"
+    exit 1
+  fi
   rm -rf "$shard_dir"
-  echo "shard determinism OK: CSV + metrics JSONL + snapshot digest byte-identical"
+  echo "shard determinism OK: thread counts and batched-vs-per-cycle all byte-identical"
 
   # Examples must keep building (they are the documented entry points).
   step "cargo build --release --examples"

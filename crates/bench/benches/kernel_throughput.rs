@@ -75,9 +75,9 @@ fn mc4_saturated_trace(core: u64) -> Box<dyn TraceSource> {
     Box::new(ReplayTrace::new("mc4_saturated", records))
 }
 
-/// Best-of-three wall clock for the 4-channel saturated run at a given
-/// shard thread count; cycles are asserted identical across thread
-/// counts by the caller.
+/// Median-of-[`RUNS`] wall clock for the 4-channel saturated run at a
+/// given shard thread count; cycles are asserted identical across
+/// thread counts by the caller.
 fn run_mc4(instrs: u64, threads: usize) -> Sample {
     let traces = |n: u64| (0..n).map(mc4_saturated_trace).collect::<Vec<_>>();
     System::new(mc4_config(instrs / 4, threads), traces(8))
@@ -85,16 +85,13 @@ fn run_mc4(instrs: u64, threads: usize) -> Sample {
         .run()
         .expect("warm-up run");
     let mut cycles = 0;
-    let mut secs = f64::INFINITY;
-    for _ in 0..3 {
+    let mut times = Vec::with_capacity(RUNS);
+    for _ in 0..RUNS {
         let sys = System::new(mc4_config(instrs, threads), traces(8)).expect("system");
         let t0 = Instant::now();
         let result = sys.run().expect("timed run");
-        let elapsed = t0.elapsed().as_secs_f64();
+        times.push(t0.elapsed().as_secs_f64());
         cycles = result.cycles;
-        if elapsed < secs {
-            secs = elapsed;
-        }
     }
     Sample {
         workload: "mc4_saturated",
@@ -105,7 +102,7 @@ fn run_mc4(instrs: u64, threads: usize) -> Sample {
             _ => "event@tn",
         },
         cycles,
-        secs,
+        times: Times::from(times),
     }
 }
 
@@ -164,16 +161,53 @@ fn mixed_phase_trace() -> Box<dyn TraceSource> {
     Box::new(ReplayTrace::new("mixed_phase", records))
 }
 
+/// Timed repetitions per configuration. Odd, so the median is an
+/// actual observation rather than a midpoint.
+const RUNS: usize = 5;
+
+/// Wall-clock spread over the [`RUNS`] timed repetitions: the median is
+/// the headline number (robust to one-off scheduler hiccups either
+/// way), min/max bound the noise so a gate failure can be told apart
+/// from a genuinely bimodal run.
+struct Times {
+    median: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Times {
+    fn from(mut secs: Vec<f64>) -> Self {
+        assert!(!secs.is_empty(), "no timed runs");
+        secs.sort_by(f64::total_cmp);
+        Times {
+            median: secs[secs.len() / 2],
+            min: secs[0],
+            max: secs[secs.len() - 1],
+        }
+    }
+}
+
 struct Sample {
     workload: &'static str,
     kernel: &'static str,
     cycles: u64,
-    secs: f64,
+    times: Times,
 }
 
 impl Sample {
+    /// Median cycles/s — the headline and gated figure.
     fn cps(&self) -> f64 {
-        self.cycles as f64 / self.secs
+        self.cycles as f64 / self.times.median
+    }
+
+    /// Fastest observed cycles/s (from the minimum wall clock).
+    fn cps_max(&self) -> f64 {
+        self.cycles as f64 / self.times.min
+    }
+
+    /// Slowest observed cycles/s (from the maximum wall clock).
+    fn cps_min(&self) -> f64 {
+        self.cycles as f64 / self.times.max
     }
 }
 
@@ -188,19 +222,16 @@ fn run(
         .expect("system")
         .run()
         .expect("warm-up run");
-    // Best of three: wall-clock on a shared machine is noisy and the
-    // minimum is the least contaminated estimate of the true cost.
+    // Wall-clock on a shared machine is noisy: time RUNS repetitions
+    // and report the median, with min/max recorded as error bars.
     let mut cycles = 0;
-    let mut secs = f64::INFINITY;
-    for _ in 0..3 {
+    let mut times = Vec::with_capacity(RUNS);
+    for _ in 0..RUNS {
         let sys = System::new(config(instrs, kernel), vec![trace()]).expect("system");
         let t0 = Instant::now();
         let result = sys.run().expect("timed run");
-        let elapsed = t0.elapsed().as_secs_f64();
+        times.push(t0.elapsed().as_secs_f64());
         cycles = result.cycles;
-        if elapsed < secs {
-            secs = elapsed;
-        }
     }
     Sample {
         workload,
@@ -209,7 +240,7 @@ fn run(
             KernelMode::EventDriven => "event",
         },
         cycles,
-        secs,
+        times: Times::from(times),
     }
 }
 
@@ -238,20 +269,27 @@ fn main() {
     let mut json = String::from("{\n");
     for (i, s) in samples.iter().enumerate() {
         println!(
-            "{:<18} {:<9} {:>12} cycles in {:>7.3}s = {:>12.0} cycles/s",
+            "{:<18} {:<9} {:>12} cycles in {:>7.3}s = {:>12.0} cycles/s (min {:.0}, max {:.0})",
             s.workload,
             s.kernel,
             s.cycles,
-            s.secs,
-            s.cps()
+            s.times.median,
+            s.cps(),
+            s.cps_min(),
+            s.cps_max(),
         );
+        // ci.sh extracts `cycles_per_sec` by stripping everything up to
+        // the key and then all non-digits — it must stay the LAST
+        // numeric field on the line, so min/max come before it.
         let _ = write!(
             json,
-            "  \"{}/{}\": {{\"cycles\": {}, \"secs\": {:.6}, \"cycles_per_sec\": {:.0}}}",
+            "  \"{}/{}\": {{\"cycles\": {}, \"secs\": {:.6}, \"cps_min\": {:.0}, \"cps_max\": {:.0}, \"cycles_per_sec\": {:.0}}}",
             s.workload,
             s.kernel,
             s.cycles,
-            s.secs,
+            s.times.median,
+            s.cps_min(),
+            s.cps_max(),
             s.cps()
         );
         json.push_str(if i + 1 < samples.len() { ",\n" } else { "\n" });

@@ -9,7 +9,9 @@
 //!
 //! Knobs: `MOPAC_SHARD_THREADS` (thread count under test, default 1),
 //! `MOPAC_SHARD_TAG` (output-file suffix, default `t<threads>`),
-//! `MOPAC_INSTRS` (per-core budget, default 20000).
+//! `MOPAC_INSTRS` (per-core budget, default 20000),
+//! `MOPAC_SHARD_BATCH` (`0` disables macro batching so ci.sh can
+//! byte-compare batched vs per-cycle stepping).
 
 use mopac::config::MitigationConfig;
 use mopac_bench::{data_dir, instr_budget, Report};
@@ -49,13 +51,16 @@ fn config() -> SystemConfig {
 }
 
 fn main() {
-    let threads = resolve_shard_threads(0);
+    let threads = resolve_shard_threads(0).expect("MOPAC_SHARD_THREADS");
     let tag =
         std::env::var("MOPAC_SHARD_TAG").unwrap_or_else(|_| format!("t{threads}"));
     let cfg = config();
     let row_bytes = u64::from(cfg.geometry.row_bytes);
     let traces = (0..8).map(|c| conflict_trace(c, row_bytes)).collect();
     let mut sys = System::new(cfg, traces).expect("build system");
+    if std::env::var("MOPAC_SHARD_BATCH").is_ok_and(|v| v == "0") {
+        sys.debug_set_batching(false);
+    }
 
     // Pause mid-run for a snapshot digest, then finish.
     let paused = sys.run_until_refs(4).expect("run to REF boundary");

@@ -1,0 +1,186 @@
+//! Shard-handoff micro-bench: what one fork-join sync round costs, and
+//! what macro-batching buys back.
+//!
+//! Two measurements, both landing in workspace-root `BENCH_shard.json`
+//! (written atomically — a crash never leaves a torn file):
+//!
+//! 1. `sync_round/t{1,2,4}` — wall-clock nanoseconds per
+//!    `ChannelSet::tick_range` round with H=1 and `fork_min` 1 on an
+//!    *idle* 4-channel set: essentially no simulation work, so t2/t4
+//!    minus t1 is the raw fork-join round-trip the per-cycle sharded
+//!    loop used to pay on every DRAM cycle.
+//! 2. `mc4_batched/t{1,2,4}` vs `mc4_per_cycle/t{1,2,4}` — simulated
+//!    cycles/s for the saturated 4-channel, 8-core workload with macro
+//!    batching on (production default) and forced off
+//!    (`System::debug_set_batching(false)`), showing the handoff
+//!    amortization end to end.
+//!
+//! Knobs: `MOPAC_INSTRS` (per-core budget for the throughput half,
+//! default 25000).
+
+use mopac::config::MitigationConfig;
+use mopac_cpu::trace::{ReplayTrace, TraceRecord, TraceSource};
+use mopac_dram::device::{DramConfig, DramDevice};
+use mopac_memctrl::controller::{McConfig, MemoryController};
+use mopac_sim::shard::ChannelSet;
+use mopac_sim::system::{KernelMode, System, SystemConfig};
+use mopac_types::addr::PhysAddr;
+use mopac_types::geometry::DramGeometry;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn budget() -> u64 {
+    std::env::var("MOPAC_INSTRS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(25_000)
+}
+
+/// Median of an odd-length (or any non-empty) set of timings.
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+// ---- measurement 1: ns per sync round, near-empty work -------------
+
+fn idle_set(threads: usize) -> ChannelSet {
+    let geom = DramGeometry {
+        channels: 4,
+        ..DramGeometry::tiny()
+    };
+    let mcs = (0..geom.channels)
+        .map(|ch| {
+            let dram = DramDevice::new(DramConfig {
+                geometry: geom.channel_view(),
+                mitigation: MitigationConfig::prac(500),
+                enable_checker: false,
+                seed: 0x5AAD ^ u64::from(ch),
+                channel: ch,
+            });
+            MemoryController::new(dram, McConfig::default())
+        })
+        .collect();
+    let mut cs = ChannelSet::new(mcs, threads);
+    // Force even H=1 ranges through the fork path: the whole point is
+    // to price the round-trip the production `fork_min` exists to avoid.
+    cs.set_fork_min(1);
+    cs
+}
+
+fn sync_round_ns(threads: usize, rounds: u64) -> f64 {
+    let mut cs = idle_set(threads);
+    let mut out = Vec::new();
+    let mut now = 0;
+    for _ in 0..2_000 {
+        cs.tick_range(now, now + 1, &mut out).expect("warm-up round");
+        now += 1;
+    }
+    let mut blocks = Vec::new();
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        for _ in 0..rounds {
+            cs.tick_range(now, now + 1, &mut out).expect("timed round");
+            now += 1;
+        }
+        blocks.push(t0.elapsed().as_nanos() as f64 / rounds as f64);
+        out.clear();
+    }
+    median(blocks)
+}
+
+// ---- measurement 2: batched vs per-cycle end-to-end throughput -----
+
+fn mc4_config(instrs: u64, threads: usize) -> SystemConfig {
+    let mut cfg = SystemConfig::paper_default(MitigationConfig::prac(500), instrs);
+    cfg.geometry = DramGeometry {
+        channels: 4,
+        ..DramGeometry::tiny()
+    };
+    cfg.kernel = KernelMode::EventDriven;
+    cfg.shard_threads = threads;
+    cfg
+}
+
+/// Same row-conflict ping-pong as the `kernel_throughput` mc4 workload:
+/// MOP stripes the dense line stride across all four channels.
+fn conflict_trace(core: u64) -> Box<dyn TraceSource> {
+    let geom = DramGeometry::tiny();
+    let row_bytes = u64::from(geom.row_bytes);
+    let records = (0..256u64)
+        .map(|i| TraceRecord {
+            gap: 0,
+            addr: PhysAddr::new(((i + core) % 2) * row_bytes * 64 + (i + core * 13) * 64),
+            is_write: false,
+        })
+        .collect();
+    Box::new(ReplayTrace::new("mc4_saturated", records))
+}
+
+fn run_throughput(instrs: u64, threads: usize, batched: bool) -> (u64, f64) {
+    let traces = || (0..8).map(conflict_trace).collect::<Vec<_>>();
+    let mut cycles = 0;
+    let mut times = Vec::new();
+    // First iteration is the warm-up; time the remaining three.
+    for i in 0..4 {
+        let mut sys =
+            System::new(mc4_config(if i == 0 { instrs / 4 } else { instrs }, threads), traces())
+                .expect("build system");
+        if !batched {
+            sys.debug_set_batching(false);
+        }
+        let t0 = Instant::now();
+        let result = sys.run().expect("run");
+        if i > 0 {
+            times.push(t0.elapsed().as_secs_f64());
+            cycles = result.cycles;
+        }
+    }
+    (cycles, median(times))
+}
+
+fn main() {
+    let instrs = budget();
+    let mut json = String::from("{\n");
+    let mut entries: Vec<String> = Vec::new();
+
+    println!("sync-round cost (idle 4-channel set, H=1 ranges, fork_min=1):");
+    for threads in [1usize, 2, 4] {
+        let ns = sync_round_ns(threads, 50_000);
+        println!("  t{threads}: {ns:>10.1} ns/round");
+        entries.push(format!(
+            "  \"sync_round/t{threads}\": {{\"rounds\": 50000, \"ns_per_round\": {ns:.1}}}"
+        ));
+    }
+
+    println!("mc4_saturated throughput, batched vs per-cycle ({instrs} instrs/core):");
+    let mut batched_t1 = 0.0;
+    for (label, batched) in [("mc4_batched", true), ("mc4_per_cycle", false)] {
+        for threads in [1usize, 2, 4] {
+            let (cycles, secs) = run_throughput(instrs, threads, batched);
+            let cps = cycles as f64 / secs;
+            if batched && threads == 1 {
+                batched_t1 = cps;
+            }
+            println!(
+                "  {label:<14} t{threads}: {cycles:>9} cycles in {secs:>7.3}s = {cps:>11.0} cycles/s ({:.2}x of batched t1)",
+                cps / batched_t1
+            );
+            entries.push(format!(
+                "  \"{label}/t{threads}\": {{\"cycles\": {cycles}, \"secs\": {secs:.6}, \"cycles_per_sec\": {cps:.0}}}"
+            ));
+        }
+    }
+
+    let _ = write!(json, "{}", entries.join(",\n"));
+    json.push_str("\n}\n");
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map_or_else(
+            || std::path::PathBuf::from("BENCH_shard.json"),
+            |root| root.join("BENCH_shard.json"),
+        );
+    mopac_types::persist::atomic_write_str(&path, &json).expect("write BENCH_shard.json");
+    println!("wrote {}", path.display());
+}

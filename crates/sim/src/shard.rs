@@ -7,57 +7,113 @@
 //! [`ChannelSet`] owns the per-channel controllers and exposes the
 //! merged views the system layer needs (wake, stats, idle accounting).
 //!
-//! ## Sharded ticking
+//! ## Macro-batched sharding
 //!
-//! `MOPAC_SHARD_THREADS` (or [`SystemConfig::shard_threads`]) > 1
-//! shards [`ChannelSet::tick_all`] across a persistent worker pool:
-//! each cycle is a fork-join — channels tick concurrently, then the
-//! system's serial phases (completion delivery, fetch, retire) run on
-//! the merged result. Determinism is structural, not timing-dependent:
-//! every channel's controller is a sequential deterministic machine
-//! touching only its own state (RNG streams, metrics sinks, trace
-//! rings included), and the per-channel completion buffers are merged
-//! in channel-index order — so results are bit-identical at any thread
-//! count, including 1 (the serial loop). The expected speedup needs
-//! multiple hardware cores; on a single-CPU host the sharded path is
-//! merely not-wrong (see DESIGN.md §13).
+//! Forking per DRAM cycle costs a fork-join round-trip (µs) per cycle
+//! (ns) — measured as a 6-9x *slowdown* on a busy single-CPU host. So
+//! [`ChannelSet::tick_all`] (one cycle) is always serial, and the
+//! worker pool (`MOPAC_SHARD_THREADS` / [`SystemConfig::shard_threads`]
+//! above 1) is engaged only by [`ChannelSet::tick_range`], which hands
+//! each
+//! worker a whole cycle *range* in one message when the range is long
+//! enough ([`ChannelSet::set_fork_min`]) to amortize the handoff.
+//! Inside a range each channel applies its own controller `next_wake`
+//! ([`MemoryController::tick_until`]), so the event kernel's
+//! time-skipping composes with sharding instead of being defeated by a
+//! shared per-cycle barrier. `System::batch_horizon` computes the safe
+//! range: no cross-channel coupling (completion delivery, core fetch,
+//! fault injection, REF pause) occurs inside it (DESIGN.md §15).
+//!
+//! Determinism is structural, not timing-dependent: every channel's
+//! controller is a sequential deterministic machine touching only its
+//! own state (RNG streams, metrics sinks, trace rings included);
+//! completions land in per-channel buffers that are merged in
+//! channel-index order and then stable-sorted by due cycle — which
+//! reproduces the per-cycle loop's cycle-major, channel-minor push
+//! order exactly, because read completion latency is a constant (CAS +
+//! burst) so due order equals issue order. Results are bit-identical
+//! at any thread count, including 1 (the serial loop). The expected
+//! speedup needs multiple hardware cores; on a single-CPU host the
+//! sharded path is merely not-slower once batched (see DESIGN.md §13,
+//! §15).
 //!
 //! [`DramDevice`]: mopac_dram::device::DramDevice
 //! [`SystemConfig::shard_threads`]: crate::system::SystemConfig::shard_threads
 
 use mopac_memctrl::controller::{AccessKind, Completion, McStats, MemRequest, MemoryController};
-use mopac_types::error::MopacResult;
+use mopac_types::error::{MopacError, MopacResult};
 use mopac_types::time::Cycle;
 use std::sync::mpsc;
+use std::sync::OnceLock;
 use std::thread::JoinHandle;
+
+/// Below this many cycles a range is ticked serially even when a
+/// worker pool exists: a fork-join round-trip costs on the order of a
+/// few µs, so short batches must not pay it.
+const DEFAULT_FORK_MIN: Cycle = 64;
+
+/// Parses a `MOPAC_SHARD_THREADS` value: `None` input means the
+/// variable is unset (`Ok(None)`); a set value must be an integer of
+/// at least 1. Pure so it is unit-testable without touching the process
+/// environment (the cached resolver below reads the env only once).
+///
+/// # Errors
+///
+/// Returns a description of the rejected value when it is not a
+/// positive integer.
+pub fn parse_shard_threads(raw: Option<&str>) -> Result<Option<usize>, String> {
+    let Some(raw) = raw else {
+        return Ok(None);
+    };
+    match raw.trim().parse::<usize>() {
+        Ok(0) => Err(format!(
+            "MOPAC_SHARD_THREADS must be >= 1 (got `{raw}`); unset it for the serial loop"
+        )),
+        Ok(n) => Ok(Some(n)),
+        Err(_) => Err(format!(
+            "MOPAC_SHARD_THREADS must be a positive integer, got `{raw}`"
+        )),
+    }
+}
+
+static SHARD_THREADS_ENV: OnceLock<Result<Option<usize>, String>> = OnceLock::new();
 
 /// Resolves the worker-thread count for intra-run channel sharding: an
 /// explicit non-zero `shard_threads` wins; 0 consults the
-/// `MOPAC_SHARD_THREADS` environment variable, defaulting to 1 (the
-/// serial loop).
-#[must_use]
-pub fn resolve_shard_threads(shard_threads: usize) -> usize {
+/// `MOPAC_SHARD_THREADS` environment variable (read and parsed once
+/// per process, then cached), defaulting to 1 (the serial loop).
+///
+/// # Errors
+///
+/// [`MopacError::Config`] when the variable is set but is not a
+/// positive integer — a typo must fail loudly, not silently run
+/// serial.
+///
+/// [`MopacError::Config`]: mopac_types::error::MopacError
+pub fn resolve_shard_threads(shard_threads: usize) -> MopacResult<usize> {
     if shard_threads != 0 {
-        return shard_threads;
+        return Ok(shard_threads);
     }
-    std::env::var("MOPAC_SHARD_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n >= 1)
-        .unwrap_or(1)
+    let cached = SHARD_THREADS_ENV
+        .get_or_init(|| parse_shard_threads(std::env::var("MOPAC_SHARD_THREADS").ok().as_deref()));
+    match cached {
+        Ok(n) => Ok(n.unwrap_or(1)),
+        Err(msg) => Err(MopacError::config(msg.clone())),
+    }
 }
 
-/// One cycle's work for one channel, lent to a worker for the duration
-/// of a fork-join round.
+/// One cycle range's work for one channel, lent to a worker for the
+/// duration of a fork-join round.
 struct Job {
     mc: *mut MemoryController,
     out: *mut Vec<Completion>,
-    now: Cycle,
+    from: Cycle,
+    to: Cycle,
 }
 
 // SAFETY: the pointers reference distinct `ChannelSet`-owned values
 // (one controller and one buffer per channel, no aliasing), and the
-// main thread neither touches them nor returns from `tick_all` until
+// main thread neither touches them nor returns from `tick_range` until
 // it has received the worker's reply for the round — the reply channel
 // is the happens-before edge.
 unsafe impl Send for Job {}
@@ -69,7 +125,7 @@ struct Worker {
 }
 
 /// Persistent fork-join worker pool for channel ticking. Workers park
-/// in a blocking receive between cycles; dropping the pool closes the
+/// in a blocking receive between rounds; dropping the pool closes the
 /// job channels and joins every thread.
 struct ShardPool {
     workers: Vec<Worker>,
@@ -88,7 +144,7 @@ impl ShardPool {
                             // SAFETY: see `Job` — exclusive for the round.
                             let mc = unsafe { &mut *job.mc };
                             let out = unsafe { &mut *job.out };
-                            let r = mc.tick(job.now, out);
+                            let r = mc.tick_until(job.from, job.to, out);
                             if reply_tx.send(r).is_err() {
                                 break;
                             }
@@ -123,20 +179,22 @@ impl Drop for ShardPool {
     }
 }
 
-/// The per-channel memory controllers of one system, with serial and
-/// sharded fork-join ticking (see the module docs for the determinism
-/// argument).
+/// The per-channel memory controllers of one system, with serial
+/// per-cycle ticking and macro-batched fork-join range ticking (see
+/// the module docs for the determinism argument).
 pub struct ChannelSet {
     mcs: Vec<MemoryController>,
-    /// Per-channel completion buffers for the sharded path; merged in
-    /// channel-index order after the join.
+    /// Per-channel completion buffers for the range path; merged in
+    /// channel-index order after the join, then stable-sorted by due
+    /// cycle.
     bufs: Vec<Vec<Completion>>,
     pool: Option<ShardPool>,
+    fork_min: Cycle,
 }
 
 impl ChannelSet {
     /// Wraps per-channel controllers; `threads > 1` (clamped to the
-    /// channel count) enables the sharded tick path.
+    /// channel count) enables the sharded range path.
     #[must_use]
     pub fn new(mcs: Vec<MemoryController>, threads: usize) -> Self {
         assert!(!mcs.is_empty(), "a system needs at least one channel");
@@ -144,7 +202,12 @@ impl ChannelSet {
         let threads = threads.min(mcs.len());
         // The main thread is worker 0; the pool holds the extras.
         let pool = (threads > 1).then(|| ShardPool::new(threads - 1));
-        Self { mcs, bufs, pool }
+        Self {
+            mcs,
+            bufs,
+            pool,
+            fork_min: DEFAULT_FORK_MIN,
+        }
     }
 
     /// Number of channels.
@@ -175,73 +238,86 @@ impl ChannelSet {
         self.mcs.iter_mut()
     }
 
+    /// Overrides the minimum range length at which [`tick_range`]
+    /// forks to the worker pool (default 64 cycles). Benches and the
+    /// batch-equivalence property test set 1 to force the fork path
+    /// onto adversarially short ranges.
+    ///
+    /// [`tick_range`]: ChannelSet::tick_range
+    pub fn set_fork_min(&mut self, fork_min: Cycle) {
+        self.fork_min = fork_min.max(1);
+    }
+
     /// Ticks every channel for cycle `now`, appending finished reads to
     /// `out` grouped by ascending channel (within a channel, the
-    /// controller's own issue order). Returns the total commands
-    /// issued.
+    /// controller's own issue order). Always serial — one cycle of work
+    /// per channel is far too little to amortize a fork-join round-trip
+    /// (use [`ChannelSet::tick_range`] for batches). Returns the total
+    /// commands issued.
     ///
     /// # Errors
     ///
-    /// Propagates the lowest-channel tick error; on the sharded path
+    /// Propagates the lowest-channel tick error.
+    pub fn tick_all(&mut self, now: Cycle, out: &mut Vec<Completion>) -> MopacResult<u32> {
+        let mut issued = 0;
+        for mc in &mut self.mcs {
+            issued += mc.tick(now, out)?;
+        }
+        Ok(issued)
+    }
+
+    /// Ticks every channel from `from` (inclusive) to `to` (exclusive)
+    /// in one round, appending finished reads to `out` in exactly the
+    /// order `to - from` successive [`tick_all`] calls would have
+    /// (cycle-major, channel-minor; see the module docs). Forks the
+    /// range across the worker pool when one exists and the range is at
+    /// least [`set_fork_min`] cycles; channel `ch` runs on worker
+    /// `ch % threads`, worker 0 being this thread. Returns the total
+    /// commands issued.
+    ///
+    /// The caller guarantees nothing arrives at any channel inside
+    /// `[from, to)` — the horizon contract computed by
+    /// `System::batch_horizon`.
+    ///
+    /// [`tick_all`]: ChannelSet::tick_all
+    /// [`set_fork_min`]: ChannelSet::set_fork_min
+    ///
+    /// # Errors
+    ///
+    /// Propagates the lowest-channel tick error; on the forked path
     /// every channel still completes its round first (the join is
     /// unconditional), so an error leaves no worker holding state.
-    pub fn tick_all(&mut self, now: Cycle, out: &mut Vec<Completion>) -> MopacResult<u32> {
-        let Some(pool) = &self.pool else {
-            let mut issued = 0;
-            for mc in &mut self.mcs {
-                issued += mc.tick(now, out)?;
-            }
-            return Ok(issued);
-        };
-        // Fork: channel `ch` runs on worker `ch % threads`; worker 0 is
-        // this thread. Buffers are cleared up front so the merge below
-        // sees exactly this round's completions.
-        let threads = pool.workers.len() + 1;
+    pub fn tick_range(
+        &mut self,
+        from: Cycle,
+        to: Cycle,
+        out: &mut Vec<Completion>,
+    ) -> MopacResult<u32> {
+        debug_assert!(from < to, "empty batch range [{from}, {to})");
         for buf in &mut self.bufs {
             buf.clear();
         }
-        let mut results: Vec<Option<MopacResult<u32>>> = (0..self.mcs.len()).map(|_| None).collect();
-        for (ch, (mc, buf)) in self.mcs.iter_mut().zip(&mut self.bufs).enumerate() {
-            let worker = ch % threads;
-            if worker == 0 {
-                results[ch] = Some(mc.tick(now, buf));
-            } else {
-                let job = Job {
-                    mc: std::ptr::from_mut(mc),
-                    out: std::ptr::from_mut(buf),
-                    now,
-                };
-                pool.workers[worker - 1]
-                    .job_tx
-                    .send(job)
-                    .map_err(|_| worker_died())?;
+        let base = out.len();
+        let issued = match &self.pool {
+            Some(pool) if to - from >= self.fork_min => {
+                fork_range(pool, &mut self.mcs, &mut self.bufs, from, to)?
             }
-        }
-        // Join: collect every remote reply before touching any lent
-        // state. Replies arrive per worker in that worker's channel
-        // order, so pairing them back up is deterministic.
-        for (ch, slot) in results.iter_mut().enumerate() {
-            let worker = ch % threads;
-            if worker != 0 {
-                *slot = Some(
-                    pool.workers[worker - 1]
-                        .reply_rx
-                        .recv()
-                        .map_err(|_| worker_died())?,
-                );
+            _ => {
+                let mut issued = 0;
+                for (mc, buf) in self.mcs.iter_mut().zip(&mut self.bufs) {
+                    issued += mc.tick_until(from, to, buf)?;
+                }
+                issued
             }
-        }
-        let mut issued = 0;
-        for slot in results {
-            match slot {
-                Some(Ok(n)) => issued += n,
-                Some(Err(e)) => return Err(e),
-                None => unreachable!("every channel was assigned a worker"),
-            }
-        }
+        };
         for buf in &mut self.bufs {
-            out.append(buf);
+            out.extend_from_slice(buf);
         }
+        // Per-channel buffers are channel-major; the per-cycle
+        // reference is cycle-major. Completion latency is constant, so
+        // a stable sort by due cycle (ties keep channel order)
+        // reproduces the reference push order bit-for-bit.
+        out[base..].sort_by_key(|c| c.at);
         Ok(issued)
     }
 
@@ -249,6 +325,29 @@ impl ChannelSet {
     #[must_use]
     pub fn next_wake(&self, now: Cycle) -> Option<Cycle> {
         self.mcs.iter().filter_map(|mc| mc.next_wake(now)).min()
+    }
+
+    /// Minimum read completion latency across channels
+    /// ([`MemoryController::min_read_latency`]).
+    #[must_use]
+    pub fn min_read_latency(&self) -> Cycle {
+        self.mcs
+            .iter()
+            .map(MemoryController::min_read_latency)
+            .min()
+            .unwrap_or(1)
+    }
+
+    /// Earliest scheduled refresh deadline across channels
+    /// ([`MemoryController::next_ref_floor`]): no REF can fire anywhere
+    /// before this cycle.
+    #[must_use]
+    pub fn next_ref_floor(&self) -> Cycle {
+        self.mcs
+            .iter()
+            .map(MemoryController::next_ref_floor)
+            .min()
+            .unwrap_or(Cycle::MAX)
     }
 
     /// Bulk idle-stat compensation on every channel
@@ -321,8 +420,72 @@ impl ChannelSet {
     }
 }
 
-fn worker_died() -> mopac_types::error::MopacError {
-    mopac_types::error::MopacError::internal(
+/// The fork-join round of [`ChannelSet::tick_range`]: sends one range
+/// job per remote channel first (so remote workers run concurrently
+/// with this thread), ticks worker 0's channels inline, then collects
+/// every reply before returning — no lent state is touched until its
+/// worker has replied.
+fn fork_range(
+    pool: &ShardPool,
+    mcs: &mut [MemoryController],
+    bufs: &mut [Vec<Completion>],
+    from: Cycle,
+    to: Cycle,
+) -> MopacResult<u32> {
+    let threads = pool.workers.len() + 1;
+    let mut results: Vec<Option<MopacResult<u32>>> = (0..mcs.len()).map(|_| None).collect();
+    let mut locals = Vec::new();
+    for (ch, (mc, buf)) in mcs.iter_mut().zip(bufs.iter_mut()).enumerate() {
+        let worker = ch % threads;
+        if worker == 0 {
+            locals.push((ch, mc, buf));
+        } else {
+            // SAFETY: see `Job` — `ch % threads` partitions channels
+            // across workers, so each controller/buffer pair is lent to
+            // exactly one worker; the reply receive below is the
+            // happens-before edge before the lent state is touched
+            // again.
+            let job = Job {
+                mc: std::ptr::from_mut(mc),
+                out: std::ptr::from_mut(buf),
+                from,
+                to,
+            };
+            pool.workers[worker - 1]
+                .job_tx
+                .send(job)
+                .map_err(|_| worker_died())?;
+        }
+    }
+    for (ch, mc, buf) in locals {
+        results[ch] = Some(mc.tick_until(from, to, buf));
+    }
+    // Join: replies arrive per worker in that worker's channel order,
+    // so pairing them back up is deterministic.
+    for (ch, slot) in results.iter_mut().enumerate() {
+        let worker = ch % threads;
+        if worker != 0 {
+            *slot = Some(
+                pool.workers[worker - 1]
+                    .reply_rx
+                    .recv()
+                    .map_err(|_| worker_died())?,
+            );
+        }
+    }
+    let mut issued = 0;
+    for slot in results {
+        match slot {
+            Some(Ok(n)) => issued += n,
+            Some(Err(e)) => return Err(e),
+            None => unreachable!("every channel was assigned a worker"),
+        }
+    }
+    Ok(issued)
+}
+
+fn worker_died() -> MopacError {
+    MopacError::internal(
         "a shard worker thread died mid-run (panicked while ticking its channel)",
     )
 }
@@ -356,48 +519,93 @@ mod tests {
         ChannelSet::new(mcs, threads)
     }
 
+    fn enqueue_conflicts(cs: &mut ChannelSet, now: Cycle, id: &mut u64) {
+        // Keep every channel busy with row-conflict traffic.
+        for ch in 0..cs.channels() as u32 {
+            if cs.can_accept(ch, 0, AccessKind::Read) {
+                *id += 1;
+                let addr = DecodedAddr::new(
+                    BankRef::on_channel(ch, 0, (*id % 4) as u32),
+                    (*id * 37 % 701) as u32,
+                    0,
+                );
+                cs.enqueue(
+                    MemRequest {
+                        id: *id,
+                        kind: AccessKind::Read,
+                        addr,
+                    },
+                    now,
+                );
+            }
+        }
+    }
+
     fn drive(mut cs: ChannelSet, cycles: Cycle) -> (Vec<Completion>, McStats) {
         let mut done = Vec::new();
         let mut id = 0u64;
         for now in 0..cycles {
-            // Keep every channel busy with row-conflict traffic.
-            for ch in 0..cs.channels() as u32 {
-                if cs.can_accept(ch, 0, AccessKind::Read) {
-                    id += 1;
-                    let addr = DecodedAddr::new(
-                        BankRef::on_channel(ch, 0, (id % 4) as u32),
-                        (id * 37 % 701) as u32,
-                        0,
-                    );
-                    cs.enqueue(
-                        MemRequest {
-                            id,
-                            kind: AccessKind::Read,
-                            addr,
-                        },
-                        now,
-                    );
-                }
-            }
+            enqueue_conflicts(&mut cs, now, &mut id);
             cs.tick_all(now, &mut done).unwrap();
         }
         let stats = cs.stats();
         (done, stats)
     }
 
+    /// Same workload as `drive`, but every cycle goes through
+    /// `tick_range` with H=1 and `fork_min` 1 — the adversarially
+    /// short batch that still exercises the full fork/merge machinery.
+    fn drive_ranged(mut cs: ChannelSet, cycles: Cycle) -> (Vec<Completion>, McStats) {
+        cs.set_fork_min(1);
+        let mut done = Vec::new();
+        let mut id = 0u64;
+        for now in 0..cycles {
+            enqueue_conflicts(&mut cs, now, &mut id);
+            cs.tick_range(now, now + 1, &mut done).unwrap();
+        }
+        let stats = cs.stats();
+        (done, stats)
+    }
+
     #[test]
-    fn sharded_tick_is_bit_identical_to_serial() {
+    fn forked_range_is_bit_identical_to_serial() {
         let (serial, s_stats) = drive(set(4, 1), 4000);
-        for threads in [2, 4] {
-            let (sharded, stats) = drive(set(4, threads), 4000);
+        for threads in [1, 2, 4] {
+            let (sharded, stats) = drive_ranged(set(4, threads), 4000);
             assert_eq!(serial, sharded, "completion stream @ {threads} threads");
             assert_eq!(s_stats, stats, "merged stats @ {threads} threads");
         }
     }
 
     #[test]
+    fn long_range_matches_per_cycle_loop() {
+        // One burst of arrivals at cycle 0, then a quiet span: the
+        // whole span is a legal batch (nothing arrives inside it).
+        let cycles = 5000;
+        let reference = {
+            let mut cs = set(4, 1);
+            let mut done = Vec::new();
+            let mut id = 0u64;
+            enqueue_conflicts(&mut cs, 0, &mut id);
+            for now in 0..cycles {
+                cs.tick_all(now, &mut done).unwrap();
+            }
+            (done, cs.stats())
+        };
+        for threads in [1, 2, 4] {
+            let mut cs = set(4, threads);
+            let mut done = Vec::new();
+            let mut id = 0u64;
+            enqueue_conflicts(&mut cs, 0, &mut id);
+            cs.tick_range(0, cycles, &mut done).unwrap();
+            assert_eq!(reference.0, done, "completion stream @ {threads} threads");
+            assert_eq!(reference.1, cs.stats(), "merged stats @ {threads} threads");
+        }
+    }
+
+    #[test]
     fn completions_merge_in_channel_order() {
-        let (done, stats) = drive(set(2, 2), 6000);
+        let (done, stats) = drive_ranged(set(2, 2), 6000);
         assert!(stats.reads_done > 0, "no reads completed");
         assert_eq!(done.len() as u64, stats.reads_done);
     }
@@ -430,5 +638,21 @@ mod tests {
         assert_eq!(cs.stats().reads_done, per_channel);
         let refs: u64 = cs.iter().map(|mc| mc.dram().stats().refreshes).sum();
         assert_eq!(cs.refreshes(), refs);
+    }
+
+    #[test]
+    fn parse_shard_threads_contract() {
+        assert_eq!(parse_shard_threads(None), Ok(None));
+        assert_eq!(parse_shard_threads(Some("1")), Ok(Some(1)));
+        assert_eq!(parse_shard_threads(Some(" 4 ")), Ok(Some(4)));
+        assert!(parse_shard_threads(Some("0")).is_err());
+        assert!(parse_shard_threads(Some("four")).is_err());
+        assert!(parse_shard_threads(Some("")).is_err());
+        assert!(parse_shard_threads(Some("-2")).is_err());
+    }
+
+    #[test]
+    fn explicit_thread_count_skips_env() {
+        assert_eq!(resolve_shard_threads(3).unwrap(), 3);
     }
 }

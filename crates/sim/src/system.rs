@@ -30,6 +30,7 @@ use mopac_types::geometry::DramGeometry;
 use mopac_types::obs::{
     Counter, Gauge, Hist, MetricsRegistry, MetricsSink, MetricsSnapshot, SinkConfig,
 };
+use mopac_types::rng::DetRng;
 use mopac_types::snapshot::{expect_exhausted, SnapshotReader, SnapshotWriter, Snapshottable};
 use mopac_types::time::Cycle;
 use std::cmp::Reverse;
@@ -378,6 +379,57 @@ impl CoreDriver {
         // progress unconditionally.
         Some(now + 1)
     }
+
+    /// [`CoreDriver::next_wake`] arm-for-arm, but classifying the
+    /// blocked (`None`) arms by unblocking event — the macro-batch
+    /// precondition check. Must mirror `next_wake` exactly: a driver
+    /// this reports [`DriverBlock::Runnable`] vetoes the batch, and a
+    /// misclassified blocked driver would let a batch skip a cycle the
+    /// reference loop acts on.
+    fn block_class(
+        &self,
+        mapper: &AddressMapper,
+        chans: &ChannelSet,
+        line_bytes: u32,
+    ) -> DriverBlock {
+        if self.core.retire_ready() {
+            return DriverBlock::Runnable;
+        }
+        if self.gap_left > 0 {
+            // Blocked mid-gap means a full ROB whose head is an
+            // outstanding load (a retirable head would be
+            // `retire_ready`): delivery-coupled.
+            return if self.core.rob_free() > 0 {
+                DriverBlock::Runnable
+            } else {
+                DriverBlock::Delivery
+            };
+        }
+        if let Some((addr, is_write)) = self.pending {
+            if self.core.rob_free() == 0 {
+                return DriverBlock::Delivery;
+            }
+            if !is_write {
+                if let Some(e) = self.pf_lines.get(addr.line_index(line_bytes)) {
+                    if e.ready || e.rob_waiter.is_none() {
+                        return DriverBlock::Runnable;
+                    }
+                }
+            }
+            let decoded = mapper.decode(addr);
+            let kind = if is_write {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            return if chans.can_accept(decoded.bank.channel, decoded.bank.subchannel, kind) {
+                DriverBlock::Runnable
+            } else {
+                DriverBlock::Queue
+            };
+        }
+        DriverBlock::Runnable
+    }
 }
 
 /// Snapshot section tags ([`mopac_types::snapshot`]).
@@ -391,6 +443,51 @@ fn min_opt(a: Option<Cycle>, b: Option<Cycle>) -> Option<Cycle> {
         (Some(x), Some(y)) => Some(x.min(y)),
         (x, None) => x,
         (None, y) => y,
+    }
+}
+
+/// Why a driver cannot make progress on the next cycle — the blocked
+/// arms of [`CoreDriver::next_wake`], split by which external event
+/// unblocks them. The distinction decides which horizon bound applies
+/// ([`System::batch_horizon`]): delivery-blocked drivers couple only to
+/// the in-flight completion heap, queue-blocked drivers couple to the
+/// channels' next command (a column issue frees queue space).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum DriverBlock {
+    /// `next_wake` would return `Some`: the driver acts next cycle.
+    Runnable,
+    /// Blocked until a completion delivery (directly, or via the ROB
+    /// head draining after one).
+    Delivery,
+    /// Blocked on memory-controller queue space (`can_accept` false).
+    Queue,
+}
+
+/// Macro-batch controls: always-on defaults for production runs, with
+/// `#[doc(hidden)]` hooks for the equivalence tests and benches to
+/// disable batching, cap horizons, or randomize them adversarially.
+struct BatchCtl {
+    enabled: bool,
+    /// Minimum cycles a batch must cover to be worth taking (a batch of
+    /// 1 is a plain step with extra bookkeeping). Test hooks drop it
+    /// to 1 so H=1 batches are exercised.
+    min_len: Cycle,
+    /// Optional horizon cap (exact, or the `below` bound when `rng` is
+    /// set).
+    cap: Option<Cycle>,
+    /// Randomized-horizon mode: each batch draws its cap from `[1,
+    /// cap]`.
+    rng: Option<DetRng>,
+}
+
+impl Default for BatchCtl {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            min_len: 2,
+            cap: None,
+            rng: None,
+        }
     }
 }
 
@@ -413,8 +510,17 @@ pub struct System {
     /// would have.
     last_retired: u64,
     last_progress_at: Cycle,
-    /// Progress-source bitmask of the last step (diagnostics only).
+    /// Progress-source bitmask of the last step (diagnostics only for
+    /// bits 1/4/8/16; bit 2 alone — DRAM commands with a quiescent CPU
+    /// side — is the macro-batch trigger).
     dbg_sources: u32,
+    /// Macro-batch controls (see [`BatchCtl`]).
+    batch: BatchCtl,
+    /// System-level kernel metrics (sync rounds, batch lengths). Kept
+    /// out of [`System::snapshot`] deliberately: kernel bookkeeping is
+    /// not simulation state, and batched vs per-cycle runs must produce
+    /// identical snapshot digests.
+    kernel_sink: MetricsSink,
 }
 
 impl System {
@@ -472,7 +578,7 @@ impl System {
                 mc
             })
             .collect();
-        let chans = ChannelSet::new(mcs, resolve_shard_threads(cfg.shard_threads));
+        let chans = ChannelSet::new(mcs, resolve_shard_threads(cfg.shard_threads)?);
         let drivers = traces
             .into_iter()
             .map(|trace| CoreDriver {
@@ -490,6 +596,10 @@ impl System {
             })
             .collect();
         let llc = cfg.use_llc.then(Llc::paper_default);
+        let kernel_sink = match cfg.metrics {
+            Some(sink_cfg) => MetricsSink::enabled(sink_cfg),
+            None => MetricsSink::disabled(),
+        };
         Ok(Self {
             cfg,
             mapper,
@@ -504,6 +614,8 @@ impl System {
             last_retired: 0,
             last_progress_at: 0,
             dbg_sources: 0,
+            batch: BatchCtl::default(),
+            kernel_sink,
         })
     }
 
@@ -553,6 +665,7 @@ impl System {
             merged.absorb(mc.metrics());
             merged.absorb(mc.dram().metrics());
         }
+        merged.absorb(&self.kernel_sink);
         let pf = self.pf_stats;
         let llc = self.llc.as_ref().map(Llc::stats);
         if let Some(reg) = merged.registry_mut() {
@@ -648,6 +761,41 @@ impl System {
             // completion), so this is the only place a pause can land.
             if pause_at_refs.is_some_and(|t| self.chans.refreshes() >= t) {
                 return Ok(None);
+            }
+            // Macro batch: the last step's only progress was DRAM
+            // commands (bit 2 alone) — the CPU side is quiescent, so if
+            // every driver is verifiably blocked, the channels can tick
+            // a whole horizon in one fork-join round (DESIGN.md §15).
+            // The guards after the batch mirror the per-step guards
+            // below in the same order; the horizon is clamped to their
+            // deadlines so they fire at the exact reference cycle.
+            if event_driven
+                && !paranoid
+                && self.dbg_sources == 2
+                && self.batch.enabled
+                && finished < n_cores
+            {
+                if let Some(end) = self.batch_horizon(pause_at_refs) {
+                    self.run_batch(end)?;
+                    if self.cfg.livelock_window > 0
+                        && self.now - self.last_progress_at >= self.cfg.livelock_window
+                    {
+                        return Err(MopacError::Livelock {
+                            cycle: self.now,
+                            stalled_for: self.now - self.last_progress_at,
+                            retired: self.last_retired,
+                        });
+                    }
+                    if self.now >= self.cfg.max_cycles {
+                        return Err(MopacError::CycleCapExceeded {
+                            cap: self.cfg.max_cycles,
+                            finished_cores: finished,
+                            total_cores: n_cores,
+                        });
+                    }
+                    stall_streak = 0;
+                    continue;
+                }
             }
             let progress = self.step()?;
             if trace_kernel && progress {
@@ -1074,6 +1222,7 @@ impl System {
             progress = true;
             self.dbg_sources |= 2;
         }
+        self.kernel_sink.add(Counter::KernelSyncRounds, 1);
         for c in self.scratch.drain(..) {
             self.inflight.push(c);
         }
@@ -1362,6 +1511,21 @@ impl System {
     fn skip_to(&mut self, target: Cycle) {
         let skipped = target - self.now;
         self.chans.note_idle_cycles(self.now, skipped);
+        self.advance_drivers_idle(skipped);
+        self.now = target;
+    }
+
+    /// The driver half of a bulk jump over `skipped` cycles in which no
+    /// driver fetches or retires: per-core fetch-credit accumulation
+    /// (the per-cycle `min(credit + r, 64)` fold, iterated until it
+    /// saturates — at most `ceil(64 / r)` steps — because
+    /// floating-point addition is not associative and a closed form
+    /// would drift) and per-core stall accounting
+    /// ([`Core::skip_idle`]). Shared by [`System::skip_to`] (which also
+    /// compensates the controllers) and [`System::run_batch`] (where
+    /// [`MemoryController::tick_until`] already did its own
+    /// accounting).
+    fn advance_drivers_idle(&mut self, skipped: Cycle) {
         let r = CoreParams::paper_default().retire_per_dram_cycle;
         for d in &mut self.drivers {
             for _ in 0..skipped {
@@ -1373,7 +1537,127 @@ impl System {
             }
             d.core.skip_idle(skipped);
         }
-        self.now = target;
+    }
+
+    /// The macro-batch horizon: the last cycle boundary `end` such that
+    /// ticking every channel through `[now, end)` in one fork-join
+    /// round — with no completion delivery, no fetch, no retire, no
+    /// fault event and no pause observation in between — is
+    /// bit-identical to `end - now` reference steps. Returns `None`
+    /// when no batch of at least `batch.min_len` cycles is safe (the
+    /// loop falls back to a plain step).
+    ///
+    /// Preconditions checked here (the `dbg_sources == 2` trigger is
+    /// only a cheap filter): every driver must be verifiably blocked
+    /// *against current queue state* — the previous step's MC commands
+    /// may have freed queue space, so the progress bitmask alone cannot
+    /// prove the CPU side stays quiescent at `now`.
+    ///
+    /// Each bound maps to a coupling source (DESIGN.md §15):
+    /// - earliest in-flight completion: its delivery unblocks cores;
+    /// - `now + min_read_latency`: reads issued *inside* the batch
+    ///   complete no earlier than this, so they stay undeliverable
+    ///   within it;
+    /// - fault injector's next event: it mutates controller state;
+    /// - channels' `next_wake` (only when a driver is queue-blocked): a
+    ///   column issue frees queue space the same cycle, so the batch
+    ///   must end before the first possible command;
+    /// - `next_ref_floor` (only when pausing at a REF count): the pause
+    ///   check must observe the refresh counter at the same cycle the
+    ///   per-step loop would;
+    /// - watchdog deadline and cycle cap: the guards after the batch
+    ///   must fire at the exact reference cycle with identical fields.
+    fn batch_horizon(&mut self, pause_at_refs: Option<u64>) -> Option<Cycle> {
+        let prev = self.now - 1;
+        let line_bytes = self.cfg.geometry.line_bytes;
+        let mut any_queue_blocked = false;
+        for d in &self.drivers {
+            match d.block_class(&self.mapper, &self.chans, line_bytes) {
+                DriverBlock::Runnable => return None,
+                DriverBlock::Queue => any_queue_blocked = true,
+                DriverBlock::Delivery => {}
+            }
+        }
+        let mut end = self.now + self.chans.min_read_latency();
+        if let Some(at) = self.inflight.peek_at() {
+            end = end.min(at);
+        }
+        if let Some(due) = self.injector.as_ref().and_then(FaultInjector::next_due) {
+            end = end.min(due);
+        }
+        if any_queue_blocked {
+            if let Some(w) = self.chans.next_wake(prev) {
+                end = end.min(w);
+            }
+        }
+        if pause_at_refs.is_some() {
+            end = end.min(self.chans.next_ref_floor());
+        }
+        if self.cfg.livelock_window > 0 {
+            end = end.min(self.last_progress_at + self.cfg.livelock_window);
+        }
+        end = end.min(self.cfg.max_cycles);
+        if let Some(cap) = self.batch.cap {
+            let cap = match self.batch.rng.as_mut() {
+                Some(rng) => 1 + rng.below(cap),
+                None => cap,
+            };
+            end = end.min(self.now + cap);
+        }
+        (end >= self.now + self.batch.min_len).then_some(end)
+    }
+
+    /// Executes one macro batch over `[now, end)`: every channel ticks
+    /// the whole range in one fork-join round
+    /// ([`ChannelSet::tick_range`]), completions land on the in-flight
+    /// heap in reference push order, and the drivers advance through
+    /// their (provably idle) cycles in bulk. The caller computed `end`
+    /// via [`System::batch_horizon`] and re-runs the watchdog/cap
+    /// guards afterwards.
+    fn run_batch(&mut self, end: Cycle) -> MopacResult<()> {
+        let from = self.now;
+        self.scratch.clear();
+        self.chans.tick_range(from, end, &mut self.scratch)?;
+        for c in self.scratch.drain(..) {
+            self.inflight.push(c);
+        }
+        self.advance_drivers_idle(end - from);
+        self.now = end;
+        self.kernel_sink.add(Counter::KernelSyncRounds, 1);
+        self.kernel_sink.record(Hist::KernelBatchLen, 0, end - from);
+        Ok(())
+    }
+
+    /// Test hook: enables/disables macro batching (per-cycle stepping
+    /// when disabled — the reference the batch-equivalence suite and
+    /// the `MOPAC_SHARD_BATCH=0` ci leg compare against).
+    #[doc(hidden)]
+    pub fn debug_set_batching(&mut self, enabled: bool) {
+        self.batch.enabled = enabled;
+    }
+
+    /// Test hook: caps every batch at `cap` cycles and allows H=1
+    /// batches (adversarially short horizons stay bit-identical).
+    #[doc(hidden)]
+    pub fn debug_cap_batch_len(&mut self, cap: Cycle) {
+        self.batch.cap = Some(cap.max(1));
+        self.batch.min_len = 1;
+    }
+
+    /// Test hook: draws every batch's cap from `[1, max]` with a
+    /// deterministic RNG, and allows H=1 batches.
+    #[doc(hidden)]
+    pub fn debug_randomize_batch(&mut self, seed: u64, max: Cycle) {
+        self.batch.cap = Some(max.max(1));
+        self.batch.rng = Some(DetRng::from_seed(seed));
+        self.batch.min_len = 1;
+    }
+
+    /// Test hook: forwards to [`ChannelSet::set_fork_min`] so short
+    /// batches exercise the fork path.
+    #[doc(hidden)]
+    pub fn debug_set_fork_min(&mut self, fork_min: Cycle) {
+        self.chans.set_fork_min(fork_min);
     }
 
     /// Feeds the prefetcher with a demand line and issues any candidate

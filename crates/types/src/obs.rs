@@ -127,11 +127,14 @@ pub enum Counter {
     PrefetchLateHits,
     /// Trace ring: events dropped because the ring was full.
     TraceEventsDropped,
+    /// Event kernel: channel-tick synchronization rounds (one per
+    /// per-cycle fork-join, one per macro batch).
+    KernelSyncRounds,
 }
 
 impl Counter {
     /// Every counter, in declaration order (export order).
-    pub const ALL: [Counter; 38] = [
+    pub const ALL: [Counter; 39] = [
         Counter::McReadsDone,
         Counter::McWritesDone,
         Counter::McReadLatencySum,
@@ -170,6 +173,7 @@ impl Counter {
         Counter::PrefetchHits,
         Counter::PrefetchLateHits,
         Counter::TraceEventsDropped,
+        Counter::KernelSyncRounds,
     ];
 
     /// Stable export name (`layer.metric`).
@@ -214,6 +218,7 @@ impl Counter {
             Counter::PrefetchHits => "prefetch.hits",
             Counter::PrefetchLateHits => "prefetch.late_hits",
             Counter::TraceEventsDropped => "trace.events_dropped",
+            Counter::KernelSyncRounds => "kernel.sync_rounds",
         }
     }
 }
@@ -272,6 +277,9 @@ pub enum Hist {
     /// Open time of a row at precharge (cycles); labeled by
     /// sub-channel.
     RowOpenTime,
+    /// Cycles covered per macro batch in the batched channel-shard
+    /// handoff (label 0; the system records one sample per batch).
+    KernelBatchLen,
 }
 
 impl Hist {
@@ -284,6 +292,7 @@ impl Hist {
             Hist::AboServiceTime => "dram.abo_service_time",
             Hist::SrqOccupancy => "engine.srq_occupancy",
             Hist::RowOpenTime => "dram.row_open_time",
+            Hist::KernelBatchLen => "kernel.batch_len",
         }
     }
 
@@ -303,6 +312,7 @@ impl Hist {
             2 => Some(Hist::AboServiceTime),
             3 => Some(Hist::SrqOccupancy),
             4 => Some(Hist::RowOpenTime),
+            5 => Some(Hist::KernelBatchLen),
             _ => None,
         }
     }

@@ -1,0 +1,174 @@
+//! Macro-batch equivalence suite: stepping the multi-channel system
+//! with macro-batched channel handoff ([`System::batch_horizon`] /
+//! `ChannelSet::tick_range`) must be *bit-identical* to the per-cycle
+//! reference — every `RunResult` field, the snapshot digest at a REF
+//! pause, and the metrics JSONL (minus the `kernel.*` bookkeeping,
+//! which legitimately counts sync rounds differently) — across random
+//! workloads × engines × fault plans, at `shard_threads` ∈ {1, 2, 4},
+//! under the default horizon and under adversarially randomized
+//! horizons that include H=1 batches forced through the fork path.
+//!
+//! Batched cycles are provably CPU-quiescent (DESIGN.md §15), so any
+//! divergence here is a horizon bug, not acceptable noise.
+
+use mopac::config::MitigationConfig;
+use mopac_cpu::trace::{ReplayTrace, TraceRecord, TraceSource};
+use mopac_sim::fault::{FaultKind, FaultPlan};
+use mopac_sim::system::{RunResult, System, SystemConfig};
+use mopac_types::addr::PhysAddr;
+use mopac_types::geometry::DramGeometry;
+use mopac_types::obs::SinkConfig;
+use mopac_types::rng::DetRng;
+use mopac_types::snapshot::fnv1a64;
+
+/// A seeded random workload: per-core access streams mixing hammer
+/// bursts (gap 0 row ping-pong), short compute gaps, and long idle
+/// stretches, with occasional stores — so one run crosses the batch,
+/// fast-forward, and skip regimes.
+fn random_trace(core: u64, seed: u64, row_bytes: u64) -> Box<dyn TraceSource> {
+    let mut rng = DetRng::from_seed(seed ^ core.wrapping_mul(0x9E37_79B9));
+    let records = (0..400)
+        .map(|_| {
+            let gap = match rng.below(4) {
+                0 => 0,
+                1 => rng.below(8),
+                2 => rng.below(200),
+                _ => rng.below(5_000),
+            } as u32;
+            let row = rng.below(64);
+            let col = rng.below(128);
+            TraceRecord {
+                gap,
+                addr: PhysAddr::new(row * row_bytes * 8 + col * 64),
+                is_write: rng.below(10) == 0,
+            }
+        })
+        .collect();
+    Box::new(ReplayTrace::new("batch-rand", records))
+}
+
+fn cfg4(mit: MitigationConfig, seed: u64) -> SystemConfig {
+    let mut cfg = SystemConfig::paper_default(mit, 150_000);
+    cfg.geometry = DramGeometry {
+        channels: 4,
+        ..DramGeometry::tiny()
+    };
+    cfg.enable_checker = true;
+    cfg.metrics = Some(SinkConfig::default());
+    cfg.seed = seed;
+    cfg
+}
+
+#[derive(Clone, Copy)]
+enum Horizon {
+    /// Batching disabled: the per-cycle reference.
+    PerCycle,
+    /// Default horizons (production behavior).
+    Batched,
+    /// Every batch capped by a seeded draw from [1, 24], H=1 batches
+    /// allowed, and `fork_min` 1 so even one-cycle batches cross the
+    /// worker pool.
+    Randomized(u64),
+}
+
+struct Artifacts {
+    result: RunResult,
+    digest: u64,
+    metrics: String,
+}
+
+fn run_one(mut cfg: SystemConfig, threads: usize, horizon: Horizon) -> Artifacts {
+    cfg.shard_threads = threads;
+    let row_bytes = u64::from(cfg.geometry.row_bytes);
+    let traces = (0..8)
+        .map(|c| random_trace(c, cfg.seed, row_bytes))
+        .collect();
+    let mut sys = System::new(cfg, traces).unwrap();
+    match horizon {
+        Horizon::PerCycle => sys.debug_set_batching(false),
+        Horizon::Batched => {}
+        Horizon::Randomized(seed) => {
+            sys.debug_randomize_batch(seed, 24);
+            sys.debug_set_fork_min(1);
+        }
+    }
+    // Pause at a REF boundary mid-run for the snapshot digest, then
+    // finish — horizons must land pauses on the identical cycle.
+    let paused = sys.run_until_refs(3).unwrap();
+    let digest = if paused.is_none() {
+        fnv1a64(&sys.snapshot())
+    } else {
+        0
+    };
+    let result = match paused {
+        Some(done) => done,
+        None => sys.run_to_completion().unwrap(),
+    };
+    // `kernel.*` counts sync rounds and batch lengths, which *should*
+    // differ between batched and per-cycle stepping; everything else
+    // must be byte-identical.
+    let metrics = sys
+        .metrics_snapshot()
+        .unwrap()
+        .to_jsonl()
+        .lines()
+        .filter(|l| !l.contains("\"kernel."))
+        .collect::<Vec<_>>()
+        .join("\n");
+    Artifacts {
+        result,
+        digest,
+        metrics,
+    }
+}
+
+fn assert_cell(cfg: &SystemConfig, label: &str) {
+    let reference = run_one(cfg.clone(), 1, Horizon::PerCycle);
+    assert!(
+        reference.digest != 0,
+        "{label}: run finished before the snapshot boundary; raise the budget"
+    );
+    for threads in [1usize, 2, 4] {
+        for (hname, horizon) in [
+            ("batched", Horizon::Batched),
+            ("randomized", Horizon::Randomized(0xBA7C_4E5D)),
+        ] {
+            let got = run_one(cfg.clone(), threads, horizon);
+            let tag = format!("{label} @ t{threads}/{hname}");
+            assert_eq!(reference.result, got.result, "RunResult diverged: {tag}");
+            assert_eq!(
+                reference.digest, got.digest,
+                "snapshot digest diverged: {tag}"
+            );
+            assert_eq!(reference.metrics, got.metrics, "metrics diverged: {tag}");
+        }
+    }
+}
+
+#[test]
+fn batch_equivalence_mopac_d() {
+    assert_cell(&cfg4(MitigationConfig::mopac_d(500), 0xB47C_0001), "mopac_d");
+}
+
+#[test]
+fn batch_equivalence_qprac_with_alert_storm() {
+    let mut cfg = cfg4(MitigationConfig::qprac(500), 0xB47C_0002);
+    cfg.fault_plan = Some(FaultPlan::new(0xF417).with(
+        1_500,
+        FaultKind::AlertStorm {
+            subchannel: 0,
+            period: 1_100,
+            count: 20,
+        },
+    ));
+    assert_cell(&cfg, "qprac + AlertStorm");
+}
+
+#[test]
+fn batch_equivalence_practical_with_delayed_rfm() {
+    let mut cfg = cfg4(MitigationConfig::practical(500), 0xB47C_0003);
+    cfg.geometry.subarrays_per_bank = 4;
+    cfg.fault_plan =
+        Some(FaultPlan::new(0x51).with(2_000, FaultKind::DelayRfm { extra_cycles: 300 }));
+    assert_cell(&cfg, "practical + DelayRfm");
+}
