@@ -127,6 +127,28 @@ if [[ $fast -eq 0 ]]; then
     exit 1
   fi
 
+  # Attack-success sweep: the victim-data flip plane's verdict per
+  # engine × T_RH distribution × ECC mode at a fixed cycle budget;
+  # writes BENCH_attack_success.json at the workspace root and
+  # diff-checks it like BENCH_mitigations.json. The binary itself
+  # asserts the ECC monotonicity contract (SEC never observes *more*
+  # corrupted reads than no ECC at the same seed) and panics on drift.
+  step "attack-success sweep (flip plane, diff-checked)"
+  cargo run --release -q -p mopac-bench --bin attack_success
+  if ! git diff --quiet -- BENCH_attack_success.json; then
+    echo "FAIL: BENCH_attack_success.json drifted from the committed baseline"
+    git diff -- BENCH_attack_success.json | head -20
+    exit 1
+  fi
+
+  # Flip-plane zero-cost gate: with the victim-data plane disabled
+  # (every committed config), all engines × both kernels must stay
+  # byte-identical to the committed goldens in
+  # tests/goldens/bit_identity.txt — snapshot bytes included, so the
+  # plane's disabled cost is provably zero.
+  step "flip-disabled bit-identity goldens (release)"
+  cargo test -q -p mopac-sim --test bit_identity_goldens --release
+
   # Crash-safety gate 1: kill-and-resume. Run the checkpointed fault
   # campaign, SIGKILL it mid-flight, resume from the checkpoint, and
   # require the final CSV to be byte-identical to an uninterrupted run.

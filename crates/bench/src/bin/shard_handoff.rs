@@ -57,6 +57,7 @@ fn idle_set(threads: usize) -> ChannelSet {
                 enable_checker: false,
                 seed: 0x5AAD ^ u64::from(ch),
                 channel: ch,
+                flip: None,
             });
             MemoryController::new(dram, McConfig::default())
         })

@@ -85,11 +85,19 @@ impl RowhammerChecker {
 
     /// Records an activation of `row` (including victim-refresh
     /// activations, which disturb *their* neighbours too).
+    ///
+    /// Both sides are recorded only when the victim physically exists:
+    /// the top row has no `row + 1` neighbour and row 0 has no
+    /// `row - 1`. (The edge slots still accumulate — keeping the
+    /// counter stream identical across configurations — but they can
+    /// never produce a violation or exposure report.) Increments
+    /// saturate so a multi-billion-activation soak can't wrap a `u32`
+    /// and silently reset a victim's budget.
     pub fn on_activate(&mut self, row: u32) {
         let i = row as usize;
-        self.up[i] += 1;
-        self.dn[i] += 1;
-        if self.up[i] > self.t_rh {
+        self.up[i] = self.up[i].saturating_add(1);
+        self.dn[i] = self.dn[i].saturating_add(1);
+        if self.up[i] > self.t_rh && i + 1 < self.up.len() {
             self.record(row, row + 1, self.up[i]);
         }
         if self.dn[i] > self.t_rh && row > 0 {
@@ -148,11 +156,16 @@ impl RowhammerChecker {
 
     /// The maximum per-victim exposure currently accumulated anywhere in
     /// the bank.
+    ///
+    /// Excludes the top row's `up` slot and row 0's `dn` slot: those
+    /// point at rows that don't exist, so whatever they accumulated is
+    /// not exposure of any real victim.
     #[must_use]
     pub fn max_exposure(&self) -> u32 {
-        self.up
+        let last = self.up.len() - 1;
+        self.up[..last]
             .iter()
-            .chain(self.dn.iter())
+            .chain(self.dn[1..].iter())
             .copied()
             .max()
             .unwrap_or(0)
@@ -322,6 +335,105 @@ mod tests {
         }
         ck.on_mitigate(0, 2);
         ck.on_mitigate(3, 2);
+        assert!(ck.violations() > 0);
+    }
+
+    #[test]
+    fn top_row_records_no_phantom_victim() {
+        // Hammering the last row of the bank can only endanger the row
+        // below it; the `up` side points past the end of the array.
+        let mut ck = RowhammerChecker::new(8, 5);
+        for _ in 0..20 {
+            ck.on_activate(7);
+        }
+        assert!(ck.violations() > 0);
+        assert!(
+            ck.violation_records().iter().all(|v| v.victim == 6),
+            "phantom victim recorded: {:?}",
+            ck.violation_records()
+        );
+    }
+
+    #[test]
+    fn row_zero_records_only_upper_victim() {
+        let mut ck = RowhammerChecker::new(8, 5);
+        for _ in 0..20 {
+            ck.on_activate(0);
+        }
+        assert!(ck.violations() > 0);
+        assert!(ck.violation_records().iter().all(|v| v.victim == 1));
+    }
+
+    #[test]
+    fn interior_rows_count_both_sides_exactly_as_before() {
+        // The phantom fix must not change interior-row accounting: one
+        // activation past T_RH records both neighbours.
+        let mut ck = RowhammerChecker::new(8, 5);
+        for _ in 0..6 {
+            ck.on_activate(4);
+        }
+        assert_eq!(ck.violations(), 2);
+        let victims: Vec<u32> = ck.violation_records().iter().map(|v| v.victim).collect();
+        assert_eq!(victims, vec![5, 3]);
+    }
+
+    #[test]
+    fn max_exposure_ignores_edge_slots_toward_nonexistent_victims() {
+        let mut ck = RowhammerChecker::new(4, 100);
+        // Top row: up-slot charges toward nonexistent row 4.
+        for _ in 0..50 {
+            ck.on_activate(3);
+        }
+        // Its real (dn) victim is row 2, exposure 50.
+        assert_eq!(ck.max_exposure(), 50);
+        // Refresh row 2: only the phantom up-slot retains a count, which
+        // must not be reported as exposure.
+        ck.on_refresh_row(2);
+        assert_eq!(ck.max_exposure(), 0);
+        // Symmetric at row 0.
+        for _ in 0..30 {
+            ck.on_activate(0);
+        }
+        assert_eq!(ck.max_exposure(), 30);
+        ck.on_refresh_row(1);
+        assert_eq!(ck.max_exposure(), 0);
+    }
+
+    #[test]
+    fn single_row_bank_never_violates() {
+        // Degenerate geometry: no neighbours exist at all.
+        let mut ck = RowhammerChecker::new(1, 2);
+        for _ in 0..10 {
+            ck.on_activate(0);
+        }
+        assert_eq!(ck.violations(), 0);
+        assert_eq!(ck.max_exposure(), 0);
+    }
+
+    #[test]
+    fn exposure_saturates_instead_of_wrapping() {
+        use mopac_types::snapshot::{SnapshotReader, SnapshotWriter, Snapshottable};
+        // Preload a near-wrap exposure via the snapshot seam (activating
+        // u32::MAX times for real is infeasible in a test).
+        let mut ck = RowhammerChecker::new(4, u32::MAX - 10);
+        let mut w = SnapshotWriter::new();
+        w.put_u32(u32::MAX - 10); // t_rh
+        w.put_usize(4); // rows
+        w.put_usize(1); // up: one nonzero entry
+        w.put_u32(1);
+        w.put_u32(u32::MAX - 1);
+        w.put_usize(0); // dn: empty
+        w.put_u64(0); // violations
+        w.put_usize(0); // records
+        let bytes = w.finish();
+        let mut r = SnapshotReader::new(&bytes).unwrap();
+        ck.load_state(&mut r).unwrap();
+        for _ in 0..8 {
+            ck.on_activate(1);
+        }
+        // Wrapping would have reset the budget below T_RH and reported
+        // zero violations; saturation pins it at u32::MAX.
+        assert_eq!(ck.max_exposure(), u32::MAX);
         assert!(ck.violations() > 0);
     }
 }

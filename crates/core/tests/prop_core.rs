@@ -129,6 +129,141 @@ fn checker_never_flags_below_threshold() {
     });
 }
 
+/// Naive reference model of the oracle, written directly from the
+/// DESIGN.md semantics: per-row up/dn budgets, violations only toward
+/// victims that physically exist, refresh of `V` clears `up[V-1]` /
+/// `dn[V+1]`, mitigation refreshes-then-activates each victim in the
+/// (edge-clipped) blast zone.
+struct NaiveChecker {
+    rows: usize,
+    t_rh: u32,
+    up: Vec<u32>,
+    dn: Vec<u32>,
+    violations: u64,
+    victims: Vec<u32>,
+}
+
+impl NaiveChecker {
+    fn new(rows: usize, t_rh: u32) -> Self {
+        Self {
+            rows,
+            t_rh,
+            up: vec![0; rows],
+            dn: vec![0; rows],
+            violations: 0,
+            victims: Vec::new(),
+        }
+    }
+
+    fn activate(&mut self, row: usize) {
+        self.up[row] = self.up[row].saturating_add(1);
+        self.dn[row] = self.dn[row].saturating_add(1);
+        if self.up[row] > self.t_rh && row + 1 < self.rows {
+            self.violations += 1;
+            self.victims.push(row as u32 + 1);
+        }
+        if self.dn[row] > self.t_rh && row > 0 {
+            self.violations += 1;
+            self.victims.push(row as u32 - 1);
+        }
+    }
+
+    fn refresh(&mut self, row: usize) {
+        if row > 0 {
+            self.up[row - 1] = 0;
+        }
+        if row + 1 < self.rows {
+            self.dn[row + 1] = 0;
+        }
+    }
+
+    fn mitigate(&mut self, row: usize, blast: u32) {
+        for d in 1..=blast as usize {
+            if row >= d {
+                self.refresh(row - d);
+                self.activate(row - d);
+            }
+            if row + d < self.rows {
+                self.refresh(row + d);
+                self.activate(row + d);
+            }
+        }
+    }
+
+    fn max_exposure(&self) -> u32 {
+        // Only budgets toward real victims count: up[last] and dn[0]
+        // point past the bank's edges.
+        let up = self.up[..self.rows - 1].iter().copied().max().unwrap_or(0);
+        let dn = self.dn[1..].iter().copied().max().unwrap_or(0);
+        up.max(dn)
+    }
+}
+
+/// Edge-row property: on random banks (down to 1 row) with random
+/// activate/refresh/mitigate streams biased toward row 0 and the last
+/// row, the checker matches the naive model exactly — violation count,
+/// victim sequence, and exposure — and never names a victim outside
+/// the bank.
+#[test]
+fn checker_matches_naive_model_at_bank_edges() {
+    prop_check("checker_matches_naive_model_at_bank_edges", 256, |rng| {
+        let rows = 1 + rng.below(8) as usize;
+        let t_rh = 1 + rng.below(12) as u32;
+        let mut ck = RowhammerChecker::new(rows as u32, t_rh);
+        let mut naive = NaiveChecker::new(rows, t_rh);
+        let ops = rng.below(300) as usize;
+        for _ in 0..ops {
+            // Bias row choice toward the edges, where the bug lived.
+            let row = match rng.below(4) {
+                0 => 0,
+                1 => rows - 1,
+                _ => rng.below(rows as u64) as usize,
+            };
+            match rng.below(8) {
+                0 => {
+                    ck.on_refresh_row(row as u32);
+                    naive.refresh(row);
+                }
+                1 => {
+                    let blast = 1 + rng.below(3) as u32;
+                    ck.on_mitigate(row as u32, blast);
+                    naive.mitigate(row, blast);
+                }
+                _ => {
+                    ck.on_activate(row as u32);
+                    naive.activate(row);
+                }
+            }
+        }
+        prop_ensure!(
+            ck.violations() == naive.violations,
+            "violations {} != model {}",
+            ck.violations(),
+            naive.violations
+        );
+        prop_ensure!(
+            ck.max_exposure() == naive.max_exposure(),
+            "exposure {} != model {}",
+            ck.max_exposure(),
+            naive.max_exposure()
+        );
+        for (i, v) in ck.violation_records().iter().enumerate() {
+            prop_ensure!(
+                (v.victim as usize) < rows,
+                "victim {} outside {rows}-row bank",
+                v.victim
+            );
+            prop_ensure!(
+                v.victim == naive.victims[i],
+                "victim {} != model {}",
+                v.victim,
+                naive.victims[i]
+            );
+        }
+        Ok(())
+    });
+}
+
 #[test]
 fn checker_mitigation_clears_both_sides() {
     prop_check("checker_mitigation_clears_both_sides", 128, |rng| {

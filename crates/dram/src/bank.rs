@@ -1,6 +1,7 @@
 //! One DRAM bank: row state machine, per-command timing gates, and the
 //! embedded mitigation engine + security oracle.
 
+use crate::flip::FlipPlane;
 use crate::timing::TimingSet;
 use mopac::bank::BankMitigation;
 use mopac::checker::RowhammerChecker;
@@ -49,6 +50,10 @@ pub struct Bank {
     /// by subarray. Empty for designs without subarray-deferred updates
     /// (the historical flat-bank model — zero bytes of snapshot state).
     cu_ready: Vec<Cycle>,
+    /// Victim-data bit-flip plane, fed the same event stream as the
+    /// checker. `None` (the default) costs zero state and zero
+    /// snapshot bytes.
+    flip: Option<FlipPlane>,
 }
 
 impl Bank {
@@ -62,6 +67,7 @@ impl Bank {
         mitigation: BankMitigation,
         checker: Option<RowhammerChecker>,
         cu_slots: u32,
+        flip: Option<FlipPlane>,
     ) -> Self {
         Self {
             open: None,
@@ -72,6 +78,7 @@ impl Bank {
             mitigation,
             checker,
             cu_ready: vec![0; cu_slots as usize],
+            flip,
         }
     }
 
@@ -144,7 +151,9 @@ impl Bank {
         self.open.map(|_| self.pre_allowed)
     }
 
-    /// Issues an ACT.
+    /// Issues an ACT. Returns the number of victim-word bits the flip
+    /// plane injected from this activation's disturbance (always 0
+    /// when the plane is disabled).
     ///
     /// `update_selected` is the MoPAC-C coin flip (always true under
     /// PRAC, always false otherwise); it selects the tRCD/tRAS flavour
@@ -160,7 +169,7 @@ impl Bank {
         update_selected: bool,
         base: &TimingSet,
         prac: &TimingSet,
-    ) {
+    ) -> u32 {
         debug_assert!(self.open.is_none(), "ACT to open bank");
         debug_assert!(now >= self.act_allowed, "ACT violates tRP/tRFC");
         let t = if update_selected { prac } else { base };
@@ -175,6 +184,7 @@ impl Bank {
         if let Some(ck) = self.checker.as_mut() {
             ck.on_activate(row);
         }
+        self.flip.as_mut().map_or(0, |f| f.on_activate(row))
     }
 
     /// Issues a column read; returns the cycle at which data finishes.
@@ -272,6 +282,18 @@ impl Bank {
     pub fn checker_mut(&mut self) -> Option<&mut RowhammerChecker> {
         self.checker.as_mut()
     }
+
+    /// Access to the flip plane, if enabled.
+    #[must_use]
+    pub fn flip(&self) -> Option<&FlipPlane> {
+        self.flip.as_ref()
+    }
+
+    /// Mutable access to the flip plane (REF scrubs, read checks,
+    /// mitigation mirroring).
+    pub fn flip_mut(&mut self) -> Option<&mut FlipPlane> {
+        self.flip.as_mut()
+    }
 }
 
 impl mopac_types::snapshot::Snapshottable for Bank {
@@ -304,6 +326,13 @@ impl mopac_types::snapshot::Snapshottable for Bank {
             for &c in &self.cu_ready {
                 w.put_u64(c);
             }
+        }
+        // Flip-plane section: same shape-gated sentinel pattern. A
+        // plane-less bank writes nothing, keeping disabled-mode
+        // snapshots byte-identical to the pre-flip-plane format.
+        if let Some(f) = &self.flip {
+            w.put_u32(FLIP_SECTION_SENTINEL);
+            f.save_state(w);
         }
     }
 
@@ -354,12 +383,25 @@ impl mopac_types::snapshot::Snapshottable for Bank {
                 *c = r.take_u64()?;
             }
         }
+        if let Some(f) = self.flip.as_mut() {
+            let sentinel = r.take_u32()?;
+            if sentinel != FLIP_SECTION_SENTINEL {
+                return Err(mopac_types::MopacError::snapshot(format!(
+                    "flip-plane section missing (sentinel {sentinel:#x}): snapshot \
+                     was taken on a flip-plane-disabled configuration"
+                )));
+            }
+            f.load_state(r)?;
+        }
         Ok(())
     }
 }
 
 /// Guards the optional per-subarray slot section of a bank snapshot.
 const CU_SECTION_SENTINEL: u32 = 0x5355_4231; // "SUB1"
+
+/// Guards the optional flip-plane section of a bank snapshot.
+const FLIP_SECTION_SENTINEL: u32 = 0x464C_5031; // "FLP1"
 
 #[cfg(test)]
 mod tests {
@@ -373,6 +415,7 @@ mod tests {
             BankMitigation::new(&cfg, 1024, DetRng::from_seed(1)),
             Some(RowhammerChecker::new(1024, 500)),
             0,
+            None,
         )
     }
 
@@ -426,6 +469,7 @@ mod tests {
             BankMitigation::new(&cfg, 1024, DetRng::from_seed(1)),
             None,
             4,
+            None,
         );
         b.activate(5, 0, false, &base, &prac);
         let pre_at = b.earliest_precharge().unwrap();

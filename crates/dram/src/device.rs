@@ -9,6 +9,7 @@
 //! ALERT when a bank needs ABO.
 
 use crate::bank::{Bank, OpenRow, PrechargeKind};
+use crate::flip::{FlipPlane, FlipPlaneConfig, FlipStats, ReadOutcome};
 use crate::timing::{AboTiming, TimingSet};
 use mopac::bank::AlertCause;
 use mopac::checker::Violation;
@@ -31,6 +32,11 @@ const REFRESH_GROUPS: u32 = 8192;
 /// extension section, present only for configurations that use it.
 const SUBARRAY_SECTION_MAGIC: u32 = 0x5355_4252;
 
+/// Sentinel ("FLPD") opening the device snapshot's flip-plane marker,
+/// present only when [`DramConfig::flip`] is set (the per-bank plane
+/// sections carry the actual state and shape tags).
+const FLIP_SECTION_MAGIC: u32 = 0x464C_5044;
+
 /// Device-level configuration.
 #[derive(Debug, Clone)]
 pub struct DramConfig {
@@ -48,6 +54,10 @@ pub struct DramConfig {
     /// Which channel this device instance is (stamps trace events; 0
     /// for single-channel systems).
     pub channel: u32,
+    /// Victim-data bit-flip plane ([`crate::flip`]). `None` (the
+    /// default everywhere) disables it: zero state, zero snapshot
+    /// bytes, bit-identical to the pre-flip-plane simulator.
+    pub flip: Option<FlipPlaneConfig>,
 }
 
 impl DramConfig {
@@ -60,6 +70,7 @@ impl DramConfig {
             enable_checker: true,
             seed: 0xD0_5E_ED,
             channel: 0,
+            flip: None,
         }
     }
 
@@ -72,6 +83,7 @@ impl DramConfig {
             enable_checker: true,
             seed: 0xD0_5E_ED,
             channel: 0,
+            flip: None,
         }
     }
 }
@@ -307,7 +319,17 @@ impl DramDevice {
                                 let t_rh = cfg.mitigation.t_rh.min(u64::from(u32::MAX)) as u32;
                                 mopac::checker::RowhammerChecker::new(geom.rows_per_bank, t_rh)
                             });
-                        Bank::new(mitigation, checker, cu_slots)
+                        // Per-bank salts are pure hashes of (seed,
+                        // flat bank) — independent of thread count and
+                        // construction order.
+                        let flip = cfg.flip.map(|fc| {
+                            FlipPlane::new(
+                                fc,
+                                geom.rows_per_bank,
+                                FlipPlane::bank_salt(cfg.seed, flat),
+                            )
+                        });
+                        Bank::new(mitigation, checker, cu_slots, flip)
                     })
                     .collect();
                 SubChannel {
@@ -373,9 +395,13 @@ impl DramDevice {
         }
         let stats = self.stats;
         let mitigation = self.mitigation_stats();
+        let flip = self.flip_stats();
         if let Some(reg) = self.sink.registry_mut() {
             stats.export_metrics(reg);
             mitigation.export_metrics(reg);
+            reg.set_counter(Counter::DramBitFlips, flip.bit_flips);
+            reg.set_counter(Counter::DramEccCorrections, flip.ecc_corrections);
+            reg.set_counter(Counter::DramCorruptedReads, flip.corrupted_reads);
         }
         // The engines borrow the sub-channels while recording; move the
         // sink out for the sweep so the borrows stay disjoint.
@@ -602,7 +628,7 @@ impl DramDevice {
         }
         let (base, prac) = (self.base, self.prac);
         let s = self.sub_mut(sc);
-        s.banks[bank as usize].activate(row, now, selected, &base, &prac);
+        let flips = s.banks[bank as usize].activate(row, now, selected, &base, &prac);
         s.open_mask.set(bank);
         s.last_act = Some(now);
         s.faw[s.faw_idx] = now;
@@ -610,6 +636,19 @@ impl DramDevice {
         s.faw_filled = (s.faw_filled + 1).min(4);
         s.acts_since_alert += 1;
         self.stats.activates += 1;
+        if flips > 0 && self.sink.is_enabled() {
+            // `value` is the number of fresh victim bits this ACT set;
+            // the flipped rows themselves are row ± 1 of the aggressor.
+            self.sink.event(TraceEvent {
+                cycle: now,
+                channel: self.cfg.channel,
+                kind: TraceEventKind::BitFlip,
+                subchannel: sc,
+                bank,
+                value: u64::from(flips),
+                subarray: self.cfg.geometry.subarray_of(row),
+            });
+        }
         self.poll_demands(sc, bank);
         self.refresh_alert_line(sc, now);
         Ok(())
@@ -659,9 +698,15 @@ impl DramDevice {
     pub fn read(&mut self, sc: u32, bank: u32, now: Cycle) -> MopacResult<Cycle> {
         self.check_column("RD", sc, bank, now)?;
         let t = *self.timing_default();
+        // check_column guarantees an open row; its data is what the
+        // read returns, so route it through the flip plane's ECC path.
+        let open = self.open_row(sc, bank).map(|o| o.row);
         let s = self.sub_mut(sc);
         let done = s.banks[bank as usize].read(now, &t);
         s.bus_busy_until = done;
+        if let (Some(row), Some(f)) = (open, s.banks[bank as usize].flip_mut()) {
+            let _outcome: ReadOutcome = f.on_read(row);
+        }
         self.stats.reads += 1;
         Ok(done)
     }
@@ -899,6 +944,12 @@ impl DramDevice {
                 }
                 ck.on_refresh_range(start..end);
             }
+            if let Some(f) = b.flip_mut() {
+                for &row in &svc.mitigated_rows {
+                    f.on_mitigate(row, blast);
+                }
+                f.on_refresh_range(start..end);
+            }
         }
         self.stats.refreshes += 1;
         self.stats.deferred_updates += deferred;
@@ -1006,6 +1057,11 @@ impl DramDevice {
             if let Some(ck) = b.checker_mut() {
                 for &row in &svc.mitigated_rows {
                     ck.on_mitigate(row, blast);
+                }
+            }
+            if let Some(f) = b.flip_mut() {
+                for &row in &svc.mitigated_rows {
+                    f.on_mitigate(row, blast);
                 }
             }
         }
@@ -1147,6 +1203,11 @@ impl DramDevice {
             if let Some(ck) = b.checker_mut() {
                 for &row in &svc.mitigated_rows {
                     ck.on_mitigate(row, blast);
+                }
+            }
+            if let Some(f) = b.flip_mut() {
+                for &row in &svc.mitigated_rows {
+                    f.on_mitigate(row, blast);
                 }
             }
         }
@@ -1297,6 +1358,39 @@ impl DramDevice {
         total
     }
 
+    /// Sums the victim-data flip-plane statistics over all banks
+    /// (all-zero when [`DramConfig::flip`] is `None`).
+    #[must_use]
+    pub fn flip_stats(&self) -> FlipStats {
+        let mut total = FlipStats::default();
+        for b in self.subchannels.iter().flat_map(|s| &s.banks) {
+            if let Some(f) = b.flip() {
+                total.accumulate(&f.stats());
+            }
+        }
+        total
+    }
+
+    /// Reads back every row holding flipped victim bits in every bank,
+    /// through the ECC path — the post-attack verification pass an
+    /// attacker (or a memory test) would perform. Hammer kernels only
+    /// read their aggressor rows, so without this sweep victim
+    /// corruption exists but is never *observed*. No-op without a flip
+    /// plane.
+    pub fn flip_readback_sweep(&mut self) {
+        for b in self.subchannels.iter_mut().flat_map(|s| &mut s.banks) {
+            if let Some(f) = b.flip_mut() {
+                f.readback_sweep();
+            }
+        }
+    }
+
+    /// The flip plane of one bank (testing / diagnostics).
+    #[must_use]
+    pub fn flip_plane(&self, sc: u32, bank: u32) -> Option<&FlipPlane> {
+        self.sub(sc).banks[bank as usize].flip()
+    }
+
     /// Whether this configuration serializes the subarray/bank-scope
     /// snapshot extension. Derived from the *config* (not the live
     /// `demands`) so the writer and reader agree even if an adaptive
@@ -1433,6 +1527,13 @@ impl Snapshottable for DramDevice {
             });
             w.put_bool(self.demands.subarray_parallel_updates);
         }
+        // Flip-plane marker: present only when the plane is configured
+        // (the per-bank sections above carry the actual state and the
+        // distribution/ECC shape tags). Disabled configurations write
+        // nothing, keeping legacy streams byte-identical.
+        if self.cfg.flip.is_some() {
+            w.put_u32(FLIP_SECTION_MAGIC);
+        }
         self.sink.save_state(w);
     }
 
@@ -1492,6 +1593,15 @@ impl Snapshottable for DramDevice {
                 }
             };
             self.demands.subarray_parallel_updates = r.take_bool()?;
+        }
+        if self.cfg.flip.is_some() {
+            let magic = r.take_u32()?;
+            if magic != FLIP_SECTION_MAGIC {
+                return Err(MopacError::snapshot(
+                    "missing flip-plane device section: snapshot was taken \
+                     on a flip-plane-disabled configuration",
+                ));
+            }
         }
         self.sink.load_state(r)
     }
@@ -1692,6 +1802,113 @@ mod tests {
             "sibling bank blocked until {sibling} (RFM at {rfm_at})"
         );
         d.activate(0, 1, 0, sibling.max(rfm_at), false).unwrap();
+    }
+
+    /// A deliberately broken mitigation with the flip plane enabled
+    /// corrupts victim data; the corruption is deterministic per seed
+    /// and observable through the post-run readback sweep.
+    #[test]
+    fn broken_config_flips_victim_bits_deterministically() {
+        use crate::flip::{FlipPlaneConfig, TrhDistribution};
+        let run = || {
+            let broken = MitigationConfig::prac(500).with_alert_threshold(100_000);
+            let mut cfg = DramConfig::tiny(broken);
+            cfg.flip = Some(
+                FlipPlaneConfig::new(TrhDistribution::Constant(500)).with_flip_probability(0.5),
+            );
+            let mut d = DramDevice::new(cfg);
+            let mut now;
+            for _ in 0..700 {
+                now = d.earliest_activate(0, 0).unwrap();
+                d.activate(0, 0, 10, now, false).unwrap();
+                now = d.earliest_precharge(0, 0).unwrap();
+                d.precharge(0, 0, now).unwrap();
+            }
+            d.flip_readback_sweep();
+            d.flip_stats()
+        };
+        let a = run();
+        let b = run();
+        assert!(a.bit_flips > 0, "no victim bits flipped past T_RH");
+        assert!(a.corrupted_reads > 0, "flips never observed by readback");
+        assert_eq!(a, b, "flip plane not deterministic per seed");
+    }
+
+    /// A protected engine (working PRAC) keeps victim words clean even
+    /// with the flip plane armed at the oracle's T_RH.
+    #[test]
+    fn protected_engine_keeps_victims_clean() {
+        use crate::flip::{FlipPlaneConfig, TrhDistribution};
+        let mut cfg = DramConfig::tiny(MitigationConfig::prac(500));
+        cfg.flip =
+            Some(FlipPlaneConfig::new(TrhDistribution::Constant(500)).with_flip_probability(1.0));
+        let mut d = DramDevice::new(cfg);
+        let mut now = 0;
+        for _ in 0..700 {
+            if d.alert_since(0).is_some() {
+                let at = d.earliest_refresh(0).unwrap().max(now + 540);
+                d.rfm(0, at).unwrap();
+            }
+            now = d.earliest_activate(0, 0).unwrap();
+            d.activate(0, 0, 10, now, false).unwrap();
+            now = d.earliest_precharge(0, 0).unwrap();
+            d.precharge(0, 0, now).unwrap();
+        }
+        d.flip_readback_sweep();
+        let s = d.flip_stats();
+        assert_eq!(d.violations(), 0);
+        assert_eq!(s.bit_flips, 0, "protected run still flipped bits");
+        assert!(!s.attack_success());
+    }
+
+    /// A flip-plane-disabled snapshot must refuse to restore into a
+    /// flip-enabled configuration with a typed snapshot error.
+    #[test]
+    fn snapshot_rejects_cross_flip_shape() {
+        use crate::flip::{FlipPlaneConfig, TrhDistribution};
+        let plain = device(MitigationConfig::prac(500));
+        let mut w = SnapshotWriter::new();
+        plain.save_state(&mut w);
+        let bytes = w.finish();
+        let mut cfg = DramConfig::tiny(MitigationConfig::prac(500));
+        cfg.flip = Some(FlipPlaneConfig::new(TrhDistribution::Constant(500)));
+        let mut flipped = DramDevice::new(cfg);
+        let mut r = SnapshotReader::new(&bytes).unwrap();
+        let err = flipped.load_state(&mut r).unwrap_err();
+        assert!(
+            matches!(err, MopacError::Snapshot { .. }),
+            "wrong error kind: {err}"
+        );
+    }
+
+    /// Round trip: a flip-enabled device snapshot restores its flip
+    /// state (accumulators, masks, stats) exactly.
+    #[test]
+    fn snapshot_roundtrips_flip_state() {
+        use crate::flip::{FlipPlaneConfig, TrhDistribution};
+        let broken = MitigationConfig::prac(500).with_alert_threshold(100_000);
+        let mut cfg = DramConfig::tiny(broken);
+        cfg.flip =
+            Some(FlipPlaneConfig::new(TrhDistribution::Constant(400)).with_flip_probability(1.0));
+        let mut d = DramDevice::new(cfg.clone());
+        let mut now;
+        for _ in 0..600 {
+            now = d.earliest_activate(0, 0).unwrap();
+            d.activate(0, 0, 10, now, false).unwrap();
+            now = d.earliest_precharge(0, 0).unwrap();
+            d.precharge(0, 0, now).unwrap();
+        }
+        assert!(d.flip_stats().bit_flips > 0);
+        let mut w = SnapshotWriter::new();
+        d.save_state(&mut w);
+        let bytes = w.finish();
+        let mut restored = DramDevice::new(cfg);
+        let mut r = SnapshotReader::new(&bytes).unwrap();
+        restored.load_state(&mut r).unwrap();
+        assert_eq!(restored.flip_stats(), d.flip_stats());
+        restored.flip_readback_sweep();
+        d.flip_readback_sweep();
+        assert_eq!(restored.flip_stats(), d.flip_stats());
     }
 
     /// A flat-bank snapshot must refuse to restore into a subarray

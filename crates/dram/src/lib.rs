@@ -41,8 +41,10 @@
 
 pub mod bank;
 pub mod device;
+pub mod flip;
 pub mod timing;
 
 pub use bank::PrechargeKind;
 pub use device::{DramConfig, DramDevice, DramStats};
+pub use flip::{EccMode, FlipPlane, FlipPlaneConfig, FlipStats, ReadOutcome, TrhDistribution};
 pub use timing::{AboTiming, TimingSet};

@@ -7,6 +7,7 @@
 
 use mopac::config::MitigationConfig;
 use mopac_dram::device::{DramConfig, DramDevice, DramStats};
+use mopac_dram::flip::{FlipPlaneConfig, FlipStats};
 use mopac_memctrl::controller::{AccessKind, McConfig, MemRequest, MemoryController, PagePolicy};
 use mopac_types::error::{MopacError, MopacResult};
 use mopac_types::geometry::DramGeometry;
@@ -31,6 +32,9 @@ pub struct AttackConfig {
     pub enable_checker: bool,
     /// Seed.
     pub seed: u64,
+    /// Victim-data bit-flip plane (`None`, the default, disables it and
+    /// keeps the run bit-identical to a plane-less simulator).
+    pub flip: Option<FlipPlaneConfig>,
 }
 
 impl AttackConfig {
@@ -44,6 +48,7 @@ impl AttackConfig {
             window: 32,
             enable_checker: true,
             seed: 0xA77AC4,
+            flip: None,
         }
     }
 }
@@ -59,9 +64,22 @@ pub struct AttackResult {
     pub dram: DramStats,
     /// Security-oracle violations (must be 0 for a secure config).
     pub violations: u64,
+    /// Victim-data flip-plane statistics (all-zero when the plane is
+    /// disabled). `corrupted_reads` only reflects victim rows the run
+    /// actually read — call [`AttackRun::verify_readback`] before
+    /// finishing to model the attacker's post-hammer verification pass.
+    pub flip: FlipStats,
 }
 
 impl AttackResult {
+    /// The attack's real verdict: did any read return corrupted data?
+    /// Oracle violations say the *mitigation* failed; this says the
+    /// *attack* succeeded against the modeled cells (after ECC).
+    #[must_use]
+    pub fn attack_success(&self) -> bool {
+        self.flip.attack_success()
+    }
+
     /// Activations per ALERT (the `N` in the slowdown model
     /// `7 / (N + 7)`), or `None` if no ALERT fired.
     #[must_use]
@@ -175,6 +193,7 @@ impl<'p> AttackRun<'p> {
             enable_checker: cfg.enable_checker,
             seed: cfg.seed,
             channel: 0,
+            flip: cfg.flip,
         });
         let mc = MemoryController::new(
             dram,
@@ -265,7 +284,23 @@ impl<'p> AttackRun<'p> {
             cycles: self.now,
             dram: self.mc.dram().stats(),
             violations: self.mc.dram().violations(),
+            flip: self.mc.dram().flip_stats(),
         }
+    }
+
+    /// The attacker's post-hammer verification pass: reads back every
+    /// victim row holding flipped bits through the ECC path, so flips
+    /// the hammer kernel never touched become *observed* corruption in
+    /// [`AttackResult::flip`]. No-op when the flip plane is disabled.
+    pub fn verify_readback(&mut self) {
+        self.mc.dram_mut().flip_readback_sweep();
+    }
+
+    /// The device under the controller (flip-plane inspection in
+    /// tests).
+    #[must_use]
+    pub fn dram(&self) -> &DramDevice {
+        self.mc.dram()
     }
 
     /// Drains the metrics sink into a merged [`MetricsSnapshot`] (see

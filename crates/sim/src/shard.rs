@@ -512,6 +512,7 @@ mod tests {
                     enable_checker: false,
                     seed: 0xD0_5E_ED ^ u64::from(ch),
                     channel: ch,
+                    flip: None,
                 });
                 MemoryController::new(dram, McConfig::default())
             })

@@ -568,6 +568,7 @@ impl System {
                     enable_checker: cfg.enable_checker,
                     seed: (cfg.seed ^ 0xD8A3) ^ salt,
                     channel: ch,
+                    flip: None,
                 });
                 let mut mc_cfg = cfg.mc;
                 mc_cfg.seed = (cfg.seed ^ 0x3C) ^ salt;

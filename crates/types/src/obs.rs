@@ -95,6 +95,12 @@ pub enum Counter {
     /// parallelism PRACtical's subarray-level update unlocks — PRAC
     /// would have serialized these behind the long tRP).
     DramSubarrayParallelUpdates,
+    /// DRAM: victim-word bits flipped by disturbance (flip plane).
+    DramBitFlips,
+    /// DRAM: single-bit flips scrubbed by on-die SEC ECC on read/REF.
+    DramEccCorrections,
+    /// DRAM: reads that returned corrupted (uncorrectable) victim data.
+    DramCorruptedReads,
     /// Engines: activations observed.
     EngineActivations,
     /// Engines: counter updates performed.
@@ -134,7 +140,7 @@ pub enum Counter {
 
 impl Counter {
     /// Every counter, in declaration order (export order).
-    pub const ALL: [Counter; 39] = [
+    pub const ALL: [Counter; 42] = [
         Counter::McReadsDone,
         Counter::McWritesDone,
         Counter::McReadLatencySum,
@@ -157,6 +163,9 @@ impl Counter {
         Counter::DramInjectedFaults,
         Counter::DramBlockedBankCycles,
         Counter::DramSubarrayParallelUpdates,
+        Counter::DramBitFlips,
+        Counter::DramEccCorrections,
+        Counter::DramCorruptedReads,
         Counter::EngineActivations,
         Counter::EngineCounterUpdates,
         Counter::EngineSrqInsertions,
@@ -202,6 +211,9 @@ impl Counter {
             Counter::DramInjectedFaults => "dram.injected_faults",
             Counter::DramBlockedBankCycles => "dram.blocked_bank_cycles",
             Counter::DramSubarrayParallelUpdates => "dram.subarray_parallel_updates",
+            Counter::DramBitFlips => "dram.bit_flips",
+            Counter::DramEccCorrections => "dram.ecc_corrections",
+            Counter::DramCorruptedReads => "dram.corrupted_reads",
             Counter::EngineActivations => "engine.activations",
             Counter::EngineCounterUpdates => "engine.counter_updates",
             Counter::EngineSrqInsertions => "engine.srq_insertions",
@@ -456,6 +468,9 @@ pub enum TraceEventKind {
     Alert,
     /// Aggressor-row mitigation batch (`value` = rows mitigated).
     Mitigation,
+    /// Victim-word bit flips injected by the flip plane (`value` =
+    /// bits flipped by this activation's disturbance).
+    BitFlip,
 }
 
 impl TraceEventKind {
@@ -470,6 +485,7 @@ impl TraceEventKind {
             TraceEventKind::Rfm => "RFM",
             TraceEventKind::Alert => "ALERT",
             TraceEventKind::Mitigation => "MITIGATION",
+            TraceEventKind::BitFlip => "BITFLIP",
         }
     }
 
@@ -484,6 +500,7 @@ impl TraceEventKind {
             TraceEventKind::Rfm => 4,
             TraceEventKind::Alert => 5,
             TraceEventKind::Mitigation => 6,
+            TraceEventKind::BitFlip => 7,
         }
     }
 
@@ -498,6 +515,7 @@ impl TraceEventKind {
             4 => Some(TraceEventKind::Rfm),
             5 => Some(TraceEventKind::Alert),
             6 => Some(TraceEventKind::Mitigation),
+            7 => Some(TraceEventKind::BitFlip),
             _ => None,
         }
     }

@@ -13,12 +13,24 @@
 //! dependencies and pins the exact sequences across toolchain updates.
 
 /// SplitMix64 step: turns a 64-bit state into a well-mixed 64-bit output.
+///
+/// Public as [`mix64`] for *stateless* hash-based randomness — code
+/// that derives a decision purely from identifiers (seed, bank, row,
+/// count) rather than from a stream position, so the outcome is
+/// independent of execution interleaving (the flip plane's per-cell
+/// thresholds and flip draws).
 #[must_use]
-fn splitmix64(mut z: u64) -> u64 {
+pub fn mix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)
+}
+
+/// Alias used internally where the SplitMix64 name matters.
+#[must_use]
+fn splitmix64(z: u64) -> u64 {
+    mix64(z)
 }
 
 /// xoshiro256++ core state.

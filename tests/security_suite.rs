@@ -7,7 +7,7 @@
 //! per-bank security) and thresholds from the paper's range.
 
 use mopac::config::MitigationConfig;
-use mopac_sim::attack::{run_attack, AttackConfig};
+use mopac_sim::attack::{run_attack, AttackConfig, AttackRun};
 use mopac_types::geometry::{BankRef, DramGeometry};
 use mopac_workloads::attack::{
     AttackPattern, DoubleSidedHammer, MultiBankRoundRobin, SingleRowHammer, SrqFillAttack,
@@ -128,6 +128,66 @@ fn mopac_c_undersampling_is_caught() {
         r.violations > 0,
         "oracle should flag an undersampled MoPAC-C"
     );
+}
+
+/// Regression guard for the checker's top-edge phantom-victim fix: the
+/// battery above attacks only interior rows, so every recorded victim
+/// must be interior and adjacent to its aggressor — the fix cannot
+/// (and must not) change any of those verdicts. The count on this
+/// canonical broken run is pinned exactly.
+#[test]
+fn phantom_fix_leaves_interior_battery_verdicts_unchanged() {
+    let broken = MitigationConfig::prac(500).with_alert_threshold(100_000);
+    let cfg = AttackConfig {
+        geometry: DramGeometry::tiny(),
+        ..AttackConfig::new(broken, CYCLES)
+    };
+    let mut p = DoubleSidedHammer::new(BankRef::new(0, 0), 100);
+    let mut run = AttackRun::new(&cfg, &mut p);
+    run.run_until(CYCLES).unwrap();
+    let rows = cfg.geometry.rows_per_bank;
+    let records = run.dram().violation_records();
+    assert!(!records.is_empty());
+    for v in &records {
+        assert!(v.victim < rows, "victim {} outside bank", v.victim);
+        assert!(
+            v.victim == v.row + 1 || v.victim + 1 == v.row,
+            "victim {} not adjacent to aggressor {}",
+            v.victim,
+            v.row
+        );
+        assert!(v.row > 0 && v.row < rows - 1, "battery aggressor at edge");
+    }
+}
+
+/// Device-level top-edge hammer: hammering the *last* row of the bank
+/// under a broken mitigation must record violations only against the
+/// one real victim below it — never the phantom `row + 1` the
+/// pre-fix checker invented past the end of the array.
+#[test]
+fn top_row_hammer_records_no_phantom_victim() {
+    let broken = MitigationConfig::prac(500).with_alert_threshold(100_000);
+    let cfg = AttackConfig {
+        geometry: DramGeometry::tiny(),
+        ..AttackConfig::new(broken, CYCLES)
+    };
+    let rows = cfg.geometry.rows_per_bank;
+    let mut p = SingleRowHammer::new(BankRef::new(0, 0), rows - 1, 10, 32);
+    let mut run = AttackRun::new(&cfg, &mut p);
+    run.run_until(CYCLES).unwrap();
+    let records = run.dram().violation_records();
+    assert!(!records.is_empty(), "broken config never violated");
+    for v in &records {
+        if v.row == rows - 1 {
+            assert_eq!(
+                v.victim,
+                rows - 2,
+                "phantom victim {} recorded for top-row aggressor",
+                v.victim
+            );
+        }
+        assert!(v.victim < rows, "victim {} outside bank", v.victim);
+    }
 }
 
 #[test]
